@@ -1,0 +1,55 @@
+// Command riobench regenerates the paper's tables and figures. Each
+// experiment builds fresh simulated clusters, drives the paper's workload
+// and prints the corresponding rows/series.
+//
+// Usage:
+//
+//	riobench -list
+//	riobench -exp fig10b
+//	riobench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "shorter windows and sweeps")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "riobench: -exp required (or -list); e.g. riobench -exp fig10b")
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Names()
+	}
+	for _, n := range names {
+		start := time.Now()
+		r, err := bench.Run(n, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		fmt.Printf("(%s wall time: %.1fs)\n\n", n, time.Since(start).Seconds())
+	}
+}

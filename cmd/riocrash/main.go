@@ -1,0 +1,128 @@
+// Command riocrash demonstrates Rio's crash consistency end to end: it
+// drives ordered writes on several streams, cuts power at a random moment,
+// runs the §4.4 recovery algorithm, and verifies the §4.8 prefix invariant
+// against the durable media state, printing what survived.
+//
+// Usage:
+//
+//	riocrash [-streams 4] [-groups 200] [-cut 300] [-seed 7] [-target]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stack"
+)
+
+func main() {
+	var (
+		streams = flag.Int("streams", 4, "independent ordered streams")
+		groups  = flag.Int("groups", 200, "groups submitted per stream")
+		cutUS   = flag.Int64("cut", 300, "power cut time (simulated µs)")
+		seed    = flag.Int64("seed", 7, "RNG seed")
+		target  = flag.Bool("target", false, "crash one target instead of the whole cluster")
+	)
+	flag.Parse()
+
+	eng := sim.New(*seed)
+	cfg := stack.DefaultConfig(stack.ModeRio,
+		stack.TargetConfig{SSDs: []ssd.Config{ssd.OptaneConfig()}},
+		stack.TargetConfig{SSDs: []ssd.Config{ssd.FlashConfig()}})
+	cfg.Streams = *streams
+	cfg.QPs = *streams
+	cfg.Fabric.NumQPs = *streams
+	cfg.KeepHistory = true
+	cfg.MergeEnabled = false // 1:1 request→attribute, so media is checkable
+	c := stack.New(eng, cfg)
+
+	type sub struct {
+		attr core.Attr
+		lba  uint64
+	}
+	subs := make([][]sub, *streams)
+	var reqs []*blockdev.Request
+	for s := 0; s < *streams; s++ {
+		s := s
+		eng.Go(fmt.Sprintf("app%d", s), func(p *sim.Proc) {
+			for g := 0; g < *groups; g++ {
+				lba := uint64(s*1_000_000 + g)
+				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				subs[s] = append(subs[s], sub{attr: r.Ticket.Attr, lba: lba})
+				reqs = append(reqs, r)
+				p.Sleep(2 * sim.Microsecond)
+			}
+		})
+	}
+	cut := sim.Time(*cutUS) * sim.Microsecond
+	if *target {
+		eng.At(cut, func() { c.PowerCutTarget(1) })
+	} else {
+		eng.At(cut, func() { c.PowerCutAll() })
+	}
+	eng.RunUntil(cut + sim.Millisecond)
+
+	fmt.Printf("power cut at %v with %d requests submitted\n", cut, c.Stats().Submitted)
+
+	var report *core.Report
+	var tm stack.RecoveryTiming
+	eng.Go("recover", func(p *sim.Proc) {
+		if *target {
+			report, tm = c.RecoverTarget(p, 1)
+		} else {
+			report, tm = c.RecoverFull(p)
+		}
+	})
+	eng.Run()
+
+	fmt.Printf("order rebuild: %v   data recovery: %v   discarded: %d   replayed: %d\n",
+		tm.OrderRebuild, tm.DataRecovery, tm.Discarded, tm.Replayed)
+
+	if *target {
+		undelivered := 0
+		for _, r := range reqs {
+			if !r.Done.Fired() {
+				undelivered++
+			}
+		}
+		fmt.Printf("target recovery: %d/%d requests delivered after replay\n",
+			len(reqs)-undelivered, len(reqs))
+		if undelivered > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	violations := 0
+	for s := 0; s < *streams; s++ {
+		prefix := report.Prefix(uint16(s))
+		fmt.Printf("stream %d: durable prefix = %d of %d submitted groups\n",
+			s, prefix, len(subs[s]))
+		for gi, sb := range subs[s] {
+			g := uint64(gi + 1)
+			dev, devLBA := c.Volume().Map(sb.lba)
+			ref := c.Volume().Dev(dev)
+			rec, ok := c.Target(ref.Server).SSD(ref.SSD).Durable(devLBA)
+			isOurs := ok && rec.Stamp == core.AttrStamp(sb.attr)
+			if g <= prefix && !isOurs {
+				fmt.Printf("  VIOLATION: group %d inside prefix but not durable\n", g)
+				violations++
+			}
+			if g > prefix && isOurs {
+				fmt.Printf("  VIOLATION: group %d beyond prefix but survived\n", g)
+				violations++
+			}
+		}
+	}
+	if violations == 0 {
+		fmt.Println("prefix invariant holds: every stream recovered to an ordered state")
+	} else {
+		fmt.Printf("%d violations\n", violations)
+		os.Exit(1)
+	}
+}

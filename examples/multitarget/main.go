@@ -1,0 +1,75 @@
+// Multi-target: ordered writes striped across two target servers (the
+// paper's Fig. 10(d) topology), demonstrating that Rio needs no
+// cross-server coordination on the data path — and that a crashed target
+// is repaired by replaying in-flight requests (§4.4.1) transparently to
+// the application.
+//
+// Run: go run ./examples/multitarget
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/rio"
+)
+
+func main() {
+	c := rio.NewCluster(rio.Options{
+		Seed: 3,
+		Targets: []rio.TargetSpec{
+			{SSDs: []rio.DeviceClass{rio.Optane, rio.Flash}},
+			{SSDs: []rio.DeviceClass{rio.Optane, rio.Flash}},
+		},
+		Streams: 8,
+	})
+	defer c.Close()
+
+	// Phase 1: striped ordered writes saturate both servers concurrently.
+	c.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(0)
+		start := ctx.Now()
+		// 64 KB ordered writes: split across devices (and servers) with
+		// split ordering attributes, merged back during recovery.
+		var last *rio.Handle
+		for i := 0; i < 200; i++ {
+			last = s.Close(uint64(i*16), 16)
+		}
+		last.Wait()
+		el := ctx.Now() - start
+		fmt.Printf("striped: 200 x 64KB ordered writes in %v (%.2f GB/s)\n",
+			el, 200*16*4096/el.Seconds()/1e9)
+	})
+	c.Run()
+
+	// Phase 2: crash target 1 mid-stream; the initiator replays.
+	var handles []*rio.Handle
+	c.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(1)
+		for i := 0; i < 100; i++ {
+			handles = append(handles, s.Close(uint64(1_000_000+i), 1))
+			ctx.Sleep(2 * sim.Microsecond)
+		}
+	})
+	c.Engine().At(50*sim.Microsecond, func() {
+		fmt.Println("!! target 1 loses power mid-stream")
+		c.PowerCutTarget(1)
+	})
+	c.RunFor(2 * sim.Millisecond)
+
+	c.Go(func(ctx *rio.Ctx) {
+		rep := ctx.RecoverTarget(1)
+		fmt.Printf("target recovery: replayed %d commands in %v\n",
+			rep.Timing.Replayed, rep.Timing.DataRecovery)
+	})
+	c.Run()
+
+	delivered := 0
+	for _, h := range handles {
+		if h.Done() {
+			delivered++
+		}
+	}
+	fmt.Printf("after recovery: %d/%d ordered writes delivered (no application-visible loss)\n",
+		delivered, len(handles))
+}

@@ -1,0 +1,50 @@
+// Quickstart: the Rio programming model (§4.6) in a dozen lines.
+//
+// A stream gives you ordered writes: groups delimited by boundaries,
+// durability from a single FLUSH-carrying commit, and completions that are
+// always delivered in storage order — while everything underneath runs
+// asynchronously across the simulated RDMA fabric and NVMe SSDs.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/rio"
+)
+
+func main() {
+	// rio_setup: one initiator, one Optane target, 24 streams.
+	c := rio.NewCluster(rio.Options{Seed: 42})
+	defer c.Close()
+
+	c.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(0)
+
+		// A metadata-journaling transaction: the journal description and
+		// metadata blocks form group 1 (they may reorder with each other),
+		// the commit record is group 2 and must persist after them.
+		s.Write(100, 2)        // rio_submit: journal description + metadata
+		jm := s.Close(102, 1)  // rio_submit: boundary closes group 1
+		jc := s.Commit(103, 1) // rio_submit: commit record + FLUSH
+
+		jc.Wait() // rio_wait: durable and ordered
+
+		fmt.Printf("commit delivered at %v (group %d)\n", ctx.Now(), jc.Attr().SeqStart)
+		fmt.Printf("in-order completion: earlier group delivered first = %v\n", jm.Done())
+
+		// Throughput feel: push 1000 ordered 4 KB writes asynchronously,
+		// wait once at the end.
+		start := ctx.Now()
+		var last *rio.Handle
+		for i := 0; i < 1000; i++ {
+			last = s.Close(uint64(1000+i), 1)
+		}
+		last.Wait()
+		el := ctx.Now() - start
+		fmt.Printf("1000 ordered writes in %v (%.0f K ordered writes/s)\n",
+			el, 1000/el.Seconds()/1e3)
+	})
+	c.Run()
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+func init() {
+	Experiments["ablation"] = Ablations
+}
+
+// Ablations measures the design choices DESIGN.md calls out, beyond the
+// rio-w/o-merge line already present in Figs. 10/12:
+//
+//  1. Stream→QP affinity (Principle 2, §4.5): with affinity the RC
+//     transport delivers a stream's commands in order and the target's
+//     in-order submission gate never parks; without it the gate must
+//     hold back reordered arrivals.
+//  2. PMR write latency sensitivity: the ordering-attribute append is on
+//     the target's submission path; this sweep shows how far the PMR
+//     persistence latency can grow before it costs throughput.
+func Ablations(o Options) *Result {
+	res := &Result{Name: "Ablations: stream affinity (Principle 2) and PMR latency"}
+	warm, meas := o.windows()
+
+	// 1. Stream→QP affinity.
+	var aff metrics.Series
+	aff.Label = "KIOPS"
+	var holdbacks metrics.Series
+	holdbacks.Label = "holdbacks"
+	for i, affinity := range []bool{true, false} {
+		eng := sim.New(o.seed())
+		cfg := stack.DefaultConfig(stack.ModeRio, stack.OptaneTarget())
+		cfg.StreamAffinity = affinity
+		c := stack.New(eng, cfg)
+		r := workload.RunBlock(eng, c,
+			workload.BlockJob{Threads: 8, Pattern: workload.PatternRandom4K, Ordered: true},
+			warm, meas)
+		hb := c.Target(0).Stats().Holdbacks
+		eng.Shutdown()
+		aff.Add(float64(i), r.KIOPS())
+		holdbacks.Add(float64(i), float64(hb))
+	}
+	res.Tables = append(res.Tables, metrics.Table(
+		"stream→QP affinity (x=0: on, x=1: off); 8 threads, Optane",
+		"affinity-off", aff, holdbacks))
+
+	// 2. PMR persistence latency sweep.
+	var pmr metrics.Series
+	pmr.Label = "KIOPS"
+	for _, lat := range []sim.Time{300, 600, 1200, 2400, 4800} {
+		eng := sim.New(o.seed())
+		sc := ssd.OptaneConfig()
+		sc.PMRWriteLat = lat
+		cfg := stack.DefaultConfig(stack.ModeRio, stack.TargetConfig{SSDs: []ssd.Config{sc}})
+		c := stack.New(eng, cfg)
+		r := workload.RunBlock(eng, c,
+			workload.BlockJob{Threads: 8, Pattern: workload.PatternRandom4K, Ordered: true},
+			warm, meas)
+		eng.Shutdown()
+		pmr.Add(float64(lat), r.KIOPS())
+	}
+	res.Tables = append(res.Tables, metrics.Table(
+		"PMR persistence latency sweep (8 threads, Optane)", "pmr-ns", pmr))
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"affinity off: %.0f holdbacks (gate parks reordered arrivals; throughput held by the gate, not the app)",
+		holdbacks.Y[1]))
+	return res
+}

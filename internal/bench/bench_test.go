@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("experiments = %v", names)
+	}
+	for _, w := range want {
+		if _, ok := Experiments[w]; !ok {
+			t.Errorf("missing experiment %q", w)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Run("fig2", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"flash", "optane", "HORAE", "orderless"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("fig2 tables = %d, want 2", len(r.Tables))
+	}
+}
+
+func TestFig10bRatios(t *testing.T) {
+	r := fig10(quick(), "fig10b", oneOptane(), []int{1, 4})
+	out := r.Render()
+	if !strings.Contains(out, "rio/linux") {
+		t.Fatalf("missing ratio notes:\n%s", out)
+	}
+	// Structural check: five systems in the throughput table.
+	for _, sys := range []string{"linux", "horae", "rio", "orderless", "rio-nomerge"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("missing system %q", sys)
+		}
+	}
+}
+
+func TestFig14Table(t *testing.T) {
+	r, err := Run("fig14", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "horaefs") || !strings.Contains(out, "riofs") {
+		t.Fatalf("fig14 output:\n%s", out)
+	}
+}

@@ -1,0 +1,153 @@
+// Package core implements the Rio protocol from §4 of the paper: ordering
+// attributes (Fig. 5), the Rio sequencer with per-stream global order and
+// per-server order, in-order submission and in-order completion gates, the
+// persistent-ordering-attribute circular log kept in PMR (§4.3.2), the
+// merge/split rules of the Rio I/O scheduler (§4.5, Fig. 8), and the crash
+// recovery algorithm (§4.4) whose output is checked against the prefix
+// invariant proved in §4.8.
+//
+// Everything in this package is hardware-independent: it operates on plain
+// values and byte slices, and is driven by the drivers in internal/stack,
+// which charge simulated CPU and device time around these calls.
+package core
+
+import "fmt"
+
+// Attr is the ordering attribute: the logical identity of an ordered write
+// request (Fig. 5). It is created by the sequencer, carried in reserved
+// NVMe-oF command fields across the network (Table 1), persisted to PMR by
+// the target driver, and used to reconstruct storage order at any time.
+type Attr struct {
+	Stream uint16 // independent ordering domain (§4.5)
+	ReqID  uint32 // request identity within the stream (fragments share it)
+
+	// Global order: the group sequence number(s) this request belongs to.
+	// SeqStart == SeqEnd for plain requests; a merged request covers the
+	// contiguous range [SeqStart, SeqEnd] (Fig. 8a).
+	SeqStart uint64
+	SeqEnd   uint64
+
+	// Num is, on a Boundary request, the total number of requests in the
+	// group (or in all merged groups). Zero on non-boundary requests.
+	Num uint16
+
+	// Per-server order (§4.3.1): ServerIdx is a dense, 1-based submission
+	// index per (stream, target server). The paper's `prev` pointer is
+	// ServerIdx-1; the target driver submits a request to the SSD only
+	// after every smaller ServerIdx of the stream has been submitted.
+	ServerIdx uint64
+
+	LBA    uint64
+	Blocks uint32
+	NS     uint16 // namespace: which SSD of the target server holds the blocks
+
+	Boundary bool // last request of its group
+	Flush    bool // carries the durability barrier of its group
+	IPU      bool // in-place update: recovery defers to the upper layer
+	Split    bool
+	SplitIdx uint16 // fragment number, 0-based
+	SplitCnt uint16 // total fragments of the original request
+}
+
+// Merged reports whether the attribute covers more than one group.
+func (a Attr) Merged() bool { return a.SeqEnd > a.SeqStart }
+
+// Covers reports whether group seq is within this attribute's range.
+func (a Attr) Covers(seq uint64) bool { return a.SeqStart <= seq && seq <= a.SeqEnd }
+
+func (a Attr) String() string {
+	s := fmt.Sprintf("st%d seq%d", a.Stream, a.SeqStart)
+	if a.Merged() {
+		s = fmt.Sprintf("st%d seq%d-%d", a.Stream, a.SeqStart, a.SeqEnd)
+	}
+	if a.Split {
+		s += fmt.Sprintf(" frag%d/%d", a.SplitIdx, a.SplitCnt)
+	}
+	return fmt.Sprintf("%s idx%d lba%d+%d", s, a.ServerIdx, a.LBA, a.Blocks)
+}
+
+// CanMerge implements the three requirements of §4.5 for request merging:
+// same stream, continuous sequence numbers, and contiguous non-overlapping
+// LBAs. Additionally (Principle 3 made checkable): only complete groups
+// merge — a's range must end at a group boundary and b must start a new
+// group — and split requests never merge.
+func CanMerge(a, b Attr) bool {
+	switch {
+	case a.Stream != b.Stream:
+		return false
+	case a.Split || b.Split:
+		return false // "A merged request can not be split, and vice versa."
+	case !a.Boundary || a.Num == 0 || !b.Boundary || b.Num == 0:
+		// Both sides must cover complete groups, so the merged attribute's
+		// [SeqStart, SeqEnd] range accounts for every request in it — the
+		// property recovery's atomicity argument (§4.8) relies on.
+		return false
+	case b.SeqStart != a.SeqEnd+1:
+		return false // sequence numbers must be continuous
+	case a.LBA+uint64(a.Blocks) != b.LBA:
+		return false // LBAs must be consecutive and non-overlapping
+	}
+	return true
+}
+
+// Merge combines two mergeable attributes into one (Fig. 8a). The result
+// is atomic across the merged range: one PMR entry, one persist bit.
+func Merge(a, b Attr) Attr {
+	if !CanMerge(a, b) {
+		panic("core: Merge called on unmergeable attributes " + a.String() + " + " + b.String())
+	}
+	m := a
+	m.SeqEnd = b.SeqEnd
+	m.Num = a.Num + b.Num
+	m.Blocks = a.Blocks + b.Blocks
+	m.Boundary = true
+	m.Flush = a.Flush || b.Flush
+	// ServerIdx: the merged request takes the *later* slot in the
+	// per-server chain; the earlier slot is retired by the sequencer.
+	if b.ServerIdx > m.ServerIdx {
+		m.ServerIdx = b.ServerIdx
+	}
+	return m
+}
+
+// AttrStamp derives the media stamp of an ordered write from its
+// attribute. The target stamps data blocks with this value, and recovery
+// recomputes it from the scanned PMR entry so roll-back can erase exactly
+// the blocks of that write (and nothing older at the same address). It
+// deliberately excludes ServerIdx so a replayed request converges to the
+// same identity.
+func AttrStamp(a Attr) uint64 {
+	return uint64(a.Stream)<<48 ^ a.SeqStart<<16 ^ a.SeqEnd<<4 ^ uint64(a.ReqID)<<28 ^ 0xA77
+}
+
+// SplitAttr divides a request's attribute into cnt fragments with the given
+// per-fragment block counts (Fig. 8b). Fragments share ReqID and seq and
+// are merged back during recovery.
+func SplitAttr(a Attr, blocks []uint32) []Attr {
+	if a.Merged() {
+		panic("core: cannot split a merged request")
+	}
+	if len(blocks) < 2 {
+		panic("core: split needs at least two fragments")
+	}
+	var total uint32
+	for _, b := range blocks {
+		total += b
+	}
+	if total != a.Blocks {
+		panic("core: split block counts do not sum to request size")
+	}
+	out := make([]Attr, len(blocks))
+	lba := a.LBA
+	for i, b := range blocks {
+		f := a
+		f.LBA = lba
+		f.Blocks = b
+		f.Split = true
+		f.SplitIdx = uint16(i)
+		f.SplitCnt = uint16(len(blocks))
+		out[i] = f
+		lba += uint64(b)
+	}
+	return out
+}

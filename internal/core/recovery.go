@@ -1,0 +1,290 @@
+package core
+
+import "sort"
+
+// ServerView is what one target server contributes to recovery: the result
+// of scanning its PMR region(s), plus whether its SSD had power-loss
+// protection (which selects the §4.3.2 validity rule).
+type ServerView struct {
+	Server  int
+	PLP     bool
+	Entries []Entry
+}
+
+// DurableSet classifies a server's scanned entries into those whose data
+// blocks are certainly durable and those whose durability is uncertain,
+// per the §4.3.2 rules:
+//
+//   - PLP devices: an entry's blocks are durable iff its persist flag is
+//     set (completion implies durability).
+//   - Non-PLP devices: an entry's blocks are durable iff a FLUSH-carrying
+//     entry with persist=1 and an equal-or-later ServerIdx exists in the
+//     same stream (the FLUSH drained everything submitted before it), or
+//     the entry's own persist flag is set (it carried the FLUSH).
+//
+// Entries absent from the log but below a stream's maximum present
+// ServerIdx were retired (completed in order) and are implicitly durable;
+// callers rely on the in-order-append invariant for that.
+func DurableSet(v ServerView) (durable, uncertain []Entry) {
+	if v.PLP {
+		for _, e := range v.Entries {
+			if e.Persist {
+				durable = append(durable, e)
+			} else {
+				uncertain = append(uncertain, e)
+			}
+		}
+		return durable, uncertain
+	}
+	// Non-PLP: compute, per stream, the highest persisted FLUSH ServerIdx.
+	flushIdx := map[uint16]uint64{}
+	for _, e := range v.Entries {
+		if e.Flush && e.Persist && e.ServerIdx > flushIdx[e.Stream] {
+			flushIdx[e.Stream] = e.ServerIdx
+		}
+	}
+	for _, e := range v.Entries {
+		if e.Persist || (flushIdx[e.Stream] > 0 && e.ServerIdx <= flushIdx[e.Stream]) {
+			durable = append(durable, e)
+		} else {
+			uncertain = append(uncertain, e)
+		}
+	}
+	return durable, uncertain
+}
+
+// StreamReport is the per-stream outcome of global recovery analysis.
+type StreamReport struct {
+	Stream uint16
+
+	// DurablePrefix is the largest k such that groups 1..k are all
+	// durable: the valid post-crash state of §4.8 (prefix semantics).
+	DurablePrefix uint64
+
+	// MaxSeen is the largest group seq for which any evidence exists.
+	MaxSeen uint64
+
+	// Discard lists entries covering groups beyond the prefix whose
+	// blocks must be erased for out-of-place updates (roll-back, §4.4.1).
+	// It includes uncertain entries: their blocks may or may not be
+	// durable, so they are erased either way.
+	Discard []Entry
+
+	// IPU lists in-place-update entries beyond the prefix. Rio does not
+	// roll these back; the list is handed to the upper layer (§4.4.2).
+	IPU []Entry
+}
+
+// Report is the global recovery decision built by the initiator after
+// collecting every server's view (§4.4).
+type Report struct {
+	Streams map[uint16]*StreamReport
+}
+
+// Prefix returns the durable prefix for a stream (0 if unknown stream).
+func (r *Report) Prefix(stream uint16) uint64 {
+	if sr := r.Streams[stream]; sr != nil {
+		return sr.DurablePrefix
+	}
+	return 0
+}
+
+// evidence accumulates per-group durability facts across servers.
+type evidence struct {
+	boundaryNum   uint16 // Num from the boundary request (0 = boundary unseen)
+	mergedDurable bool   // a durable merged entry covers this group
+	mergedSeen    bool
+	// Per request: fragments seen/durable.
+	reqs map[uint32]*reqEvidence
+}
+
+type reqEvidence struct {
+	splitCnt      uint16 // 0 = not split
+	fragsDurable  map[uint16]bool
+	plainDurable  bool
+	isBoundary    bool
+	anyNonDurable bool
+}
+
+// Analyze merges all server views into the global ordering decision
+// (initiator recovery, §4.4.1). The retiredFloor map gives, per stream,
+// the highest group seq known completed before the crash from entries
+// already recycled out of the logs; pass nil when unknown (the analysis
+// then derives floors from the minimum present seq).
+func Analyze(views []ServerView) *Report {
+	type streamState struct {
+		groups  map[uint64]*evidence
+		minSeen uint64
+		maxSeen uint64
+		any     bool
+		beyond  []Entry // every entry, for discard classification
+	}
+	streams := map[uint16]*streamState{}
+	state := func(id uint16) *streamState {
+		ss := streams[id]
+		if ss == nil {
+			ss = &streamState{groups: map[uint64]*evidence{}}
+			streams[id] = ss
+		}
+		return ss
+	}
+	note := func(e Entry, server int, durable bool) {
+		e.Server = server
+		ss := state(e.Stream)
+		ss.beyond = append(ss.beyond, e)
+		if !ss.any || e.SeqStart < ss.minSeen {
+			ss.minSeen = e.SeqStart
+		}
+		if e.SeqEnd > ss.maxSeen {
+			ss.maxSeen = e.SeqEnd
+		}
+		ss.any = true
+		for g := e.SeqStart; g <= e.SeqEnd; g++ {
+			ev := ss.groups[g]
+			if ev == nil {
+				ev = &evidence{reqs: map[uint32]*reqEvidence{}}
+				ss.groups[g] = ev
+			}
+			if e.Merged() {
+				// Merged entries cover complete groups by construction, so
+				// the single entry is full evidence for every covered group.
+				ev.mergedSeen = true
+				if durable {
+					ev.mergedDurable = true
+				}
+				continue
+			}
+			re := ev.reqs[e.ReqID]
+			if re == nil {
+				re = &reqEvidence{fragsDurable: map[uint16]bool{}}
+				ev.reqs[e.ReqID] = re
+			}
+			if e.Split {
+				re.splitCnt = e.SplitCnt
+				if durable {
+					re.fragsDurable[e.SplitIdx] = true
+				} else {
+					re.anyNonDurable = true
+				}
+			} else if durable {
+				re.plainDurable = true
+			} else {
+				re.anyNonDurable = true
+			}
+			if e.Boundary {
+				re.isBoundary = true
+				ev.boundaryNum = maxU16(ev.boundaryNum, e.Num)
+			}
+		}
+	}
+	for _, v := range views {
+		durable, uncertain := DurableSet(v)
+		for _, e := range durable {
+			note(e, v.Server, true)
+		}
+		for _, e := range uncertain {
+			note(e, v.Server, false)
+		}
+	}
+
+	rep := &Report{Streams: map[uint16]*StreamReport{}}
+	for id, ss := range streams {
+		sr := &StreamReport{Stream: id, MaxSeen: ss.maxSeen}
+		// Groups below the minimum present seq were retired after in-order
+		// completion: they are durable by construction.
+		prefix := uint64(0)
+		if ss.any && ss.minSeen > 1 {
+			prefix = ss.minSeen - 1
+		}
+		for g := prefix + 1; ; g++ {
+			ev := ss.groups[g]
+			if ev == nil || !groupDurable(ev) {
+				break
+			}
+			prefix = g
+		}
+		sr.DurablePrefix = prefix
+		// Classify entries beyond the prefix.
+		seen := map[entryKey]bool{}
+		for _, e := range ss.beyond {
+			if e.SeqEnd <= prefix {
+				continue
+			}
+			k := entryKey{e.ReqID, e.SplitIdx, e.LBA}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if e.IPU {
+				sr.IPU = append(sr.IPU, e)
+			} else {
+				sr.Discard = append(sr.Discard, e)
+			}
+		}
+		sort.Slice(sr.Discard, func(i, j int) bool {
+			return lessEntry(sr.Discard[i], sr.Discard[j])
+		})
+		sort.Slice(sr.IPU, func(i, j int) bool {
+			return lessEntry(sr.IPU[i], sr.IPU[j])
+		})
+		rep.Streams[id] = sr
+	}
+	return rep
+}
+
+type entryKey struct {
+	reqID    uint32
+	splitIdx uint16
+	lba      uint64
+}
+
+func lessEntry(a, b Entry) bool {
+	if a.SeqStart != b.SeqStart {
+		return a.SeqStart < b.SeqStart
+	}
+	if a.ReqID != b.ReqID {
+		return a.ReqID < b.ReqID
+	}
+	return a.SplitIdx < b.SplitIdx
+}
+
+// groupDurable decides whether every request of a group is durable.
+func groupDurable(ev *evidence) bool {
+	if ev.mergedSeen {
+		// Merged entries are atomic: the single persist bit speaks for the
+		// whole range (§4.8).
+		return ev.mergedDurable
+	}
+	if ev.boundaryNum == 0 {
+		return false // boundary request unseen: group incomplete
+	}
+	durableReqs := 0
+	for _, re := range ev.reqs {
+		if reqDurable(re) {
+			durableReqs++
+		}
+	}
+	return durableReqs >= int(ev.boundaryNum)
+}
+
+func reqDurable(re *reqEvidence) bool {
+	if re.splitCnt > 0 {
+		if len(re.fragsDurable) < int(re.splitCnt) {
+			return false
+		}
+		for i := uint16(0); i < re.splitCnt; i++ {
+			if !re.fragsDurable[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return re.plainDurable
+}
+
+func maxU16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

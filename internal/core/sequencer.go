@@ -1,0 +1,198 @@
+package core
+
+// Sequencer is the Rio sequencer (Fig. 4): the shim between the file
+// system/application and the block layer. It creates ordering attributes
+// at submission (step 1-2), hands out dense per-(stream, server) indices
+// for in-order submission at the targets (§4.3.1), and enforces in-order
+// completion (step 9) so that applications observe intact storage order
+// despite out-of-order execution in between.
+//
+// The sequencer is pure bookkeeping: the caller provides a deliver
+// callback per request, invoked exactly once when that request's
+// completion may be exposed to the application.
+type Sequencer struct {
+	streams []*StreamSeq
+}
+
+// NewSequencer creates n independent streams (rio_setup).
+func NewSequencer(n int) *Sequencer {
+	s := &Sequencer{}
+	for i := 0; i < n; i++ {
+		s.streams = append(s.streams, newStreamSeq(uint16(i)))
+	}
+	return s
+}
+
+// Streams returns the number of streams.
+func (s *Sequencer) Streams() int { return len(s.streams) }
+
+// Stream returns stream i.
+func (s *Sequencer) Stream(i int) *StreamSeq { return s.streams[i] }
+
+// Ticket tracks one submitted ordered request through its lifetime.
+type Ticket struct {
+	Attr    Attr
+	deliver func()
+	done    bool
+}
+
+type groupTrack struct {
+	outstanding int  // requests not yet hardware-complete
+	closed      bool // boundary seen
+	buffered    []*Ticket
+}
+
+// StreamSeq is the per-stream state: global order on the submission side,
+// per-server chains for the targets, and the in-order completion gate.
+type StreamSeq struct {
+	id        uint16
+	nextSeq   uint64 // seq assigned to the currently open group
+	openCount uint16
+	nextReqID uint32
+	serverIdx map[int]uint64
+
+	fullyDone uint64 // all groups <= fullyDone are complete and delivered
+	groups    map[uint64]*groupTrack
+	inflight  map[uint32]*Ticket
+}
+
+func newStreamSeq(id uint16) *StreamSeq {
+	return &StreamSeq{
+		id:        id,
+		nextSeq:   1,
+		serverIdx: make(map[int]uint64),
+		groups:    make(map[uint64]*groupTrack),
+		inflight:  make(map[uint32]*Ticket),
+	}
+}
+
+// ID returns the stream id.
+func (st *StreamSeq) ID() uint16 { return st.id }
+
+// Submit creates the ordering attribute for one ordered write request
+// (rio_submit). boundary marks the end of the current group; flush tags
+// the request with the durability barrier; ipu marks an in-place update.
+// deliver is called when the completion may be exposed in storage order.
+func (st *StreamSeq) Submit(lba uint64, blocks uint32, boundary, flush, ipu bool, deliver func()) *Ticket {
+	a := Attr{
+		Stream:   st.id,
+		ReqID:    st.nextReqID,
+		SeqStart: st.nextSeq,
+		SeqEnd:   st.nextSeq,
+		LBA:      lba,
+		Blocks:   blocks,
+		Boundary: boundary,
+		Flush:    flush,
+		IPU:      ipu,
+	}
+	st.nextReqID++
+	st.openCount++
+	g := st.groups[st.nextSeq]
+	if g == nil {
+		g = &groupTrack{}
+		st.groups[st.nextSeq] = g
+	}
+	g.outstanding++
+	if boundary {
+		a.Num = st.openCount
+		g.closed = true
+		st.openCount = 0
+		st.nextSeq++
+	}
+	t := &Ticket{Attr: a, deliver: deliver}
+	st.inflight[a.ReqID] = t
+	return t
+}
+
+// NextServerIdx stamps the next dense per-server submission index. The
+// block layer calls this at dispatch time, after merging and splitting,
+// when the target of each wire request is known.
+func (st *StreamSeq) NextServerIdx(server int) uint64 {
+	st.serverIdx[server]++
+	return st.serverIdx[server]
+}
+
+// ResetServerChain restarts the per-server index chain after a target
+// crash: the restarted server's gate expects indices from 1 again and
+// replayed commands are stamped with fresh indices.
+func (st *StreamSeq) ResetServerChain(server int) {
+	delete(st.serverIdx, server)
+}
+
+// Completed reports the hardware completion of one submitted request and
+// runs the in-order completion protocol: deliveries happen in group order.
+// It returns the tickets whose deliver callbacks were invoked.
+func (st *StreamSeq) Completed(reqID uint32) []*Ticket {
+	t, ok := st.inflight[reqID]
+	if !ok || t.done {
+		return nil // duplicate completion (e.g. replay after target crash)
+	}
+	t.done = true
+	seq := t.Attr.SeqEnd
+	g := st.groups[seq]
+	if g == nil {
+		panic("core: completion for unknown group")
+	}
+	g.outstanding--
+
+	var delivered []*Ticket
+	if seq <= st.fullyDone+1 {
+		// Its turn (all prior groups done): deliver immediately.
+		st.deliverTicket(t, &delivered)
+	} else {
+		g.buffered = append(g.buffered, t)
+	}
+	// Advance the fully-done frontier and flush buffered deliveries.
+	for {
+		next := st.groups[st.fullyDone+1]
+		if next == nil || !next.closed || next.outstanding > 0 {
+			break
+		}
+		delete(st.groups, st.fullyDone+1)
+		st.fullyDone++
+		if ng := st.groups[st.fullyDone+1]; ng != nil {
+			for _, bt := range ng.buffered {
+				st.deliverTicket(bt, &delivered)
+			}
+			ng.buffered = nil
+		}
+	}
+	return delivered
+}
+
+func (st *StreamSeq) deliverTicket(t *Ticket, out *[]*Ticket) {
+	delete(st.inflight, t.Attr.ReqID)
+	if t.deliver != nil {
+		t.deliver()
+	}
+	*out = append(*out, t)
+}
+
+// Inflight returns the tickets not yet delivered, in (seq, reqID) order —
+// the replay set used by target-crash recovery (§4.4.1).
+func (st *StreamSeq) Inflight() []*Ticket {
+	var out []*Ticket
+	for _, t := range st.inflight {
+		out = append(out, t)
+	}
+	// Insertion sort: inflight sets are small (bounded by queue depth).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1].Attr, out[j].Attr
+			if a.SeqStart > b.SeqStart || (a.SeqStart == b.SeqStart && a.ReqID > b.ReqID) {
+				out[j-1], out[j] = out[j], out[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FullyDone returns the highest group seq whose completions have all been
+// delivered in order.
+func (st *StreamSeq) FullyDone() uint64 { return st.fullyDone }
+
+// OpenGroupSize returns the number of requests submitted to the currently
+// open (unclosed) group; used by tests and the scheduler.
+func (st *StreamSeq) OpenGroupSize() int { return int(st.openCount) }

@@ -1,0 +1,273 @@
+// Package fabric simulates an RDMA network between an initiator and a
+// target server at the fidelity Rio's design depends on:
+//
+//   - Reliable-connected queue pairs (QPs) deliver messages in FIFO order
+//     per QP (the in-order property Rio's I/O scheduler exploits,
+//     Principle 2 of §4.5), while messages on different QPs may be
+//     reordered relative to each other (jitter models independent NIC
+//     processing pipelines).
+//   - Two-sided SEND operations invoke a receive handler on the remote
+//     side (the handler is where the remote CPU cost is charged); one-sided
+//     READ/WRITE operations move bulk data without any remote handler,
+//     modelling CPU bypass.
+//   - A shared full-duplex link serializes bytes at a configurable
+//     bandwidth in each direction.
+//   - Disconnect drops all in-flight messages (used by crash injection).
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Side identifies an endpoint of a connection.
+type Side int
+
+const (
+	Initiator Side = 0
+	Target    Side = 1
+)
+
+func (s Side) other() Side { return 1 - s }
+
+func (s Side) String() string {
+	if s == Initiator {
+		return "initiator"
+	}
+	return "target"
+}
+
+// Config holds link and NIC parameters.
+type Config struct {
+	BytesPerNs  float64  // link bandwidth (25.0 ≈ 200 Gb/s)
+	PropDelay   sim.Time // one-way propagation + NIC pipeline latency
+	QPJitterMax sim.Time // max extra delivery skew across QPs
+	NumQPs      int      // queue pairs per direction
+}
+
+// DefaultConfig models one 200 Gb/s ConnectX-6-class port.
+func DefaultConfig(numQPs int) Config {
+	return Config{
+		BytesPerNs:  25.0,
+		PropDelay:   1500,
+		QPJitterMax: 2000,
+		NumQPs:      numQPs,
+	}
+}
+
+// TCPConfig models NVMe over TCP on a 100 Gb/s port: the kernel network
+// stack adds latency and per-connection skew, but each socket still
+// delivers in order — so Rio's stream→connection affinity (Principle 2)
+// carries over, as §4.5 claims. Here a "QP" is a TCP connection.
+func TCPConfig(numConns int) Config {
+	return Config{
+		BytesPerNs:  12.5,
+		PropDelay:   12 * sim.Microsecond,
+		QPJitterMax: 8 * sim.Microsecond,
+		NumQPs:      numConns,
+	}
+}
+
+// Message is one SEND capsule. Payload is opaque to the fabric.
+type Message struct {
+	QP      int
+	Size    int // bytes on the wire (capsule header + inline data)
+	Payload interface{}
+}
+
+// Handler consumes delivered SENDs in engine context.
+type Handler func(m Message)
+
+// Stats counts per-direction traffic.
+type Stats struct {
+	Sends     int64
+	SendBytes int64
+	BulkOps   int64 // one-sided READ/WRITE transfers
+	BulkBytes int64
+	Dropped   int64 // messages lost to Disconnect
+}
+
+type wireItem struct {
+	msg     Message
+	deliver func(Message) // nil => use the side handler
+	bulk    bool          // one-sided transfer: counted separately, no handler
+	epoch   uint64
+	to      Side
+}
+
+// Conn is a bidirectional RDMA connection between one initiator and one
+// target server.
+type Conn struct {
+	eng      *sim.Engine
+	cfg      Config
+	handlers [2]Handler
+	wires    [2]*sim.Queue[wireItem] // index = destination side
+	lastQP   [2][]sim.Time           // per destination, per QP: last delivery time
+	epoch    uint64
+	up       bool
+	stats    [2]Stats // index = destination side
+}
+
+// NewConn creates a connection and starts its wire processes.
+func NewConn(e *sim.Engine, cfg Config) *Conn {
+	if cfg.NumQPs <= 0 || cfg.BytesPerNs <= 0 {
+		panic("fabric: invalid config")
+	}
+	c := &Conn{eng: e, cfg: cfg, up: true}
+	for d := 0; d < 2; d++ {
+		c.wires[d] = sim.NewQueue[wireItem](e)
+		c.lastQP[d] = make([]sim.Time, cfg.NumQPs)
+		dir := Side(d)
+		e.Go(fmt.Sprintf("wire->%s", dir), func(p *sim.Proc) { c.wireLoop(p, dir) })
+	}
+	return c
+}
+
+// SetHandler registers the SEND receive handler for the given side.
+func (c *Conn) SetHandler(s Side, h Handler) { c.handlers[s] = h }
+
+// Stats returns traffic counters for messages delivered *to* the given
+// side.
+func (c *Conn) Stats(to Side) Stats { return c.stats[to] }
+
+// serialization returns the wire time for size bytes.
+func (c *Conn) serialization(size int) sim.Time {
+	return sim.Time(float64(size) / c.cfg.BytesPerNs)
+}
+
+// Send posts a two-sided SEND from the given side. The call returns
+// immediately (the caller separately charges its own CPU for posting); the
+// message is delivered to the remote handler after link serialization,
+// propagation, and QP-ordering constraints.
+func (c *Conn) Send(from Side, m Message) {
+	if !c.up {
+		c.stats[from.other()].Dropped++
+		return
+	}
+	if m.QP < 0 || m.QP >= c.cfg.NumQPs {
+		panic(fmt.Sprintf("fabric: QP %d out of range", m.QP))
+	}
+	c.wires[from.other()].Push(wireItem{msg: m, epoch: c.epoch, to: from.other()})
+}
+
+// wireLoop serializes messages onto the link toward side `to` and schedules
+// their deliveries, keeping per-QP FIFO order while allowing cross-QP skew.
+func (c *Conn) wireLoop(p *sim.Proc, to Side) {
+	for {
+		it := c.wires[to].Pop(p)
+		if it.epoch != c.epoch {
+			c.stats[to].Dropped++
+			continue
+		}
+		p.Sleep(c.serialization(it.msg.Size))
+		if it.epoch != c.epoch {
+			c.stats[to].Dropped++
+			continue
+		}
+		jitter := sim.Time(0)
+		if c.cfg.QPJitterMax > 0 {
+			jitter = sim.Time(c.eng.Rand().Int63n(int64(c.cfg.QPJitterMax) + 1))
+		}
+		at := p.Now() + c.cfg.PropDelay + jitter
+		if last := c.lastQP[to][it.msg.QP]; at <= last {
+			at = last + 1 // preserve per-QP FIFO
+		}
+		c.lastQP[to][it.msg.QP] = at
+		item := it
+		c.eng.At(at-p.Now(), func() {
+			if item.epoch != c.epoch {
+				c.stats[to].Dropped++
+				return
+			}
+			if item.bulk {
+				c.stats[to].BulkOps++
+				c.stats[to].BulkBytes += int64(item.msg.Size)
+			} else {
+				c.stats[to].Sends++
+				c.stats[to].SendBytes += int64(item.msg.Size)
+			}
+			if item.deliver != nil {
+				item.deliver(item.msg)
+				return
+			}
+			if h := c.handlers[to]; h != nil {
+				h(item.msg)
+			}
+		})
+	}
+}
+
+// BulkRead performs a one-sided RDMA READ: the calling process (on side
+// `reader`) pulls size bytes from the remote side's memory. No remote CPU
+// is consumed. The call blocks the process for the full transfer.
+func (c *Conn) BulkRead(p *sim.Proc, reader Side, size int) bool {
+	if !c.up {
+		return false
+	}
+	ep := c.epoch
+	// Request travels to the remote NIC, data streams back over the link
+	// toward the reader.
+	p.Sleep(c.cfg.PropDelay)
+	if ep != c.epoch {
+		return false
+	}
+	done := sim.NewSignal(c.eng)
+	c.wires[reader].Push(wireItem{
+		msg:   Message{QP: 0, Size: size},
+		bulk:  true,
+		epoch: ep,
+		to:    reader,
+		deliver: func(Message) {
+			done.Fire()
+		},
+	})
+	done.Wait(p)
+	return ep == c.epoch
+}
+
+// BulkWrite performs a one-sided RDMA WRITE of size bytes toward the remote
+// side, blocking the caller until the data is placed remotely.
+func (c *Conn) BulkWrite(p *sim.Proc, writer Side, size int) bool {
+	if !c.up {
+		return false
+	}
+	ep := c.epoch
+	done := sim.NewSignal(c.eng)
+	c.wires[writer.other()].Push(wireItem{
+		msg:   Message{QP: 0, Size: size},
+		bulk:  true,
+		epoch: ep,
+		to:    writer.other(),
+		deliver: func(Message) {
+			done.Fire()
+		},
+	})
+	done.Wait(p)
+	return ep == c.epoch
+}
+
+// Up reports whether the connection is alive.
+func (c *Conn) Up() bool { return c.up }
+
+// Disconnect drops every in-flight message and refuses new traffic until
+// Reconnect; used to model a server crash.
+func (c *Conn) Disconnect() {
+	c.epoch++
+	c.up = false
+	for d := 0; d < 2; d++ {
+		n := c.wires[d].Len()
+		c.stats[d].Dropped += int64(n)
+		c.wires[d].Drain()
+	}
+}
+
+// Reconnect re-establishes the connection with fresh QP state.
+func (c *Conn) Reconnect() {
+	c.up = true
+	for d := 0; d < 2; d++ {
+		for i := range c.lastQP[d] {
+			c.lastQP[d][i] = 0
+		}
+	}
+}

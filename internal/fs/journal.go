@@ -1,0 +1,465 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// Journal block magics.
+const (
+	magicDesc   = 0x4A44 // "JD"
+	magicCommit = 0x4A43 // "JC"
+)
+
+// direntOp is one journaled directory mutation (iJournaling's file-level
+// transaction journals the dirent rather than whole directory blocks).
+type direntOp struct {
+	Dir  uint64
+	Ino  uint64
+	Add  bool
+	Name string
+}
+
+// txnRecord tracks one not-yet-checkpointed transaction in memory.
+type txnRecord struct {
+	id      uint64
+	inode   uint64
+	dirents []direntOp
+}
+
+// journalArea is one on-disk journal (one per core for RioFS/HoraeFS, a
+// single shared one for Ext4).
+type journalArea struct {
+	id    int
+	base  uint64
+	size  uint64
+	tail  uint64 // next free block offset within the area
+	gen   uint64 // bumped at checkpoint; stale txns are ignored at recovery
+	txns  map[uint64]*txnRecord
+	chkpt *sim.Resource // serializes checkpointing
+
+	// Ext4 group commit.
+	committerOn bool
+	joiners     []*commitJoin
+
+	// touched since last checkpoint (for home writes).
+	touchedInodes map[uint64]bool
+	touchedDirs   map[uint64]bool
+}
+
+type commitJoin struct {
+	txn  *txnPayload
+	done *sim.Signal
+}
+
+// txnPayload is the material of one transaction.
+type txnPayload struct {
+	id         uint64
+	inodeBytes []byte
+	inodeIno   uint64
+	dirents    []direntOp
+}
+
+// buildTxn snapshots a file's metadata into a transaction (file-level
+// granularity, as in iJournaling).
+func (fs *FS) buildTxn(f *File) *txnPayload {
+	fs.nextTxnID++
+	t := &txnPayload{id: fs.nextTxnID}
+	if f != nil {
+		t.inodeBytes = encodeInode(f.ino)
+		t.inodeIno = f.ino.Ino
+		if op, ok := fs.pendingNewDirs[f.parent]; ok {
+			t.dirents = append(t.dirents, op)
+			delete(fs.pendingNewDirs, f.parent)
+		}
+		if f.dirDirty {
+			t.dirents = append(t.dirents, direntOp{Dir: f.parent, Ino: f.ino.Ino, Add: true, Name: f.name})
+		}
+		// Piggyback pending unlink deltas of the file's directory.
+		if dels := fs.pendingUnlinks[f.parent]; len(dels) > 0 {
+			t.dirents = append(t.dirents, dels...)
+			delete(fs.pendingUnlinks, f.parent)
+		}
+	}
+	return t
+}
+
+// encode the transaction into journal block payloads.
+func (t *txnPayload) blocks(gen uint64) [][]byte {
+	// Descriptor.
+	desc := make([]byte, 0, 64)
+	var tmp [8]byte
+	put := func(buf []byte, v uint64) []byte {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		return append(buf, tmp[:]...)
+	}
+	desc = put(desc, magicDesc)
+	desc = put(desc, t.id)
+	desc = put(desc, gen)
+	desc = put(desc, t.inodeIno)
+	desc = put(desc, uint64(len(t.dirents)))
+
+	// Metadata block: inode image + dirent deltas.
+	meta := make([]byte, 0, len(t.inodeBytes)+64)
+	meta = put(meta, uint64(len(t.inodeBytes)))
+	meta = append(meta, t.inodeBytes...)
+	for _, d := range t.dirents {
+		meta = put(meta, d.Dir)
+		meta = put(meta, d.Ino)
+		flag := uint64(0)
+		if d.Add {
+			flag = 1
+		}
+		meta = put(meta, flag)
+		meta = put(meta, uint64(len(d.Name)))
+		meta = append(meta, d.Name...)
+	}
+
+	// Commit record.
+	commit := make([]byte, 0, 32)
+	commit = put(commit, magicCommit)
+	commit = put(commit, t.id)
+	commit = put(commit, gen)
+	return [][]byte{desc, meta, commit}
+}
+
+// decodeTxnBlocks parses a descriptor + metadata pair.
+func decodeDescBlock(b []byte) (id, gen, ino uint64, nDirents int, ok bool) {
+	if len(b) < 40 {
+		return 0, 0, 0, 0, false
+	}
+	g := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	if g(0) != magicDesc {
+		return 0, 0, 0, 0, false
+	}
+	return g(1), g(2), g(3), int(g(4)), true
+}
+
+func decodeCommitBlock(b []byte) (id, gen uint64, ok bool) {
+	if len(b) < 24 {
+		return 0, 0, false
+	}
+	g := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	if g(0) != magicCommit {
+		return 0, 0, false
+	}
+	return g(1), g(2), true
+}
+
+func decodeMetaBlock(b []byte, nDirents int) (inodeBytes []byte, dirents []direntOp, ok bool) {
+	if len(b) < 8 {
+		return nil, nil, false
+	}
+	off := 0
+	g := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	il := int(g())
+	if off+il > len(b) {
+		return nil, nil, false
+	}
+	inodeBytes = b[off : off+il]
+	off += il
+	for i := 0; i < nDirents; i++ {
+		if off+32 > len(b) {
+			return nil, nil, false
+		}
+		var d direntOp
+		d.Dir = g()
+		d.Ino = g()
+		d.Add = g() == 1
+		nl := int(g())
+		if off+nl > len(b) {
+			return nil, nil, false
+		}
+		d.Name = string(b[off : off+nl])
+		off += nl
+		dirents = append(dirents, d)
+	}
+	return inodeBytes, dirents, true
+}
+
+// Fsync makes the file durable. core selects the journal/stream (the
+// calling thread's CPU, per iJournaling). This is the heart of Fig. 9 and
+// Fig. 14.
+func (fs *FS) Fsync(p *sim.Proc, f *File, core int) {
+	start := p.Now()
+	var tr FsyncTrace
+	switch fs.cfg.Design {
+	case Ext4:
+		tr = fs.fsyncExt4(p, f)
+	default:
+		tr = fs.fsyncAsync(p, f, core)
+	}
+	tr.Total = p.Now() - start
+	fs.LastTrace = tr
+	fs.stats.Fsyncs++
+	if fs.TraceHook != nil {
+		fs.TraceHook(tr)
+	}
+}
+
+// fsyncAsync is the RioFS/HoraeFS path: D, JM and JC all go through the
+// ordered stream; a single wait on JC provides durability. On the Horae
+// cluster the per-request control path inside OrderedWrite provides the
+// ordering (and shows up as JM/JC dispatch latency); on Rio the dispatch
+// is asynchronous.
+func (fs *FS) fsyncAsync(p *sim.Proc, f *File, core int) FsyncTrace {
+	var tr FsyncTrace
+	j := fs.journalFor(core)
+	stream := j.id
+
+	// D: user data blocks (page-cache work + ordered dispatch).
+	t0 := p.Now()
+	dirty := f.dirtyData
+	f.dirtyData = nil
+	for i, d := range dirty {
+		fs.chargeCPU(p, fs.c.Config().Costs.FSDataCPU)
+		// All data blocks of the transaction form one group with JM.
+		_ = i
+		fs.c.OrderedWrite(p, stream, d.lba, 1, d.stamp, nil, false, false, d.ipu)
+	}
+	tr.DDispatch = p.Now() - t0
+
+	// JM: descriptor + metadata in the journal area.
+	t0 = p.Now()
+	txn := fs.buildTxn(f)
+	blocks := txn.blocks(j.gen)
+	need := uint64(len(blocks))
+	if j.tail+need+1 > j.size {
+		fs.checkpoint(p, j)
+		blocks = txn.blocks(j.gen) // re-encode under the new generation
+	}
+	jmLBA := j.base + j.tail
+	j.tail += need - 1 // JC gets its own block below
+	fs.chargeCPU(p, fs.c.Config().Costs.FSMetaCPU)
+	fs.c.OrderedWrite(p, stream, jmLBA, uint32(len(blocks)-1), fs.nextStamp(),
+		blocks[:len(blocks)-1], true, false, false)
+	tr.JMDispatch = p.Now() - t0
+
+	// JC: commit record closes its own group and carries the FLUSH.
+	t0 = p.Now()
+	jcLBA := j.base + j.tail
+	j.tail++
+	jc := fs.c.OrderedWrite(p, stream, jcLBA, 1, fs.nextStamp(),
+		[][]byte{blocks[len(blocks)-1]}, true, true, false)
+	tr.JCDispatch = p.Now() - t0
+
+	// rio_wait: one blocking wait for the commit record.
+	t0 = p.Now()
+	fs.c.Wait(p, jc)
+	tr.WaitIO = p.Now() - t0
+
+	fs.commitTxn(j, txn)
+	f.dirDirty = false
+	f.inodeDirty = false
+	return tr
+}
+
+// fsyncExt4 is the JBD2 path: synchronous transfer and FLUSH commands
+// provide the ordering, and concurrent fsyncs share one running
+// transaction (group commit).
+func (fs *FS) fsyncExt4(p *sim.Proc, f *File) FsyncTrace {
+	var tr FsyncTrace
+	j := fs.journals[0]
+
+	// D: write user data in place and wait (ordered mode: data before
+	// metadata).
+	t0 := p.Now()
+	dirty := f.dirtyData
+	f.dirtyData = nil
+	var dreqs []*blockdev.Request
+	for _, d := range dirty {
+		fs.chargeCPU(p, fs.c.Config().Costs.FSDataCPU)
+		dreqs = append(dreqs, fs.c.OrderlessWrite(p, 0, d.lba, 1, d.stamp, nil))
+	}
+	tr.DDispatch = p.Now() - t0
+	t0 = p.Now()
+	for _, r := range dreqs {
+		fs.c.Wait(p, r)
+	}
+	wait1 := p.Now() - t0
+
+	// Join the running transaction (group commit).
+	txn := fs.buildTxn(f)
+	join := &commitJoin{txn: txn, done: sim.NewSignal(fs.c.Eng)}
+	j.joiners = append(j.joiners, join)
+	if !j.committerOn {
+		j.committerOn = true
+		fs.c.Eng.Go("jbd2/commit", func(cp *sim.Proc) { fs.jbd2Commit(cp, j) })
+	}
+	t0 = p.Now()
+	fs.c.WaitSignal(p, join.done)
+	tr.WaitIO = wait1 + (p.Now() - t0)
+	f.dirDirty = false
+	f.inodeDirty = false
+	return tr
+}
+
+// jbd2Commit flushes one batch of joined transactions: JM blocks for every
+// joiner, FLUSH, one commit record, FLUSH.
+func (fs *FS) jbd2Commit(p *sim.Proc, j *journalArea) {
+	for len(j.joiners) > 0 {
+		batch := j.joiners
+		j.joiners = nil
+
+		encode := func() (meta, commits [][]byte) {
+			for _, join := range batch {
+				b := join.txn.blocks(j.gen)
+				meta = append(meta, b[:len(b)-1]...)
+				commits = append(commits, b[len(b)-1])
+			}
+			return meta, commits
+		}
+		meta, commits := encode()
+		need := uint64(len(meta) + len(commits))
+		if j.tail+need > j.size {
+			fs.checkpoint(p, j)
+			meta, commits = encode() // re-encode under the new generation
+		}
+		// JM: descriptor + metadata blocks, synchronous transfer.
+		lba := j.base + j.tail
+		j.tail += need
+		var reqs []*blockdev.Request
+		writeRun := func(base uint64, payloads [][]byte) {
+			for off := 0; off < len(payloads); off += 16 {
+				n := len(payloads) - off
+				if n > 16 {
+					n = 16
+				}
+				fs.chargeCPU(p, fs.c.Config().Costs.FSMetaCPU)
+				reqs = append(reqs, fs.c.OrderlessWrite(p, 0, base+uint64(off), uint32(n),
+					fs.nextStamp(), payloads[off:off+n]))
+			}
+		}
+		writeRun(lba, meta)
+		for _, r := range reqs {
+			fs.c.Wait(p, r)
+		}
+		// Barrier: metadata durable before the commit records exist.
+		fs.c.FlushDevice(p, 0)
+		reqs = reqs[:0]
+		writeRun(lba+uint64(len(meta)), commits)
+		for _, r := range reqs {
+			fs.c.Wait(p, r)
+		}
+		// Barrier: commit records durable before fsync returns.
+		fs.c.FlushDevice(p, 0)
+		for _, join := range batch {
+			fs.commitTxn(j, join.txn)
+			join.done.Fire()
+		}
+	}
+	j.committerOn = false
+}
+
+func (fs *FS) commitTxn(j *journalArea, t *txnPayload) {
+	fs.stats.Commits++
+	j.txns[t.id] = &txnRecord{id: t.id, inode: t.inodeIno, dirents: t.dirents}
+	if j.touchedInodes == nil {
+		j.touchedInodes = map[uint64]bool{}
+		j.touchedDirs = map[uint64]bool{}
+	}
+	if t.inodeIno != 0 {
+		j.touchedInodes[t.inodeIno] = true
+	}
+	for _, d := range t.dirents {
+		j.touchedDirs[d.Dir] = true
+	}
+}
+
+// checkpoint writes the journaled state to home locations, bumps the
+// generation and resets the area (JBD2 checkpointing / iJournaling
+// journal reclamation).
+func (fs *FS) checkpoint(p *sim.Proc, j *journalArea) {
+	j.chkpt.Acquire(p)
+	defer j.chkpt.Release()
+	fs.stats.Checkpoints++
+	var reqs []*blockdev.Request
+	for _, ino := range sortedKeys(j.touchedInodes) {
+		in := fs.inodes[ino]
+		if in == nil {
+			continue // unlinked before checkpoint
+		}
+		lba := fs.inodeHome(ino)
+		reqs = append(reqs, fs.c.OrderlessWrite(p, j.id, lba, 1, fs.nextStamp(),
+			[][]byte{encodeInode(in)}))
+	}
+	for _, dir := range sortedKeys(j.touchedDirs) {
+		if _, ok := fs.dirs[dir]; !ok {
+			continue
+		}
+		reqs = append(reqs, fs.writeDirHome(p, j.id, dir)...)
+	}
+	for _, r := range reqs {
+		fs.c.Wait(p, r)
+	}
+	// Superblock records the new generation; barrier makes it all stick.
+	j.gen++
+	j.tail = 0
+	j.txns = map[uint64]*txnRecord{}
+	j.touchedInodes = map[uint64]bool{}
+	j.touchedDirs = map[uint64]bool{}
+	sb := fs.c.OrderlessWrite(p, j.id, fs.superLBA, 1, fs.nextStamp(),
+		[][]byte{fs.encodeSuper()})
+	fs.c.Wait(p, sb)
+	fs.c.FlushDevice(p, j.id)
+}
+
+// inodeHome is the fixed home block of an inode.
+func (fs *FS) inodeHome(ino uint64) uint64 {
+	return fs.inodeBase + (ino % fs.cfg.MaxInodes)
+}
+
+// dirHomeBlocks is the fixed per-directory home region (32 blocks).
+const dirHomeBlocks = 32
+
+// maxDirs bounds the directory home region.
+const maxDirs = 4096
+
+func (fs *FS) dirHome(dir uint64) uint64 {
+	return fs.inodeBase + fs.cfg.MaxInodes + (dir%maxDirs)*dirHomeBlocks
+}
+
+func (fs *FS) writeDirHome(p *sim.Proc, stream int, dir uint64) []*blockdev.Request {
+	payload := encodeDir(dir, fs.dirs[dir])
+	base := fs.dirHome(dir)
+	var reqs []*blockdev.Request
+	for off := 0; off < len(payload); off += BlockSize {
+		end := off + BlockSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		blk := uint64(off / BlockSize)
+		if blk >= dirHomeBlocks {
+			panic(fmt.Sprintf("fs: directory %d exceeds home region", dir))
+		}
+		reqs = append(reqs, fs.c.OrderlessWrite(p, stream, base+blk, 1, fs.nextStamp(),
+			[][]byte{payload[off:end]}))
+	}
+	return reqs
+}
+
+func (fs *FS) chargeCPU(p *sim.Proc, d sim.Time) {
+	if d > 0 {
+		fs.c.UseCPU(p, d)
+	}
+}
+
+func sortedKeys(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package metrics provides the measurement primitives used by the benchmark
+// harness: latency histograms with quantile estimation, operation counters
+// with warmup-aware windows, and CPU-utilization snapshots derived from
+// sim.Resource busy-time integrals.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Histogram records latency samples in logarithmic buckets (HDR-style):
+// 64 major powers of two, each split into 16 linear sub-buckets, giving a
+// worst-case quantile error of ~6%. The zero value is ready to use.
+type Histogram struct {
+	buckets [64 * 16]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 16 {
+		return int(v)
+	}
+	major := 63 - int(leadingZeros(uint64(v)))
+	minor := int((v >> (uint(major) - 4)) & 0xf)
+	return major*16 + minor
+}
+
+// bucketLow returns the smallest value mapping to bucket i, used as the
+// representative value when reporting quantiles.
+func bucketLow(i int) int64 {
+	major := i / 16
+	minor := i % 16
+	if major < 4 {
+		return int64(i)
+	}
+	return (int64(16+minor) << (uint(major) - 4))
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v sim.Time) {
+	x := int64(v)
+	h.buckets[bucketOf(x)]++
+	h.count++
+	h.sum += x
+	if h.count == 1 || x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of samples, or 0 if empty.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / h.count)
+}
+
+// Min and Max return the extreme recorded samples.
+func (h *Histogram) Min() sim.Time { return sim.Time(h.min) }
+func (h *Histogram) Max() sim.Time { return sim.Time(h.max) }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return sim.Time(v)
+		}
+	}
+	return sim.Time(h.max)
+}
+
+// P50, P99 and P999 are the quantiles the paper reports.
+func (h *Histogram) P50() sim.Time  { return h.Quantile(0.50) }
+func (h *Histogram) P99() sim.Time  { return h.Quantile(0.99) }
+func (h *Histogram) P999() sim.Time { return h.Quantile(0.999) }
+
+// Reset clears all samples (used at the end of benchmark warmup).
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Counter counts completed operations (and bytes) with support for snapping
+// a measurement window after warmup.
+type Counter struct {
+	Ops   int64
+	Bytes int64
+}
+
+// Add records n operations totalling b bytes.
+func (c *Counter) Add(n, b int64) {
+	c.Ops += n
+	c.Bytes += b
+}
+
+// Snapshot returns a copy for window arithmetic.
+func (c *Counter) Snapshot() Counter { return *c }
+
+// Sub returns the delta c - old.
+func (c Counter) Sub(old Counter) Counter {
+	return Counter{Ops: c.Ops - old.Ops, Bytes: c.Bytes - old.Bytes}
+}
+
+// Window is a measurement interval with derived rates.
+type Window struct {
+	Elapsed sim.Time
+	Ops     int64
+	Bytes   int64
+}
+
+// IOPS returns operations per second over the window.
+func (w Window) IOPS() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Ops) / w.Elapsed.Seconds()
+}
+
+// KIOPS returns thousands of operations per second.
+func (w Window) KIOPS() float64 { return w.IOPS() / 1e3 }
+
+// GBps returns gigabytes per second over the window.
+func (w Window) GBps() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Bytes) / 1e9 / w.Elapsed.Seconds()
+}
+
+// UtilSnapshot captures a resource busy-time integral at a point in time.
+type UtilSnapshot struct {
+	Busy     sim.Time
+	At       sim.Time
+	Capacity int
+}
+
+// SnapUtil captures r's busy integral now.
+func SnapUtil(r *sim.Resource, now sim.Time) UtilSnapshot {
+	return UtilSnapshot{Busy: r.BusyTime(), At: now, Capacity: r.Capacity()}
+}
+
+// Utilization returns the fraction of capacity busy between two snapshots,
+// in [0,1].
+func Utilization(a, b UtilSnapshot) float64 {
+	dt := b.At - a.At
+	if dt <= 0 || a.Capacity == 0 {
+		return 0
+	}
+	return float64(b.Busy-a.Busy) / (float64(a.Capacity) * float64(dt))
+}
+
+// Efficiency is the paper's CPU-efficiency metric: throughput divided by
+// CPU utilization (requests served per unit of CPU). Returns 0 when the
+// CPU was idle.
+func Efficiency(iops, util float64) float64 {
+	if util <= 0 {
+		return 0
+	}
+	return iops / util
+}
+
+// Series is a labelled sequence of (x, y) points, used by the harness to
+// print figure data.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table formats one or more series that share X values as an aligned text
+// table with the given column headers.
+func Table(title, xName string, series ...Series) string {
+	out := fmt.Sprintf("# %s\n", title)
+	out += fmt.Sprintf("%-12s", xName)
+	for _, s := range series {
+		out += fmt.Sprintf("%16s", s.Label)
+	}
+	out += "\n"
+	if len(series) == 0 {
+		return out
+	}
+	n := len(series[0].X)
+	for i := 0; i < n; i++ {
+		out += fmt.Sprintf("%-12g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf("%16.2f", s.Y[i])
+			} else {
+				out += fmt.Sprintf("%16s", "-")
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// GeoMeanRatio returns the geometric mean of pointwise ratios a[i]/b[i],
+// used when summarizing "A outperforms B by X× on average" claims.
+func GeoMeanRatio(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	n := 0
+	for i := range a {
+		if a[i] <= 0 || b[i] <= 0 {
+			continue
+		}
+		logSum += math.Log(a[i] / b[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Percentiles sorts a copy of xs and returns the requested quantiles; a
+// helper for small exact datasets like recovery-time trials.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(qs))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(s)-1))
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v, want 1/100", h.Min(), h.Max())
+	}
+	if h.Mean() != 50 { // sum 5050/100 = 50 (integer division)
+		t.Fatalf("Mean = %v, want 50", h.Mean())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	var exact []float64
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 50000) // exponential, mean 50us
+		h.Record(sim.Time(v))
+		exact = append(exact, float64(v))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := Percentiles(exact, q)[0]
+		got := float64(h.Quantile(q))
+		if want == 0 {
+			continue
+		}
+		relErr := math.Abs(got-want) / want
+		if relErr > 0.10 {
+			t.Errorf("q=%v: got %v want %v (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Record(sim.Time(v % 10_000_000))
+		}
+		prev := sim.Time(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		// Quantiles always lie within [min, max].
+		if h.Count() > 0 {
+			return h.Quantile(0) >= h.Min() && h.Quantile(1) <= h.Max()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Time(10))
+		b.Record(sim.Time(1000))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got := a.Mean(); got != 505 {
+		t.Fatalf("merged mean = %v, want 505", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestCounterWindow(t *testing.T) {
+	var c Counter
+	c.Add(10, 4096*10)
+	snap := c.Snapshot()
+	c.Add(90, 4096*90)
+	d := c.Sub(snap)
+	if d.Ops != 90 || d.Bytes != 4096*90 {
+		t.Fatalf("delta = %+v", d)
+	}
+	w := Window{Elapsed: sim.Second, Ops: d.Ops, Bytes: d.Bytes}
+	if w.IOPS() != 90 {
+		t.Fatalf("IOPS = %f, want 90", w.IOPS())
+	}
+	if math.Abs(w.GBps()-4096*90/1e9) > 1e-12 {
+		t.Fatalf("GBps = %f", w.GBps())
+	}
+	if w.KIOPS() != 0.09 {
+		t.Fatalf("KIOPS = %f", w.KIOPS())
+	}
+}
+
+func TestWindowZeroElapsed(t *testing.T) {
+	w := Window{}
+	if w.IOPS() != 0 || w.GBps() != 0 {
+		t.Fatal("zero window must report zero rates")
+	}
+}
+
+func TestUtilizationFromResource(t *testing.T) {
+	e := sim.New(1)
+	r := sim.NewResource(e, 2)
+	a := SnapUtil(r, e.Now())
+	e.Go("w", func(p *sim.Proc) { r.Use(p, 100) })
+	e.Go("w", func(p *sim.Proc) { r.Use(p, 100) })
+	e.RunUntil(200)
+	b := SnapUtil(r, e.Now())
+	// 200 unit-ns busy over 2 cores * 200ns elapsed = 0.5.
+	if u := Utilization(a, b); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %f, want 0.5", u)
+	}
+	e.Shutdown()
+}
+
+func TestEfficiency(t *testing.T) {
+	if Efficiency(100, 0) != 0 {
+		t.Fatal("efficiency with idle CPU should be 0")
+	}
+	if got := Efficiency(100, 0.5); got != 200 {
+		t.Fatalf("Efficiency = %f, want 200", got)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	var s1, s2 Series
+	s1.Label, s2.Label = "rio", "linux"
+	s1.Add(1, 10.5)
+	s1.Add(2, 20.25)
+	s2.Add(1, 1)
+	s2.Add(2, 2)
+	out := Table("fig", "threads", s1, s2)
+	if !strings.Contains(out, "rio") || !strings.Contains(out, "linux") {
+		t.Fatalf("missing labels in table:\n%s", out)
+	}
+	if !strings.Contains(out, "20.25") {
+		t.Fatalf("missing value in table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	a := []float64{2, 8}
+	b := []float64{1, 2}
+	// ratios 2 and 4 -> geomean sqrt(8) ~ 2.828
+	if got := GeoMeanRatio(a, b); math.Abs(got-2.8284) > 1e-3 {
+		t.Fatalf("GeoMeanRatio = %f", got)
+	}
+	if GeoMeanRatio(nil, nil) != 0 {
+		t.Fatal("empty inputs should yield 0")
+	}
+	if GeoMeanRatio([]float64{0}, []float64{1}) != 0 {
+		t.Fatal("non-positive values are skipped; all-skipped yields 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := Percentiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Percentiles = %v", got)
+	}
+	if xs[0] != 5 {
+		t.Fatal("Percentiles must not mutate its input")
+	}
+	zero := Percentiles(nil, 0.5)
+	if zero[0] != 0 {
+		t.Fatal("empty input should yield zeros")
+	}
+}
+
+func TestP999AndExtremes(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 990; i++ {
+		h.Record(sim.Time(100))
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(sim.Time(100000)) // 1% outliers
+	}
+	if p := h.P999(); p < 50000 {
+		t.Fatalf("P999 = %v, should land in the outlier mass", p)
+	}
+	if p := h.P50(); p > 200 {
+		t.Fatalf("P50 = %v, should ignore the outliers", p)
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	var h Histogram
+	big := sim.Time(1) << 40 // ~18 minutes in ns
+	h.Record(big)
+	if h.Max() != big {
+		t.Fatalf("max = %v", h.Max())
+	}
+	q := h.Quantile(1)
+	if q < big/2 || q > big {
+		t.Fatalf("quantile(1) = %v for single sample %v", q, big)
+	}
+}
+
+func TestEfficiencySymmetry(t *testing.T) {
+	// Doubling throughput at fixed utilization doubles efficiency;
+	// doubling utilization at fixed throughput halves it.
+	base := Efficiency(100, 0.25)
+	if Efficiency(200, 0.25) != 2*base {
+		t.Fatal("efficiency not linear in throughput")
+	}
+	if Efficiency(100, 0.5) != base/2 {
+		t.Fatal("efficiency not inverse in utilization")
+	}
+}

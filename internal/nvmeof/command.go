@@ -1,0 +1,184 @@
+// Package nvmeof implements the NVMe-over-Fabrics command encoding used on
+// the simulated wire, including Rio's extension fields in reserved command
+// dwords exactly as the paper's Table 1 specifies:
+//
+//	Dword:bits    NVMe-oF            Rio NVMe-oF
+//	00:10-13      reserved           Rio op code (e.g. submit)
+//	02:00-31      reserved           start sequence (seq)
+//	03:00-31      reserved           end sequence (seq)
+//	04:00-31      metadata*          previous group (prev)
+//	05:00-15      metadata*          number of requests (num)
+//	05:16-31      metadata*          stream ID
+//	12:16-19      reserved           special flags (e.g. boundary)
+//
+// (* the metadata field of NVMe-oF is reserved.)
+//
+// Standard fields follow the NVMe 1.4 I/O command layout: opcode in dword
+// 0 bits 0-7, namespace ID in dword 1, starting LBA in dwords 10-11, and
+// number-of-logical-blocks (0-based) in dword 12 bits 0-15. Fields the
+// simulation does not need (PRP/SGL pointers, command identifier handled
+// out of band) are left zero.
+package nvmeof
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SQE is a 64-byte NVMe submission queue entry as 16 little-endian dwords.
+type SQE [16]uint32
+
+// NVMe opcodes (I/O command set).
+const (
+	OpFlush uint32 = 0x00
+	OpWrite uint32 = 0x01
+	OpRead  uint32 = 0x02
+)
+
+// Rio opcodes carried in dword 0 bits 10-13.
+const (
+	RioOpNone    uint32 = 0x0
+	RioOpSubmit  uint32 = 0x1 // ordered write carrying an ordering attribute
+	RioOpRecover uint32 = 0x2 // recovery traffic (scan/rollback control)
+)
+
+// Special flag bits carried in dword 12 bits 16-19.
+const (
+	FlagBoundary uint32 = 1 << 0
+	FlagFlush    uint32 = 1 << 1
+	FlagIPU      uint32 = 1 << 2
+	FlagSplit    uint32 = 1 << 3
+)
+
+// CapsuleHeaderSize is the wire size of a command capsule without inline
+// data (the SQE itself plus fabrics framing).
+const CapsuleHeaderSize = 72
+
+// ResponseSize is the wire size of a completion (CQE) capsule.
+const ResponseSize = 16
+
+// SetOpcode stores the NVMe opcode (dword 0, bits 0-7).
+func (c *SQE) SetOpcode(op uint32) { c[0] = (c[0] &^ 0xff) | (op & 0xff) }
+
+// Opcode returns the NVMe opcode.
+func (c *SQE) Opcode() uint32 { return c[0] & 0xff }
+
+// SetRioOp stores the Rio opcode (dword 0, bits 10-13).
+func (c *SQE) SetRioOp(op uint32) { c[0] = (c[0] &^ (0xf << 10)) | ((op & 0xf) << 10) }
+
+// RioOp returns the Rio opcode.
+func (c *SQE) RioOp() uint32 { return (c[0] >> 10) & 0xf }
+
+// SetNSID stores the namespace ID (dword 1); the stack uses it to address
+// the SSD within a target server.
+func (c *SQE) SetNSID(ns uint32) { c[1] = ns }
+
+// NSID returns the namespace ID.
+func (c *SQE) NSID() uint32 { return c[1] }
+
+// SetSLBA stores the starting LBA (dwords 10-11).
+func (c *SQE) SetSLBA(lba uint64) {
+	c[10] = uint32(lba)
+	c[11] = uint32(lba >> 32)
+}
+
+// SLBA returns the starting LBA.
+func (c *SQE) SLBA() uint64 { return uint64(c[10]) | uint64(c[11])<<32 }
+
+// SetNLB stores the 0-based block count (dword 12, bits 0-15).
+func (c *SQE) SetNLB(n uint32) { c[12] = (c[12] &^ 0xffff) | ((n - 1) & 0xffff) }
+
+// NLB returns the block count (converted back to 1-based).
+func (c *SQE) NLB() uint32 { return (c[12] & 0xffff) + 1 }
+
+// EncodeAttr packs a Rio ordering attribute into the reserved fields per
+// Table 1. Because the paper's dwords are 32-bit, sequence numbers and the
+// per-server chain are truncated to 32 bits on the wire; DecodeAttr
+// rehydrates them. (Benchmarks stay far below 2^32 groups; a production
+// encoding would widen these via a second capsule dword pair.)
+func EncodeAttr(c *SQE, a core.Attr) {
+	c.SetRioOp(RioOpSubmit)
+	c[2] = uint32(a.SeqStart)
+	c[3] = uint32(a.SeqEnd)
+	c[4] = uint32(a.ServerIdx - 1) // the paper's "previous group" pointer
+	c[5] = uint32(a.Num) | uint32(a.Stream)<<16
+	var flags uint32
+	if a.Boundary {
+		flags |= FlagBoundary
+	}
+	if a.Flush {
+		flags |= FlagFlush
+	}
+	if a.IPU {
+		flags |= FlagIPU
+	}
+	if a.Split {
+		flags |= FlagSplit
+	}
+	c[12] = (c[12] &^ (0xf << 16)) | (flags << 16)
+	// Request identity and split geometry ride in dwords 13-14, which are
+	// reserved in write commands when metadata pointers are unused.
+	c[13] = a.ReqID
+	c[14] = uint32(a.SplitIdx) | uint32(a.SplitCnt)<<16
+	c.SetSLBA(a.LBA)
+	c.SetNLB(a.Blocks)
+}
+
+// DecodeAttr unpacks the ordering attribute from a Rio command.
+func DecodeAttr(c *SQE) (core.Attr, error) {
+	if c.RioOp() != RioOpSubmit {
+		return core.Attr{}, fmt.Errorf("nvmeof: not a Rio submit command (rio op %d)", c.RioOp())
+	}
+	flags := (c[12] >> 16) & 0xf
+	a := core.Attr{
+		Stream:    uint16(c[5] >> 16),
+		ReqID:     c[13],
+		SeqStart:  uint64(c[2]),
+		SeqEnd:    uint64(c[3]),
+		Num:       uint16(c[5] & 0xffff),
+		ServerIdx: uint64(c[4]) + 1,
+		LBA:       c.SLBA(),
+		Blocks:    c.NLB(),
+		NS:        uint16(c.NSID()),
+		Boundary:  flags&FlagBoundary != 0,
+		Flush:     flags&FlagFlush != 0,
+		IPU:       flags&FlagIPU != 0,
+		Split:     flags&FlagSplit != 0,
+		SplitIdx:  uint16(c[14] & 0xffff),
+		SplitCnt:  uint16(c[14] >> 16),
+	}
+	return a, nil
+}
+
+// WriteCommand builds a plain (orderless) NVMe-oF write SQE.
+func WriteCommand(nsid uint32, lba uint64, blocks uint32) SQE {
+	var c SQE
+	c.SetOpcode(OpWrite)
+	c.SetNSID(nsid)
+	c.SetSLBA(lba)
+	c.SetNLB(blocks)
+	return c
+}
+
+// RioWriteCommand builds an ordered write SQE carrying an attribute. The
+// namespace ID addresses the SSD within the target server and doubles as
+// the attribute's NS field (recovery uses it to locate roll-back blocks).
+func RioWriteCommand(nsid uint32, a core.Attr) SQE {
+	a.NS = uint16(nsid)
+	c := WriteCommand(nsid, a.LBA, a.Blocks)
+	EncodeAttr(&c, a)
+	return c
+}
+
+// FlushCommand builds a FLUSH SQE.
+func FlushCommand(nsid uint32) SQE {
+	var c SQE
+	c.SetOpcode(OpFlush)
+	c.SetNSID(nsid)
+	return c
+}
+
+// CapsuleSize returns the wire size of a command capsule carrying inline
+// data of the given byte length (NVMe-oF in-capsule data).
+func CapsuleSize(inline int) int { return CapsuleHeaderSize + inline }

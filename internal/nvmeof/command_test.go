@@ -1,0 +1,145 @@
+package nvmeof
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// TestTable1CommandLayout pins the exact bit positions of the paper's
+// Table 1 so the wire format cannot drift silently.
+func TestTable1CommandLayout(t *testing.T) {
+	a := core.Attr{
+		Stream:    0xBEEF,
+		ReqID:     77,
+		SeqStart:  0x01020304,
+		SeqEnd:    0x05060708,
+		Num:       0x1234,
+		ServerIdx: 0x0A0B0C0E,
+		LBA:       0x1122334455,
+		Blocks:    9,
+		Boundary:  true,
+		Flush:     true,
+	}
+	c := RioWriteCommand(3, a)
+
+	// 00:10-13 Rio op code.
+	if got := (c[0] >> 10) & 0xf; got != RioOpSubmit {
+		t.Errorf("dword0[10:13] = %#x, want RioOpSubmit", got)
+	}
+	// 02: start sequence.
+	if c[2] != 0x01020304 {
+		t.Errorf("dword2 = %#x, want 0x01020304", c[2])
+	}
+	// 03: end sequence.
+	if c[3] != 0x05060708 {
+		t.Errorf("dword3 = %#x, want 0x05060708", c[3])
+	}
+	// 04: previous group = ServerIdx-1.
+	if c[4] != 0x0A0B0C0D {
+		t.Errorf("dword4 = %#x, want 0x0A0B0C0D", c[4])
+	}
+	// 05:00-15 num; 05:16-31 stream.
+	if c[5]&0xffff != 0x1234 {
+		t.Errorf("dword5[0:15] = %#x, want 0x1234", c[5]&0xffff)
+	}
+	if c[5]>>16 != 0xBEEF {
+		t.Errorf("dword5[16:31] = %#x, want 0xBEEF", c[5]>>16)
+	}
+	// 12:16-19 special flags (boundary|flush).
+	if got := (c[12] >> 16) & 0xf; got != (FlagBoundary | FlagFlush) {
+		t.Errorf("dword12[16:19] = %#x, want boundary|flush", got)
+	}
+	// Standard NVMe fields.
+	if c.Opcode() != OpWrite {
+		t.Errorf("opcode = %#x, want write", c.Opcode())
+	}
+	if c.NSID() != 3 {
+		t.Errorf("nsid = %d, want 3", c.NSID())
+	}
+	if c.SLBA() != 0x1122334455 {
+		t.Errorf("slba = %#x", c.SLBA())
+	}
+	if c.NLB() != 9 {
+		t.Errorf("nlb = %d, want 9", c.NLB())
+	}
+	// NLB is 0-based on the wire.
+	if c[12]&0xffff != 8 {
+		t.Errorf("dword12[0:15] = %d, want 8 (0-based)", c[12]&0xffff)
+	}
+}
+
+func TestAttrRoundTrip(t *testing.T) {
+	f := func(stream uint16, reqID uint32, seq uint32, span uint8, num uint16,
+		idx uint32, lba uint32, blocksRaw uint8, flags uint8, si, sc uint8, ns uint16) bool {
+		blocks := uint32(blocksRaw%32) + 1
+		a := core.Attr{
+			Stream:    stream,
+			ReqID:     reqID,
+			SeqStart:  uint64(seq),
+			SeqEnd:    uint64(seq) + uint64(span),
+			Num:       num,
+			ServerIdx: uint64(idx) + 1,
+			LBA:       uint64(lba),
+			Blocks:    blocks,
+			NS:        ns,
+			Boundary:  flags&1 != 0,
+			Flush:     flags&2 != 0,
+			IPU:       flags&4 != 0,
+			Split:     flags&8 != 0,
+			SplitIdx:  uint16(si),
+			SplitCnt:  uint16(sc),
+		}
+		// The namespace rides in the standard NSID dword and round-trips
+		// into the attribute.
+		c := RioWriteCommand(uint32(ns), a)
+		got, err := DecodeAttr(&c)
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNonRioCommandFails(t *testing.T) {
+	c := WriteCommand(1, 0, 1)
+	if _, err := DecodeAttr(&c); err == nil {
+		t.Fatal("DecodeAttr should fail on plain write command")
+	}
+}
+
+func TestFlushCommand(t *testing.T) {
+	c := FlushCommand(5)
+	if c.Opcode() != OpFlush || c.NSID() != 5 {
+		t.Fatalf("flush command = %+v", c)
+	}
+	if c.RioOp() != RioOpNone {
+		t.Fatal("flush should carry no rio opcode")
+	}
+}
+
+func TestCapsuleSize(t *testing.T) {
+	if CapsuleSize(0) != CapsuleHeaderSize {
+		t.Fatal("empty capsule size mismatch")
+	}
+	if CapsuleSize(4096) != CapsuleHeaderSize+4096 {
+		t.Fatal("inline capsule size mismatch")
+	}
+}
+
+func TestOpcodeFieldIsolation(t *testing.T) {
+	var c SQE
+	c.SetOpcode(OpRead)
+	c.SetRioOp(RioOpRecover)
+	if c.Opcode() != OpRead {
+		t.Fatalf("opcode clobbered by rio op: %#x", c.Opcode())
+	}
+	if c.RioOp() != RioOpRecover {
+		t.Fatalf("rio op = %#x", c.RioOp())
+	}
+	c.SetOpcode(OpWrite)
+	if c.RioOp() != RioOpRecover {
+		t.Fatal("rio op clobbered by opcode")
+	}
+}

@@ -1,0 +1,23 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// All hardware substrates in this repository (CPU cores, RDMA fabric, NVMe
+// SSDs) and all software-path processes (file systems, drivers, workload
+// threads) execute inside one sim.Engine. The engine owns a virtual clock in
+// nanoseconds and an event heap; exactly one unit of simulated activity runs
+// at any instant, so every run with the same seed is bit-for-bit
+// reproducible — a property the crash-recovery tests and the CPU-efficiency
+// measurements rely on.
+//
+// Two execution styles are supported and freely mixed:
+//
+//   - Callbacks: Engine.At(d, fn) schedules fn to run d nanoseconds from
+//     now on the engine goroutine. Callbacks must not block.
+//   - Processes: Engine.Go(name, fn) spawns a Proc, a goroutine that may
+//     Sleep, wait on Conds, acquire Resources and pop Queues. The engine
+//     and processes hand control back and forth over unbuffered channels,
+//     so at most one goroutine ever touches simulation state.
+//
+// Resources track a busy-time integral, which is how CPU utilization (and
+// therefore the paper's CPU-efficiency metric, throughput ÷ utilization)
+// is measured.
+package sim

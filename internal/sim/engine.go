@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point on (or a span of) the simulated clock, in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String formats a Time with an adaptive unit, e.g. "12.5us" or "3.2ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	parked  chan struct{} // procs signal the engine here when they yield
+	live    map[*Proc]struct{}
+	stopped bool
+	fault   interface{} // panic value captured from a proc
+}
+
+// New creates an engine with a deterministic random stream derived from
+// seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream. It must only be
+// used from simulation context (callbacks or procs).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run d nanoseconds from now. d must be >= 0. fn runs on
+// the engine goroutine and must not block; use Go for blocking work.
+func (e *Engine) At(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the event heap is empty or Stop is called.
+func (e *Engine) Run() {
+	e.runWhile(func() bool { return len(e.events) > 0 })
+}
+
+// RunUntil processes all events scheduled at or before t, then advances the
+// clock to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	e.runWhile(func() bool {
+		return len(e.events) > 0 && e.events[0].at <= t
+	})
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds (see RunUntil).
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Stop aborts the current Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) runWhile(cond func() bool) {
+	e.stopped = false
+	for !e.stopped && cond() {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.fault != nil {
+			f := e.fault
+			e.fault = nil
+			panic(f)
+		}
+	}
+}
+
+// Shutdown terminates every parked process so their goroutines exit. The
+// engine must not be used afterwards. It is safe to call multiple times.
+func (e *Engine) Shutdown() {
+	for p := range e.live {
+		if p.parkedNow {
+			p.killed = true
+			e.resumeNow(p)
+		}
+	}
+	e.live = map[*Proc]struct{}{}
+}
+
+// resumeNow transfers control to p and blocks until p yields back.
+func (e *Engine) resumeNow(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// wake schedules p to resume at the current time (FIFO among same-time
+// events).
+func (e *Engine) wake(p *Proc) {
+	if p.wakeQueued {
+		panic("sim: double wake of proc " + p.name)
+	}
+	p.wakeQueued = true
+	e.At(0, func() {
+		p.wakeQueued = false
+		e.resumeNow(p)
+	})
+}

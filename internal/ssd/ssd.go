@@ -1,0 +1,578 @@
+// Package ssd simulates NVMe SSDs at the fidelity the Rio paper depends on:
+// multi-channel internal parallelism (so completion order differs from
+// submission order), a volatile write cache with an expensive device-wide
+// FLUSH on flash profiles, power-loss protection (PLP) on Optane profiles,
+// a byte-addressable persistent memory region (PMR), and power-cut
+// semantics in which volatile state is lost while media and PMR survive.
+//
+// Content is tracked per logical block as a Rec carrying a 64-bit stamp
+// (the identity of the write, used by crash-consistency checks) and an
+// optional real payload (used by file-system metadata). With
+// Config.KeepHistory the device retains the full per-LBA write history so
+// recovery can roll blocks back, modelling out-of-place updates.
+package ssd
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BlockSize is the logical block size in bytes (4 KB, as in the paper's
+// workloads).
+const BlockSize = 4096
+
+// Profile selects the device personality.
+type Profile int
+
+const (
+	// Flash models a consumer NVMe flash SSD (Samsung PM981-like): fast
+	// volatile write cache, no PLP, device-wide expensive FLUSH.
+	Flash Profile = iota
+	// Optane models a PLP low-latency SSD (Intel 905P/P4800X-like): writes
+	// are durable on completion and FLUSH is nearly free.
+	Optane
+)
+
+func (p Profile) String() string {
+	if p == Flash {
+		return "flash"
+	}
+	return "optane"
+}
+
+// Config holds the device parameters. All latencies are per the unit noted.
+type Config struct {
+	Name    string
+	Profile Profile
+
+	Channels      int      // parallel media units
+	MediaWriteLat sim.Time // per-block media program time
+	MediaReadLat  sim.Time // per-block media read time
+
+	// Flash-only cache parameters.
+	CacheInsertLat sim.Time // per-block volatile-cache landing time
+	FrontWidth     int      // parallel cache-insert engines
+	CacheCap       int      // max dirty blocks buffered
+
+	FlushBase      sim.Time // fixed FLUSH cost (flash)
+	FlushPerBlock  sim.Time // additional FLUSH cost per dirty block (flash)
+	OptaneFlushLat sim.Time // FLUSH ack latency on PLP devices
+
+	PMRSize     int      // bytes of persistent memory region
+	PMRWriteLat sim.Time // persistence latency of one MMIO burst
+
+	MaxTransferBlocks int // per-command limit (128 KB => 32)
+
+	KeepHistory bool // retain per-LBA history for crash tests
+}
+
+// FlashConfig returns the default flash profile, calibrated so a saturated
+// device sustains ~320K 4KB writes/s and FLUSH costs hundreds of µs.
+func FlashConfig() Config {
+	return Config{
+		Name:              "pm981",
+		Profile:           Flash,
+		Channels:          8,
+		MediaWriteLat:     25 * sim.Microsecond,
+		MediaReadLat:      60 * sim.Microsecond,
+		CacheInsertLat:    6 * sim.Microsecond, // ~330K blk/s buffered write rate
+		FrontWidth:        2,
+		CacheCap:          4096,
+		FlushBase:         250 * sim.Microsecond,
+		FlushPerBlock:     300,
+		OptaneFlushLat:    0,
+		PMRSize:           2 << 20,
+		PMRWriteLat:       600,
+		MaxTransferBlocks: 32,
+	}
+}
+
+// OptaneConfig returns the default PLP profile (~580K 4KB writes/s).
+func OptaneConfig() Config {
+	return Config{
+		Name:              "905p",
+		Profile:           Optane,
+		Channels:          7,
+		MediaWriteLat:     12 * sim.Microsecond,
+		MediaReadLat:      10 * sim.Microsecond,
+		CacheInsertLat:    0,
+		FrontWidth:        4,
+		CacheCap:          0,
+		FlushBase:         0,
+		FlushPerBlock:     0,
+		OptaneFlushLat:    2 * sim.Microsecond,
+		PMRSize:           2 << 20,
+		PMRWriteLat:       600,
+		MaxTransferBlocks: 32,
+	}
+}
+
+// Op is a command opcode.
+type Op uint8
+
+const (
+	OpWrite Op = iota
+	OpRead
+	OpFlush
+	// OpErase removes the durable records matching the command's stamps
+	// (recovery roll-back of out-of-place blocks, §4.4.1). It costs media
+	// time like a write (deallocate + mapping update).
+	OpErase
+)
+
+// Rec is the content of one logical block.
+type Rec struct {
+	Stamp uint64
+	Data  []byte // optional real payload (file-system metadata)
+}
+
+// Command is one NVMe command. Done is invoked in engine context exactly
+// once when the command completes; it is never invoked for commands that
+// were in flight across a power cut.
+type Command struct {
+	Op     Op
+	LBA    uint64
+	Blocks uint32
+	Stamps []uint64 // per-block write identity; required for writes
+	Data   [][]byte // optional per-block payloads (may be nil)
+	Done   func(*Command)
+
+	// Out is filled by reads: the per-block records observed.
+	Out []Rec
+
+	pending int
+	epoch   uint64
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	Writes       int64 // completed write commands
+	WrittenBlks  int64
+	Reads        int64
+	Flushes      int64
+	FlushBusy    sim.Time // total time the device was stalled by FLUSH
+	Destaged     int64    // flash blocks programmed from cache to media
+	LostOnCut    int64    // dirty blocks dropped by power cuts
+	AbortedCmds  int64    // commands in flight at a power cut
+	StaleSegs    int64    // segments discarded by epoch checks
+	MaxDirtySeen int
+}
+
+type segment struct {
+	lba   uint64
+	recs  []Rec
+	read  bool
+	erase bool
+	cmd   *Command
+	epoch uint64
+}
+
+// SSD is one simulated device.
+type SSD struct {
+	eng *sim.Engine
+	cfg Config
+
+	media map[uint64][]Rec // durable content (history; last = current)
+	cache map[uint64]Rec   // flash volatile dirty blocks
+	dirty int
+	pmr   []byte
+
+	front       *sim.Resource
+	chanQs      []*sim.Queue[segment]
+	chanBusy    *sim.Resource // busy-time accounting across channels
+	destageCond *sim.Cond
+	cacheCond   *sim.Cond
+	flushMu     *sim.Resource
+	flushing    bool
+	flushCond   *sim.Cond
+
+	epoch uint64
+	dead  bool
+
+	stats Stats
+}
+
+// New creates a device and starts its channel processes.
+func New(e *sim.Engine, cfg Config) *SSD {
+	if cfg.Channels <= 0 || cfg.MaxTransferBlocks <= 0 {
+		panic("ssd: invalid config")
+	}
+	if cfg.FrontWidth <= 0 {
+		cfg.FrontWidth = 1
+	}
+	s := &SSD{
+		eng:         e,
+		cfg:         cfg,
+		media:       make(map[uint64][]Rec),
+		cache:       make(map[uint64]Rec),
+		pmr:         make([]byte, cfg.PMRSize),
+		front:       sim.NewResource(e, cfg.FrontWidth),
+		chanBusy:    sim.NewResource(e, cfg.Channels),
+		destageCond: sim.NewCond(e),
+		cacheCond:   sim.NewCond(e),
+		flushMu:     sim.NewResource(e, 1),
+		flushCond:   sim.NewCond(e),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		q := sim.NewQueue[segment](e)
+		s.chanQs = append(s.chanQs, q)
+		e.Go(fmt.Sprintf("%s/chan%d", cfg.Name, i), func(p *sim.Proc) {
+			s.channelLoop(p, q)
+		})
+	}
+	return s
+}
+
+// Config returns the device configuration.
+func (s *SSD) Config() Config { return s.cfg }
+
+// HasPLP reports whether completed writes are durable without FLUSH.
+func (s *SSD) HasPLP() bool { return s.cfg.Profile == Optane }
+
+// Stats returns a copy of the cumulative counters.
+func (s *SSD) Stats() Stats { return s.stats }
+
+func (s *SSD) chanOf(lba uint64) int { return int(lba % uint64(s.cfg.Channels)) }
+
+// Submit accepts a command. It must be called from engine context (a
+// callback or a Proc). The command is processed asynchronously.
+func (s *SSD) Submit(cmd *Command) {
+	if s.dead {
+		return // device is powered off: command is silently lost
+	}
+	if cmd.Op != OpFlush && int(cmd.Blocks) > s.cfg.MaxTransferBlocks {
+		panic(fmt.Sprintf("ssd: command of %d blocks exceeds max transfer %d",
+			cmd.Blocks, s.cfg.MaxTransferBlocks))
+	}
+	if cmd.Op == OpWrite && len(cmd.Stamps) != int(cmd.Blocks) {
+		panic("ssd: write must carry one stamp per block")
+	}
+	cmd.epoch = s.epoch
+	s.eng.Go(s.cfg.Name+"/cmd", func(p *sim.Proc) { s.execute(p, cmd) })
+}
+
+func (s *SSD) execute(p *sim.Proc, cmd *Command) {
+	switch cmd.Op {
+	case OpWrite:
+		if s.cfg.Profile == Flash {
+			s.execFlashWrite(p, cmd)
+		} else {
+			s.execOptaneWrite(cmd)
+		}
+	case OpRead:
+		s.execRead(p, cmd)
+	case OpFlush:
+		s.execFlush(p, cmd)
+	case OpErase:
+		s.execErase(cmd)
+	}
+}
+
+// execFlashWrite lands blocks in the volatile cache and completes; media
+// programming happens in the background via destage segments.
+func (s *SSD) execFlashWrite(p *sim.Proc, cmd *Command) {
+	s.front.Acquire(p)
+	// Respect an active FLUSH (device-wide stall) and cache capacity.
+	for (s.flushing || s.dirty+int(cmd.Blocks) > s.cfg.CacheCap) && cmd.epoch == s.epoch {
+		if s.flushing {
+			s.flushCond.Wait(p)
+		} else {
+			s.cacheCond.Wait(p)
+		}
+	}
+	if cmd.epoch != s.epoch {
+		s.front.Release()
+		return
+	}
+	// One command pays full landing cost for its first block; subsequent
+	// blocks stream at a third of that (per-command overhead dominates the
+	// DRAM landing, so large writes are cheaper per byte than scattered
+	// small ones).
+	insert := s.cfg.CacheInsertLat
+	if cmd.Blocks > 1 {
+		insert += s.cfg.CacheInsertLat * sim.Time(cmd.Blocks-1) / 3
+	}
+	p.Sleep(insert)
+	if cmd.epoch != s.epoch {
+		s.front.Release()
+		return
+	}
+	for i := uint32(0); i < cmd.Blocks; i++ {
+		lba := cmd.LBA + uint64(i)
+		rec := Rec{Stamp: cmd.Stamps[i]}
+		if cmd.Data != nil && cmd.Data[i] != nil {
+			rec.Data = append([]byte(nil), cmd.Data[i]...)
+		}
+		s.cache[lba] = rec
+		s.dirty++
+		s.chanQs[s.chanOf(lba)].Push(segment{lba: lba, recs: []Rec{rec}, epoch: s.epoch})
+	}
+	if s.dirty > s.stats.MaxDirtySeen {
+		s.stats.MaxDirtySeen = s.dirty
+	}
+	s.front.Release()
+	s.stats.Writes++
+	s.stats.WrittenBlks += int64(cmd.Blocks)
+	s.complete(cmd)
+}
+
+// execOptaneWrite routes a write directly to per-channel media programming;
+// completion fires when every block is durable (PLP semantics).
+func (s *SSD) execOptaneWrite(cmd *Command) {
+	cmd.pending = int(cmd.Blocks)
+	for i := uint32(0); i < cmd.Blocks; i++ {
+		lba := cmd.LBA + uint64(i)
+		rec := Rec{Stamp: cmd.Stamps[i]}
+		if cmd.Data != nil && cmd.Data[i] != nil {
+			rec.Data = append([]byte(nil), cmd.Data[i]...)
+		}
+		s.chanQs[s.chanOf(lba)].Push(segment{
+			lba: lba, recs: []Rec{rec}, cmd: cmd, epoch: s.epoch,
+		})
+	}
+}
+
+// execErase routes per-block roll-back through the channels so recovery
+// pays realistic media time; the actual record removal happens at channel
+// completion via Discard.
+func (s *SSD) execErase(cmd *Command) {
+	cmd.pending = int(cmd.Blocks)
+	for i := uint32(0); i < cmd.Blocks; i++ {
+		lba := cmd.LBA + uint64(i)
+		s.chanQs[s.chanOf(lba)].Push(segment{
+			lba: lba, recs: []Rec{{Stamp: cmd.Stamps[i]}}, erase: true,
+			cmd: cmd, epoch: s.epoch,
+		})
+	}
+}
+
+func (s *SSD) execRead(p *sim.Proc, cmd *Command) {
+	cmd.Out = make([]Rec, cmd.Blocks)
+	cmd.pending = 0
+	var miss []uint32
+	for i := uint32(0); i < cmd.Blocks; i++ {
+		lba := cmd.LBA + uint64(i)
+		if rec, ok := s.cache[lba]; ok {
+			cmd.Out[i] = rec
+			continue
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		// Cache hit: controller-only latency.
+		p.Sleep(2 * sim.Microsecond)
+		if cmd.epoch == s.epoch {
+			s.stats.Reads++
+			s.complete(cmd)
+		}
+		return
+	}
+	cmd.pending = len(miss)
+	for _, i := range miss {
+		lba := cmd.LBA + uint64(i)
+		s.chanQs[s.chanOf(lba)].Push(segment{
+			lba: lba, read: true, cmd: cmd, epoch: s.epoch,
+		})
+	}
+}
+
+// execFlush implements the storage barrier. On flash it stalls the device,
+// waits for every dirty block to be destaged and charges the drain cost; on
+// Optane it acks almost immediately.
+func (s *SSD) execFlush(p *sim.Proc, cmd *Command) {
+	if s.cfg.Profile == Optane {
+		p.Sleep(s.cfg.OptaneFlushLat)
+		if cmd.epoch == s.epoch {
+			s.stats.Flushes++
+			s.complete(cmd)
+		}
+		return
+	}
+	s.flushMu.Acquire(p)
+	if cmd.epoch != s.epoch {
+		s.flushMu.Release()
+		return
+	}
+	start := p.Now()
+	s.flushing = true
+	drainCost := s.cfg.FlushBase + s.cfg.FlushPerBlock*sim.Time(s.dirty)
+	for s.dirty > 0 && cmd.epoch == s.epoch {
+		s.destageCond.Wait(p)
+	}
+	if cmd.epoch != s.epoch {
+		s.flushing = false
+		s.flushMu.Release()
+		return
+	}
+	p.Sleep(drainCost)
+	s.flushing = false
+	s.flushCond.Broadcast()
+	s.stats.FlushBusy += p.Now() - start
+	s.flushMu.Release()
+	if cmd.epoch == s.epoch {
+		s.stats.Flushes++
+		s.complete(cmd)
+	}
+}
+
+// channelLoop is one parallel media unit.
+func (s *SSD) channelLoop(p *sim.Proc, q *sim.Queue[segment]) {
+	for {
+		seg := q.Pop(p)
+		if seg.epoch != s.epoch {
+			s.stats.StaleSegs++
+			continue
+		}
+		s.chanBusy.Acquire(p)
+		if seg.read {
+			p.Sleep(s.cfg.MediaReadLat)
+		} else {
+			p.Sleep(s.cfg.MediaWriteLat)
+		}
+		s.chanBusy.Release()
+		if seg.epoch != s.epoch {
+			s.stats.StaleSegs++
+			continue // power was cut mid-program: block not durable
+		}
+		if seg.read {
+			rec, _ := s.Durable(seg.lba)
+			i := seg.lba - seg.cmd.LBA
+			seg.cmd.Out[i] = rec
+			seg.cmd.pending--
+			if seg.cmd.pending == 0 {
+				s.stats.Reads++
+				s.complete(seg.cmd)
+			}
+			continue
+		}
+		if seg.erase {
+			s.Discard(seg.lba, seg.recs[0].Stamp)
+			seg.cmd.pending--
+			if seg.cmd.pending == 0 {
+				s.complete(seg.cmd)
+			}
+			continue
+		}
+		// Write path: program media.
+		s.applyMedia(seg.lba, seg.recs[0])
+		if seg.cmd != nil {
+			// Optane direct write.
+			seg.cmd.pending--
+			if seg.cmd.pending == 0 {
+				s.stats.Writes++
+				s.stats.WrittenBlks += int64(seg.cmd.Blocks)
+				s.complete(seg.cmd)
+			}
+		} else {
+			// Flash destage: only clears the dirty entry if the cache still
+			// holds the same version (a newer overwrite re-queues its own
+			// destage segment).
+			if cur, ok := s.cache[seg.lba]; ok && cur.Stamp == seg.recs[0].Stamp {
+				delete(s.cache, seg.lba)
+			}
+			s.dirty--
+			s.stats.Destaged++
+			s.destageCond.Broadcast()
+			s.cacheCond.Broadcast()
+		}
+	}
+}
+
+func (s *SSD) applyMedia(lba uint64, rec Rec) {
+	if s.cfg.KeepHistory {
+		s.media[lba] = append(s.media[lba], rec)
+	} else {
+		s.media[lba] = []Rec{rec}
+	}
+}
+
+func (s *SSD) complete(cmd *Command) {
+	if cmd.Done != nil {
+		done := cmd.Done
+		s.eng.At(0, func() {
+			if cmd.epoch == s.epoch {
+				done(cmd)
+			}
+		})
+	}
+}
+
+// Visible returns the device-visible content of lba (cache over media).
+func (s *SSD) Visible(lba uint64) (Rec, bool) {
+	if rec, ok := s.cache[lba]; ok {
+		return rec, true
+	}
+	return s.Durable(lba)
+}
+
+// Durable returns the media (persistent) content of lba.
+func (s *SSD) Durable(lba uint64) (Rec, bool) {
+	h := s.media[lba]
+	if len(h) == 0 {
+		return Rec{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// History returns the durable write history of lba (KeepHistory mode).
+func (s *SSD) History(lba uint64) []Rec { return s.media[lba] }
+
+// Discard rolls lba back past any durable record with the given stamp,
+// modelling recovery erasing an out-of-place block. It reports whether a
+// record was removed.
+func (s *SSD) Discard(lba uint64, stamp uint64) bool {
+	h := s.media[lba]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Stamp == stamp {
+			s.media[lba] = append(h[:i:i], h[i+1:]...)
+			if len(s.media[lba]) == 0 {
+				delete(s.media, lba)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// PMRBytes exposes the persistent memory region. Callers model MMIO cost
+// themselves (see Config.PMRWriteLat); the contents survive PowerCut.
+func (s *SSD) PMRBytes() []byte { return s.pmr }
+
+// PMRWriteLat returns the persistence latency of one MMIO burst.
+func (s *SSD) PMRWriteLat() sim.Time { return s.cfg.PMRWriteLat }
+
+// ChannelBusy returns the busy-time integral of the media channels.
+func (s *SSD) ChannelBusy() sim.Time { return s.chanBusy.BusyTime() }
+
+// PowerCut models an instant power failure: the volatile cache and every
+// in-flight command are lost; media and PMR survive. The device ignores
+// submissions until Restart.
+func (s *SSD) PowerCut() {
+	s.epoch++
+	s.dead = true
+	s.stats.LostOnCut += int64(len(s.cache))
+	s.cache = make(map[uint64]Rec)
+	s.dirty = 0
+	s.flushing = false
+	for _, q := range s.chanQs {
+		s.stats.AbortedCmds += int64(q.Len())
+		q.Drain()
+	}
+	// Wake anything stalled on cache space or flush so epoch checks run.
+	s.cacheCond.Broadcast()
+	s.flushCond.Broadcast()
+	s.destageCond.Broadcast()
+}
+
+// Restart powers the device back on with media and PMR intact.
+func (s *SSD) Restart() { s.dead = false }
+
+// QueueDepths reports the per-channel backlog (diagnostics).
+func (s *SSD) QueueDepths() []int {
+	out := make([]int, len(s.chanQs))
+	for i, q := range s.chanQs {
+		out[i] = q.Len()
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package ssd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testFlash() Config {
+	c := FlashConfig()
+	c.KeepHistory = true
+	return c
+}
+
+func testOptane() Config {
+	c := OptaneConfig()
+	c.KeepHistory = true
+	return c
+}
+
+func write(e *sim.Engine, s *SSD, lba uint64, blocks uint32, stamp uint64, done func(*Command)) *Command {
+	stamps := make([]uint64, blocks)
+	for i := range stamps {
+		stamps[i] = stamp
+	}
+	cmd := &Command{Op: OpWrite, LBA: lba, Blocks: blocks, Stamps: stamps, Done: done}
+	e.At(0, func() { s.Submit(cmd) })
+	return cmd
+}
+
+func TestOptaneWriteDurableOnCompletion(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	var doneAt sim.Time
+	write(e, s, 100, 1, 7, func(c *Command) {
+		doneAt = e.Now()
+		rec, ok := s.Durable(100)
+		if !ok || rec.Stamp != 7 {
+			t.Errorf("block not durable at completion: %+v ok=%v", rec, ok)
+		}
+	})
+	e.Run()
+	if doneAt == 0 {
+		t.Fatal("write never completed")
+	}
+	if doneAt < s.cfg.MediaWriteLat {
+		t.Fatalf("completion at %v, faster than media latency %v", doneAt, s.cfg.MediaWriteLat)
+	}
+	e.Shutdown()
+}
+
+func TestFlashWriteCompletesBeforeDurable(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testFlash())
+	var completionT sim.Time
+	var durableAtCompletion bool
+	write(e, s, 5, 1, 9, func(c *Command) {
+		completionT = e.Now()
+		_, durableAtCompletion = s.Durable(5)
+	})
+	e.Run()
+	if completionT == 0 {
+		t.Fatal("write never completed")
+	}
+	if durableAtCompletion {
+		t.Fatal("flash write should complete from volatile cache, before media program")
+	}
+	// After the run drains, background destage has made it durable.
+	if rec, ok := s.Durable(5); !ok || rec.Stamp != 9 {
+		t.Fatalf("block should be destaged eventually: %+v ok=%v", rec, ok)
+	}
+	if completionT > s.cfg.MediaWriteLat {
+		t.Fatalf("flash cached write completed at %v, expected faster than media %v",
+			completionT, s.cfg.MediaWriteLat)
+	}
+	e.Shutdown()
+}
+
+func TestFlashFlushDrainsCacheAndStalls(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testFlash())
+	var flushDone sim.Time
+	e.Go("seq", func(p *sim.Proc) {
+		// Write 16 blocks, then flush, then verify all durable.
+		sig := sim.NewSignal(e)
+		write(e, s, 0, 16, 1, func(*Command) { sig.Fire() })
+		sig.Wait(p)
+		fsig := sim.NewSignal(e)
+		s.Submit(&Command{Op: OpFlush, Done: func(*Command) { fsig.Fire() }})
+		fsig.Wait(p)
+		flushDone = p.Now()
+		for lba := uint64(0); lba < 16; lba++ {
+			if rec, ok := s.Durable(lba); !ok || rec.Stamp != 1 {
+				t.Errorf("lba %d not durable after FLUSH: %+v ok=%v", lba, rec, ok)
+			}
+		}
+	})
+	e.Run()
+	if flushDone == 0 {
+		t.Fatal("flush never completed")
+	}
+	if flushDone < s.cfg.FlushBase {
+		t.Fatalf("flush at %v, cheaper than FlushBase %v", flushDone, s.cfg.FlushBase)
+	}
+	if s.Stats().Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", s.Stats().Flushes)
+	}
+	e.Shutdown()
+}
+
+func TestOptaneFlushIsCheap(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	var done sim.Time
+	e.At(0, func() {
+		s.Submit(&Command{Op: OpFlush, Done: func(*Command) { done = e.Now() }})
+	})
+	e.Run()
+	if done != s.cfg.OptaneFlushLat {
+		t.Fatalf("optane flush at %v, want %v", done, s.cfg.OptaneFlushLat)
+	}
+	e.Shutdown()
+}
+
+func TestPowerCutLosesCacheKeepsMedia(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testFlash())
+	// First write + flush makes stamp 1 durable. Then stamp 2 sits in cache
+	// when the power cut hits.
+	e.Go("seq", func(p *sim.Proc) {
+		sig := sim.NewSignal(e)
+		write(e, s, 0, 1, 1, func(*Command) { sig.Fire() })
+		sig.Wait(p)
+		f := sim.NewSignal(e)
+		s.Submit(&Command{Op: OpFlush, Done: func(*Command) { f.Fire() }})
+		f.Wait(p)
+		s2 := sim.NewSignal(e)
+		write(e, s, 0, 1, 2, func(*Command) { s2.Fire() })
+		s2.Wait(p)
+		// Completed but not yet destaged: cut power immediately.
+		if _, ok := s.cache[0]; !ok {
+			t.Error("stamp 2 should still be dirty in cache")
+		}
+		s.PowerCut()
+	})
+	e.Run()
+	rec, ok := s.Durable(0)
+	if !ok || rec.Stamp != 1 {
+		t.Fatalf("durable content = %+v ok=%v, want stamp 1", rec, ok)
+	}
+	if s.Stats().LostOnCut != 1 {
+		t.Fatalf("LostOnCut = %d, want 1", s.Stats().LostOnCut)
+	}
+	s.Restart()
+	// Device usable again after restart.
+	var after bool
+	write(e, s, 9, 1, 3, func(*Command) { after = true })
+	e.Run()
+	if !after {
+		t.Fatal("write after Restart never completed")
+	}
+	e.Shutdown()
+}
+
+func TestPowerCutSuppressesInflightCompletions(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	completed := false
+	write(e, s, 0, 1, 1, func(*Command) { completed = true })
+	// Cut power long before the media write latency elapses.
+	e.At(1000, func() { s.PowerCut() })
+	e.Run()
+	if completed {
+		t.Fatal("completion should be suppressed by power cut")
+	}
+	if _, ok := s.Durable(0); ok {
+		t.Fatal("block programmed mid-cut should not be durable")
+	}
+	e.Shutdown()
+}
+
+func TestPMRSurvivesPowerCut(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testFlash())
+	copy(s.PMRBytes(), []byte("ordering-attrs"))
+	s.PowerCut()
+	s.Restart()
+	if string(s.PMRBytes()[:14]) != "ordering-attrs" {
+		t.Fatal("PMR content lost across power cut")
+	}
+	e.Shutdown()
+}
+
+func TestReadSeesLatestWrite(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	e.Go("seq", func(p *sim.Proc) {
+		sig := sim.NewSignal(e)
+		write(e, s, 42, 2, 5, func(*Command) { sig.Fire() })
+		sig.Wait(p)
+		rd := &Command{Op: OpRead, LBA: 42, Blocks: 2}
+		done := sim.NewSignal(e)
+		rd.Done = func(*Command) { done.Fire() }
+		s.Submit(rd)
+		done.Wait(p)
+		for i, rec := range rd.Out {
+			if rec.Stamp != 5 {
+				t.Errorf("block %d stamp = %d, want 5", i, rec.Stamp)
+			}
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestFlashReadFromCacheIsFast(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testFlash())
+	var readLat sim.Time
+	e.Go("seq", func(p *sim.Proc) {
+		sig := sim.NewSignal(e)
+		write(e, s, 7, 1, 1, func(*Command) { sig.Fire() })
+		sig.Wait(p)
+		start := p.Now()
+		done := sim.NewSignal(e)
+		s.Submit(&Command{Op: OpRead, LBA: 7, Blocks: 1, Done: func(*Command) { done.Fire() }})
+		done.Wait(p)
+		readLat = p.Now() - start
+	})
+	e.Run()
+	if readLat == 0 || readLat >= s.cfg.MediaReadLat {
+		t.Fatalf("cached read latency %v, want < media read %v", readLat, s.cfg.MediaReadLat)
+	}
+	e.Shutdown()
+}
+
+func TestDiscardRollsBackHistory(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	e.Go("seq", func(p *sim.Proc) {
+		for stamp := uint64(1); stamp <= 3; stamp++ {
+			sig := sim.NewSignal(e)
+			write(e, s, 0, 1, stamp, func(*Command) { sig.Fire() })
+			sig.Wait(p)
+		}
+	})
+	e.Run()
+	if got := len(s.History(0)); got != 3 {
+		t.Fatalf("history length = %d, want 3", got)
+	}
+	if !s.Discard(0, 3) {
+		t.Fatal("Discard(stamp 3) should succeed")
+	}
+	rec, _ := s.Durable(0)
+	if rec.Stamp != 2 {
+		t.Fatalf("after discard, durable stamp = %d, want 2", rec.Stamp)
+	}
+	if s.Discard(0, 99) {
+		t.Fatal("Discard of unknown stamp should fail")
+	}
+	e.Shutdown()
+}
+
+func TestWriteThroughputMatchesChannelModel(t *testing.T) {
+	e := sim.New(1)
+	cfg := testOptane()
+	s := New(e, cfg)
+	const n = 2000
+	completed := 0
+	e.At(0, func() {
+		for i := 0; i < n; i++ {
+			lba := uint64(i)
+			stamps := []uint64{uint64(i)}
+			s.Submit(&Command{Op: OpWrite, LBA: lba, Blocks: 1, Stamps: stamps,
+				Done: func(*Command) { completed++ }})
+		}
+	})
+	e.Run()
+	if completed != n {
+		t.Fatalf("completed %d of %d", completed, n)
+	}
+	// n blocks over ch channels at MediaWriteLat each.
+	ideal := sim.Time(n) * cfg.MediaWriteLat / sim.Time(cfg.Channels)
+	if e.Now() < ideal || e.Now() > ideal*12/10 {
+		t.Fatalf("makespan %v, want within 20%% above ideal %v", e.Now(), ideal)
+	}
+	e.Shutdown()
+}
+
+func TestFlashCacheBackpressure(t *testing.T) {
+	e := sim.New(1)
+	cfg := testFlash()
+	cfg.CacheCap = 8 // tiny cache
+	s := New(e, cfg)
+	const n = 64
+	completed := 0
+	e.At(0, func() {
+		for i := 0; i < n; i++ {
+			lba := uint64(i)
+			s.Submit(&Command{Op: OpWrite, LBA: lba, Blocks: 1,
+				Stamps: []uint64{1}, Done: func(*Command) { completed++ }})
+		}
+	})
+	e.Run()
+	if completed != n {
+		t.Fatalf("completed %d of %d", completed, n)
+	}
+	// With an 8-block cache, sustained rate is destage-bound:
+	// n blocks / channels * MediaWriteLat, far slower than pure cache inserts.
+	destageBound := sim.Time(n) * cfg.MediaWriteLat / sim.Time(cfg.Channels)
+	if e.Now() < destageBound/2 {
+		t.Fatalf("makespan %v suspiciously fast; cache backpressure not applied", e.Now())
+	}
+	if s.Stats().MaxDirtySeen > cfg.CacheCap {
+		t.Fatalf("dirty exceeded cache cap: %d > %d", s.Stats().MaxDirtySeen, cfg.CacheCap)
+	}
+	e.Shutdown()
+}
+
+func TestSubmitOversizedPanics(t *testing.T) {
+	e := sim.New(1)
+	s := New(e, testOptane())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized command")
+		}
+		e.Shutdown()
+	}()
+	s.Submit(&Command{Op: OpWrite, LBA: 0, Blocks: 33, Stamps: make([]uint64, 33)})
+}
+
+// Property: after any sequence of single-block writes to a small LBA space
+// followed by a FLUSH, the durable state equals the last write per LBA.
+func TestFlushConvergenceProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		e := sim.New(seed)
+		s := New(e, testFlash())
+		last := map[uint64]uint64{}
+		ok := true
+		e.Go("seq", func(p *sim.Proc) {
+			for i, op := range ops {
+				lba := uint64(op % 16)
+				stamp := uint64(i + 1)
+				last[lba] = stamp
+				sig := sim.NewSignal(e)
+				st := []uint64{stamp}
+				s.Submit(&Command{Op: OpWrite, LBA: lba, Blocks: 1, Stamps: st,
+					Done: func(*Command) { sig.Fire() }})
+				sig.Wait(p)
+			}
+			f := sim.NewSignal(e)
+			s.Submit(&Command{Op: OpFlush, Done: func(*Command) { f.Fire() }})
+			f.Wait(p)
+			for lba, stamp := range last {
+				rec, found := s.Durable(lba)
+				if !found || rec.Stamp != stamp {
+					ok = false
+				}
+			}
+		})
+		e.Run()
+		e.Shutdown()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

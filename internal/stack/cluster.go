@@ -1,0 +1,385 @@
+package stack
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// wireState tracks one NVMe-oF command from build to completion.
+type wireState struct {
+	id        uint64
+	wc        *blockdev.WireCmd
+	sqe       nvmeof.SQE
+	target    int
+	ssdIdx    int
+	stream    int
+	qp        int
+	flushWire bool // explicit FLUSH command (Linux ordered path)
+	hwDone    *sim.Signal
+	pendingRq int // requests of wc not yet delivered (retire watermark)
+	serverIdx uint64
+	epoch     int
+
+	// horaeAttrs lists constituent attributes of a contiguity-fused Horae
+	// data command, for persist-bit correlation at the target.
+	horaeAttrs []core.Attr
+
+	// vecAttrs lists the constituent attributes of a vector-fused Rio
+	// command: device-contiguous requests whose sequence numbers are not
+	// continuous (round-robin striping interleaves streams across
+	// devices), so attribute-level merging (Fig. 8a) is not allowed, but
+	// the commands still share one capsule, doorbell and PMR burst. Each
+	// attribute keeps its own PMR entry, so recovery is unchanged.
+	vecAttrs []core.Attr
+}
+
+// allHoraeAttrs returns every control-path attribute this data command
+// covers (its own plus any fused in).
+func (ws *wireState) allHoraeAttrs() []core.Attr {
+	out := []core.Attr{ws.wc.Attr}
+	return append(out, ws.horaeAttrs...)
+}
+
+// retire is a piggybacked watermark: all PMR entries of stream with
+// ServerIdx <= upTo may be recycled.
+type retire struct {
+	stream uint16
+	upTo   uint64
+}
+
+// ctrlReq is one Horae control-path entry.
+type ctrlReq struct {
+	attr  core.Attr
+	ack   *sim.Signal
+	epoch int
+}
+
+// capsule is the payload of one RDMA SEND toward a target: a posted list
+// of commands (and/or control entries) sharing one doorbell.
+type capsule struct {
+	cmds    []*wireState
+	ctrl    []*ctrlReq
+	retires []retire
+	inline  int
+	epoch   int
+}
+
+// completionMsg is the payload of one SEND back to the initiator.
+type completionMsg struct {
+	ids      []uint64
+	ctrlAcks []*ctrlReq
+	epoch    int
+}
+
+// horaeStage buffers a group's control entries and data requests until the
+// boundary request runs the control path (per-stream).
+type horaeStage struct {
+	reqs  []*blockdev.Request
+	ctrls map[int][]*ctrlReq
+}
+
+// plugState is the per-stream plug list (blk_start_plug semantics): back-
+// to-back submissions accumulate here so the scheduler can merge them. The
+// plug drains (a) inline in the submitting thread when it blocks in Wait
+// or exceeds MaxPlug — Linux flushes plugs on schedule() — or (b) via a
+// short timer into the dispatcher when the thread goes on computing.
+type plugState struct {
+	reqs  []*blockdev.Request
+	armed bool
+	held  bool // explicit blk_start_plug: no timer flush until FinishPlug
+}
+
+// ClusterStats aggregates initiator-side counters.
+type ClusterStats struct {
+	Submitted    int64
+	Completed    int64
+	WireCmds     int64
+	WireMessages int64
+	FusedCmds    int64 // commands eliminated by merging
+	Holdbacks    int64 // target-side in-order submission stalls
+}
+
+// Cluster is one initiator server plus its target servers.
+type Cluster struct {
+	Eng   *sim.Engine
+	cfg   Config
+	costs CostModel
+
+	vol       *blockdev.Volume
+	initCores *sim.Resource
+	targets   []*Target
+
+	seq      *core.Sequencer
+	streamQs []*sim.Queue[*blockdev.Request]
+
+	outstanding map[uint64]*wireState
+	nextCmdID   uint64
+	linuxMu     *sim.Resource
+	cplQ        *sim.Queue[*completionMsg]
+	retireMark  map[[2]int]uint64 // {stream, target} -> watermark
+	reqWires    map[*blockdev.Request][]*wireState
+	horaeBufs   []*horaeStage
+	plugs       []*plugState
+	epoch       int
+
+	stats ClusterStats
+}
+
+// New builds and starts a cluster.
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	if len(cfg.Targets) == 0 {
+		panic("stack: need at least one target")
+	}
+	if cfg.Streams <= 0 || cfg.QPs <= 0 {
+		panic("stack: invalid streams/QPs")
+	}
+	c := &Cluster{
+		Eng:         eng,
+		cfg:         cfg,
+		costs:       cfg.Costs,
+		initCores:   sim.NewResource(eng, cfg.InitiatorCores),
+		seq:         core.NewSequencer(cfg.Streams),
+		outstanding: make(map[uint64]*wireState),
+		linuxMu:     sim.NewResource(eng, 1),
+		cplQ:        sim.NewQueue[*completionMsg](eng),
+		retireMark:  make(map[[2]int]uint64),
+	}
+	var devs []blockdev.DevRef
+	for ti, tc := range cfg.Targets {
+		t := newTarget(c, ti, tc)
+		c.targets = append(c.targets, t)
+		for si := range t.ssds {
+			devs = append(devs, blockdev.DevRef{Server: ti, SSD: si, Blocks: cfg.DeviceBlocks})
+		}
+	}
+	c.vol = blockdev.NewVolume(devs, cfg.ChunkBlocks)
+	for s := 0; s < cfg.Streams; s++ {
+		q := sim.NewQueue[*blockdev.Request](eng)
+		c.streamQs = append(c.streamQs, q)
+		stream := s
+		eng.Go(fmt.Sprintf("init/dispatch%d", s), func(p *sim.Proc) {
+			c.dispatchLoop(p, stream, q)
+		})
+	}
+	// Initiator completion workers (softirq context).
+	for i := 0; i < max(2, cfg.InitiatorCores/4); i++ {
+		eng.Go(fmt.Sprintf("init/cpl%d", i), func(p *sim.Proc) { c.completionLoop(p) })
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Volume returns the logical volume geometry.
+func (c *Cluster) Volume() *blockdev.Volume { return c.vol }
+
+// Stats returns initiator counters.
+func (c *Cluster) Stats() ClusterStats { return c.stats }
+
+// Sequencer exposes the Rio sequencer (tests, recovery).
+func (c *Cluster) Sequencer() *core.Sequencer { return c.seq }
+
+// Target returns target server i.
+func (c *Cluster) Target(i int) *Target { return c.targets[i] }
+
+// Targets returns the number of target servers.
+func (c *Cluster) Targets() int { return len(c.targets) }
+
+// InitiatorUtil snapshots initiator CPU for utilization windows.
+func (c *Cluster) InitiatorUtil() metrics.UtilSnapshot {
+	return metrics.SnapUtil(c.initCores, c.Eng.Now())
+}
+
+// TargetUtil snapshots the combined CPU of all target servers.
+func (c *Cluster) TargetUtil() metrics.UtilSnapshot {
+	var s metrics.UtilSnapshot
+	s.At = c.Eng.Now()
+	for _, t := range c.targets {
+		s.Busy += t.cores.BusyTime()
+		s.Capacity += t.cores.Capacity()
+	}
+	return s
+}
+
+// useInitCPU charges d of CPU on the initiator cores from proc context.
+func (c *Cluster) useInitCPU(p *sim.Proc, d sim.Time) {
+	if d > 0 {
+		c.initCores.Use(p, d)
+	}
+}
+
+// UseCPU charges application-level CPU work (file-system logic, key-value
+// indexing, compaction) to the initiator cores.
+func (c *Cluster) UseCPU(p *sim.Proc, d sim.Time) { c.useInitCPU(p, d) }
+
+// blockingWait models a thread sleeping on an I/O completion: context
+// switch out, completion interrupt, scheduler wakeup latency.
+func (c *Cluster) blockingWait(p *sim.Proc, sig *sim.Signal) {
+	if sig.Fired() {
+		return
+	}
+	c.useInitCPU(p, c.costs.BlockCPU)
+	sig.Wait(p)
+	p.Sleep(c.costs.WakeLat)
+	c.useInitCPU(p, c.costs.WakeCPU)
+}
+
+// Wait blocks until req's completion has been delivered (rio_wait). About
+// to block, the thread first flushes its plug list (as Linux does on
+// schedule()), so staged requests of this stream reach the wire.
+func (c *Cluster) Wait(p *sim.Proc, req *blockdev.Request) {
+	if !req.Done.Fired() {
+		c.plugFlush(p, req.Stream)
+	}
+	c.blockingWait(p, req.Done)
+}
+
+// WaitSignal blocks on an arbitrary completion signal with the same
+// context-switch and wakeup costs as an I/O wait (e.g. a JBD2 group-commit
+// join).
+func (c *Cluster) WaitSignal(p *sim.Proc, sig *sim.Signal) {
+	c.blockingWait(p, sig)
+}
+
+// OrderedWrite submits one ordered write request on a stream (rio_submit
+// semantics: asynchronous; boundary closes the group; flush requests
+// durability of the whole group; ipu marks in-place updates). The returned
+// request's Done signal fires when the completion is delivered in storage
+// order. Depending on the cluster mode this maps to the Rio path, the
+// Horae control+data path, or the Linux synchronous path (in which case
+// the call blocks until durable).
+func (c *Cluster) OrderedWrite(p *sim.Proc, stream int, lba uint64, blocks uint32,
+	stamp uint64, data [][]byte, boundary, flush, ipu bool) *blockdev.Request {
+
+	req := &blockdev.Request{
+		Op: blockdev.OpWrite, LBA: lba, Blocks: blocks,
+		Stamp: stamp, Data: data, Stream: stream % c.cfg.Streams,
+		Ordered: true, Boundary: boundary, Flush: flush, IPU: ipu,
+		Done: sim.NewSignal(c.Eng), SubmitAt: p.Now(),
+	}
+	c.stats.Submitted++
+	start := p.Now()
+	switch c.cfg.Mode {
+	case ModeRio:
+		c.submitRio(p, req)
+	case ModeHorae:
+		c.submitHorae(p, req)
+	case ModeLinux:
+		c.submitLinux(p, req)
+	default:
+		c.submitOrderless(p, req)
+	}
+	req.SubmitSpent = p.Now() - start
+	return req
+}
+
+// OrderlessWrite submits a plain (no ordering guarantee) write.
+func (c *Cluster) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks uint32,
+	stamp uint64, data [][]byte) *blockdev.Request {
+
+	req := &blockdev.Request{
+		Op: blockdev.OpWrite, LBA: lba, Blocks: blocks,
+		Stamp: stamp, Data: data, Stream: stream % c.cfg.Streams,
+		Done: sim.NewSignal(c.Eng), SubmitAt: p.Now(),
+	}
+	c.stats.Submitted++
+	c.submitOrderless(p, req)
+	return req
+}
+
+// Read performs a synchronous read of [lba, lba+blocks) and returns the
+// observed records.
+func (c *Cluster) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
+	c.useInitCPU(p, c.costs.SubmitBio)
+	out := make([]ssd.Rec, blocks)
+	done := sim.NewWaitGroup(c.Eng)
+	for _, ext := range c.vol.Extents(lba, blocks) {
+		ext := ext
+		ref := c.vol.Dev(ext.Dev)
+		t := c.targets[ref.Server]
+		if !t.alive {
+			continue
+		}
+		done.Add(1)
+		cmd := &ssd.Command{
+			Op: ssd.OpRead, LBA: ext.DevLBA, Blocks: ext.Blocks,
+			Done: func(sc *ssd.Command) {
+				copy(out[ext.Offset:ext.Offset+ext.Blocks], sc.Out)
+				done.Done()
+			},
+		}
+		// Reads bypass the ordered machinery: command out, data back via
+		// one-sided RDMA; we charge the round trip and device time via the
+		// SSD path plus a fixed fabric delay.
+		c.Eng.At(c.cfg.Fabric.PropDelay, func() { t.ssds[ref.SSD].Submit(cmd) })
+	}
+	done.Wait(p)
+	p.Sleep(c.cfg.Fabric.PropDelay) // response path
+	return out
+}
+
+// FlushDevice issues a standalone FLUSH to every device backing the
+// logical range owner (used by file systems for block reuse, §4.4.2).
+func (c *Cluster) FlushDevice(p *sim.Proc, stream int) {
+	var states []*wireState
+	for d := 0; d < c.vol.Devices(); d++ {
+		ref := c.vol.Dev(d)
+		ws := c.newWire(&blockdev.WireCmd{Dev: d, Flush: true}, stream)
+		ws.flushWire = true
+		ws.sqe = nvmeof.FlushCommand(uint32(ref.SSD))
+		states = append(states, ws)
+	}
+	c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(states)))
+	c.postByTarget(p, states, stream)
+	for _, ws := range states {
+		c.blockingWait(p, ws.hwDone)
+	}
+}
+
+func (c *Cluster) newWire(wc *blockdev.WireCmd, stream int) *wireState {
+	c.nextCmdID++
+	ws := &wireState{
+		id:     c.nextCmdID,
+		wc:     wc,
+		stream: stream,
+		hwDone: sim.NewSignal(c.Eng),
+		epoch:  c.epoch,
+	}
+	ref := c.vol.Dev(wc.Dev)
+	ws.target = ref.Server
+	ws.ssdIdx = ref.SSD
+	ws.pendingRq = len(wc.Reqs)
+	c.outstanding[ws.id] = ws
+	return ws
+}
+
+func (c *Cluster) horaeBuf(stream int) *horaeStage {
+	if c.horaeBufs == nil {
+		c.horaeBufs = make([]*horaeStage, c.cfg.Streams)
+	}
+	if c.horaeBufs[stream] == nil {
+		c.horaeBufs[stream] = &horaeStage{ctrls: map[int][]*ctrlReq{}}
+	}
+	return c.horaeBufs[stream]
+}
+
+func (c *Cluster) qpFor(stream int) int {
+	if c.cfg.StreamAffinity {
+		return stream % c.cfg.QPs
+	}
+	return c.Eng.Rand().Intn(c.cfg.QPs)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+// Package stack composes the full networked storage system: an initiator
+// server and one or more target servers connected by the simulated RDMA
+// fabric, with NVMe SSDs (and their PMR regions) at the targets. It
+// implements the four stacks the paper evaluates:
+//
+//   - ModeOrderless: plain NVMe over RDMA with no ordering guarantee (the
+//     upper bound in every figure).
+//   - ModeLinux: Linux NVMe over RDMA with ordering — synchronous
+//     transfer, one in-flight ordered request per device (§6.5), plus a
+//     FLUSH per ordered request on devices without PLP.
+//   - ModeHorae: the Horae baseline extended to NVMe-oF (§6.1) — a
+//     synchronous control path (two-sided SENDs persisting ordering
+//     metadata to PMR) executed before an asynchronous data path.
+//   - ModeRio: the paper's contribution — ordering attributes flow with
+//     the requests, targets enforce per-server in-order submission and
+//     persist attributes to PMR, the initiator completes in order, and
+//     the I/O scheduler merges consecutive ordered requests.
+package stack
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Mode selects the storage ordering stack.
+type Mode int
+
+const (
+	ModeOrderless Mode = iota
+	ModeLinux
+	ModeHorae
+	ModeRio
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOrderless:
+		return "orderless"
+	case ModeLinux:
+		return "linux"
+	case ModeHorae:
+		return "horae"
+	default:
+		return "rio"
+	}
+}
+
+// CostModel holds the CPU and scheduling costs of the software path. The
+// defaults are calibrated so the latency breakdown of Fig. 14 and the
+// throughput shapes of Figs. 2 and 10-12 land near the paper's reported
+// values; see DESIGN.md §6.
+type CostModel struct {
+	SubmitBio  sim.Time // block-layer submission work per request
+	CmdBuild   sim.Time // building one NVMe-oF command
+	PostMsg    sim.Time // posting one RDMA SEND (doorbell write etc.)
+	RecvMsg    sim.Time // receive-side handling of one SEND
+	CmdProcess sim.Time // target per-command processing + SSD doorbell
+	CplHandle  sim.Time // completion/interrupt handling per message
+	MergeCheck sim.Time // per merge attempt in the scheduler
+
+	PMRAppendCPU sim.Time // CPU held while persisting one attribute (MMIO write+read-back issue cost; the persistence latency itself comes from ssd.Config.PMRWriteLat)
+	PMRToggleCPU sim.Time // CPU to post the persist-bit toggle (posted write)
+
+	BlockCPU sim.Time // CPU burned putting a thread to sleep (context switch)
+	WakeCPU  sim.Time // CPU burned waking it (IRQ + scheduler)
+	WakeLat  sim.Time // scheduling latency until the woken thread runs
+
+	FSDataCPU sim.Time // file-system data-path work per 4 KB (page cache)
+	FSMetaCPU sim.Time // file-system metadata/journal work per transaction
+}
+
+// TCPCosts returns the cost model for NVMe over TCP: two-sided messaging
+// runs through the kernel socket stack, so per-message CPU at both ends
+// is several times the RDMA verbs cost (cf. i10 [15] in the paper's
+// related work). Everything else is transport-independent.
+func TCPCosts() CostModel {
+	c := DefaultCosts()
+	c.PostMsg = 2500
+	c.RecvMsg = 3000
+	c.CplHandle = 1500
+	return c
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		SubmitBio:    700,
+		CmdBuild:     400,
+		PostMsg:      700,
+		RecvMsg:      700,
+		CmdProcess:   500,
+		CplHandle:    500,
+		MergeCheck:   80,
+		PMRAppendCPU: 300,
+		PMRToggleCPU: 200,
+		BlockCPU:     1200,
+		WakeCPU:      1500,
+		WakeLat:      8 * sim.Microsecond,
+		FSDataCPU:    5 * sim.Microsecond,
+		FSMetaCPU:    1 * sim.Microsecond,
+	}
+}
+
+// TargetConfig describes one target server.
+type TargetConfig struct {
+	SSDs []ssd.Config
+}
+
+// Config assembles a cluster.
+type Config struct {
+	Mode Mode
+
+	Targets        []TargetConfig
+	InitiatorCores int
+	TargetCores    int
+
+	Streams int // rio_setup stream count (also Horae streams)
+	QPs     int // queue pairs per target connection
+
+	Fabric fabric.Config
+	Costs  CostModel
+
+	ChunkBlocks     int  // volume stripe chunk (blocks); 1 = paper's round-robin
+	MergeEnabled    bool // Rio I/O scheduler merging (and orderless plug merging)
+	StreamAffinity  bool // Principle 2: pin each stream to one QP
+	InlineThreshold int  // max bytes of in-capsule data per command
+	MaxPlug         int  // dispatch batch size
+	DeviceBlocks    uint64
+	KeepHistory     bool // retain media history for crash tests
+
+	Seed int64
+}
+
+// DefaultConfig builds a cluster config with n target servers, each with
+// the given SSD configs, in the given mode.
+func DefaultConfig(mode Mode, targets ...TargetConfig) Config {
+	qps := 24
+	return Config{
+		Mode:            mode,
+		Targets:         targets,
+		InitiatorCores:  18,
+		TargetCores:     18,
+		Streams:         24,
+		QPs:             qps,
+		Fabric:          fabric.DefaultConfig(qps),
+		Costs:           DefaultCosts(),
+		ChunkBlocks:     1,
+		MergeEnabled:    true,
+		StreamAffinity:  true,
+		InlineThreshold: 8192,
+		MaxPlug:         32,
+		DeviceBlocks:    1 << 22, // 16 GiB per SSD
+		Seed:            1,
+	}
+}
+
+// FlashTarget is a one-SSD flash target server config.
+func FlashTarget() TargetConfig { return TargetConfig{SSDs: []ssd.Config{ssd.FlashConfig()}} }
+
+// OptaneTarget is a one-SSD Optane target server config.
+func OptaneTarget() TargetConfig { return TargetConfig{SSDs: []ssd.Config{ssd.OptaneConfig()}} }

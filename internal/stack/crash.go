@@ -1,0 +1,277 @@
+package stack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// RecoveryTiming reports the phases the paper measures in §6.5.
+type RecoveryTiming struct {
+	OrderRebuild sim.Time // scan PMRs, transfer attributes, merge globally
+	DataRecovery sim.Time // discard (roll back) blocks beyond the prefix
+	Discarded    int      // entries rolled back
+	Replayed     int      // wire commands re-sent (target recovery)
+}
+
+// pmrEntryWireSize is the per-entry cost basis for recovery scans: Rio
+// persists full 64-byte attributes, Horae's ordering metadata is smaller
+// (~40 bytes), which is why the paper reports a faster order rebuild for
+// Horae (38 ms vs 55 ms).
+func (c *Cluster) pmrEntryWireSize() int {
+	if c.cfg.Mode == ModeHorae {
+		return 40
+	}
+	return core.EntrySize
+}
+
+// pmrScanPerByte is the MMIO read cost that dominates order rebuild: the
+// whole region must be swept because the head/tail pointers were volatile.
+const pmrScanPerByte = 26 // ns per byte
+
+// PowerCutTarget crashes target server i: its SSDs lose volatile state,
+// the connection drops, and all in-flight work toward it is lost. PMR and
+// media survive.
+func (c *Cluster) PowerCutTarget(i int) {
+	t := c.targets[i]
+	if !t.alive {
+		return
+	}
+	t.alive = false
+	t.epoch++
+	t.conn.Disconnect()
+	for _, sd := range t.ssds {
+		sd.PowerCut()
+	}
+	for _, q := range t.rxQs {
+		q.Drain()
+	}
+	t.doneQ.Drain()
+}
+
+// PowerCutAll models a full power outage: every target crashes and the
+// initiator's volatile state (sequencer, queues, outstanding commands) is
+// lost too.
+func (c *Cluster) PowerCutAll() {
+	for i := range c.targets {
+		c.PowerCutTarget(i)
+	}
+	c.epoch++
+	c.seq = core.NewSequencer(c.cfg.Streams)
+	c.outstanding = make(map[uint64]*wireState)
+	c.reqWires = make(map[*blockdev.Request][]*wireState)
+	c.retireMark = make(map[[2]int]uint64)
+	c.plugs = nil
+	c.horaeBufs = nil
+	for _, q := range c.streamQs {
+		q.Drain()
+	}
+	c.cplQ.Drain()
+}
+
+// scanViews reads every target's PMR region, transfers the ordering
+// attributes to the initiator, and returns the per-server views. Servers
+// scan in parallel (§4.3.2: "each server persists/validates in parallel").
+func (c *Cluster) scanViews(p *sim.Proc) []core.ServerView {
+	views := make([]core.ServerView, len(c.targets))
+	wg := sim.NewWaitGroup(c.Eng)
+	for i, t := range c.targets {
+		i, t := i, t
+		wg.Add(1)
+		c.Eng.Go(fmt.Sprintf("recover/scan%d", i), func(sp *sim.Proc) {
+			defer wg.Done()
+			regionBytes := (len(t.ssds[0].PMRBytes()) / core.EntrySize) * c.pmrEntryWireSize()
+			sp.Sleep(sim.Time(regionBytes) * pmrScanPerByte)
+			entries := core.ScanRegion(t.ssds[0].PMRBytes())
+			// Ship the attributes to the initiator over the fabric.
+			if n := len(entries) * c.pmrEntryWireSize(); n > 0 && t.conn.Up() {
+				t.conn.BulkWrite(sp, fabric.Target, n)
+			}
+			views[i] = core.ServerView{
+				Server:  i,
+				PLP:     t.ssds[0].HasPLP(),
+				Entries: entries,
+			}
+		})
+	}
+	wg.Wait(p)
+	return views
+}
+
+// RecoverFull performs initiator recovery (§4.4.1) after PowerCutAll:
+// reconnect, rebuild the global order from persistent ordering attributes,
+// and roll back out-of-place blocks beyond each stream's durable prefix.
+// The cluster is reusable afterwards.
+func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
+	var tm RecoveryTiming
+	for _, t := range c.targets {
+		t.alive = true
+		for _, sd := range t.ssds {
+			sd.Restart()
+		}
+		t.conn.Reconnect()
+	}
+	start := p.Now()
+	views := c.scanViews(p)
+	report := core.Analyze(views)
+	tm.OrderRebuild = p.Now() - start
+
+	start = p.Now()
+	tm.Discarded = c.rollback(p, report, -1)
+	tm.DataRecovery = p.Now() - start
+
+	// Fresh ordering state for the next incarnation.
+	for _, t := range c.targets {
+		core.Format(t.ssds[0].PMRBytes())
+		t.resetOrderingState()
+	}
+	return report, tm
+}
+
+// rollback erases the blocks of every beyond-prefix, non-IPU entry,
+// concurrently per SSD. If onlyServer >= 0 only that server is rolled
+// back. Returns the number of entries erased.
+func (c *Cluster) rollback(p *sim.Proc, report *core.Report, onlyServer int) int {
+	type eraseKey struct{ server, ssdIdx int }
+	erases := map[eraseKey][]core.Entry{}
+	var keys []eraseKey
+	streams := make([]uint16, 0, len(report.Streams))
+	for id := range report.Streams {
+		streams = append(streams, id)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	for _, id := range streams {
+		for _, e := range report.Streams[id].Discard {
+			if onlyServer >= 0 && e.Server != onlyServer {
+				continue
+			}
+			k := eraseKey{e.Server, int(e.NS)}
+			if _, ok := erases[k]; !ok {
+				keys = append(keys, k)
+			}
+			erases[k] = append(erases[k], e)
+		}
+	}
+	total := 0
+	wg := sim.NewWaitGroup(c.Eng)
+	for _, k := range keys {
+		list := erases[k]
+		total += len(list)
+		sd := c.targets[k.server].ssds[k.ssdIdx]
+		wg.Add(1)
+		c.Eng.Go(fmt.Sprintf("recover/erase%d.%d", k.server, k.ssdIdx), func(sp *sim.Proc) {
+			defer wg.Done()
+			inner := sim.NewWaitGroup(c.Eng)
+			for _, e := range list {
+				stamps := make([]uint64, e.Blocks)
+				for i := range stamps {
+					stamps[i] = core.AttrStamp(e.Attr)
+				}
+				inner.Add(1)
+				sd.Submit(&ssd.Command{
+					Op: ssd.OpErase, LBA: e.LBA, Blocks: e.Blocks, Stamps: stamps,
+					Done: func(*ssd.Command) { inner.Done() },
+				})
+			}
+			inner.Wait(sp)
+		})
+	}
+	wg.Wait(p)
+	return total
+}
+
+// RecoverTarget performs target recovery (§4.4.1) after PowerCutTarget(i):
+// reconnect to the restarted server, rebuild the global list (alive
+// servers' attributes are NOT dropped), and repair the broken chain by
+// replaying this initiator's in-flight commands toward the failed target.
+// Replay is idempotent.
+func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTiming) {
+	var tm RecoveryTiming
+	t := c.targets[i]
+	t.alive = true
+	for _, sd := range t.ssds {
+		sd.Restart()
+	}
+	t.conn.Reconnect()
+
+	start := p.Now()
+	views := c.scanViews(p)
+	report := core.Analyze(views)
+	tm.OrderRebuild = p.Now() - start
+
+	start = p.Now()
+	// The failed server's beyond-prefix blocks are rewritten by replay;
+	// entries that will NOT be replayed (their requests already delivered
+	// or unknown) are rolled back first so stale data cannot survive.
+	tm.Discarded = c.rollback(p, report, i)
+
+	// Reset the failed target's ordering state and the initiator-side
+	// chains that feed it, then replay outstanding commands in per-stream
+	// ServerIdx order with freshly assigned indices.
+	core.Format(t.ssds[0].PMRBytes())
+	t.resetOrderingState()
+	for s := 0; s < c.cfg.Streams; s++ {
+		delete(c.retireMark, [2]int{s, i})
+	}
+
+	var replay []*wireState
+	for _, ws := range c.outstanding {
+		if ws.target == i && !ws.flushWire {
+			replay = append(replay, ws)
+		}
+	}
+	sort.Slice(replay, func(a, b int) bool {
+		x, y := replay[a], replay[b]
+		if x.stream != y.stream {
+			return x.stream < y.stream
+		}
+		return x.serverIdx < y.serverIdx
+	})
+	// Fresh per-server chains: rebuild in replay order.
+	if c.cfg.Mode == ModeRio {
+		for _, st := range c.seqStreams() {
+			st.ResetServerChain(i)
+		}
+		for _, ws := range replay {
+			st := c.seq.Stream(ws.stream)
+			ws.wc.Attr.ServerIdx = st.NextServerIdx(i)
+			ws.serverIdx = ws.wc.Attr.ServerIdx
+			ref := c.vol.Dev(ws.wc.Dev)
+			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
+		}
+	}
+	tm.Replayed = len(replay)
+	// Post per stream to preserve order on the wire.
+	byStream := map[int][]*wireState{}
+	var streamsOrder []int
+	for _, ws := range replay {
+		if _, ok := byStream[ws.stream]; !ok {
+			streamsOrder = append(streamsOrder, ws.stream)
+		}
+		byStream[ws.stream] = append(byStream[ws.stream], ws)
+	}
+	sort.Ints(streamsOrder)
+	for _, s := range streamsOrder {
+		c.postByTarget(p, byStream[s], s)
+	}
+	// Wait until every replayed command completes.
+	for _, ws := range replay {
+		c.blockingWait(p, ws.hwDone)
+	}
+	tm.DataRecovery = p.Now() - start
+	return report, tm
+}
+
+func (c *Cluster) seqStreams() []*core.StreamSeq {
+	out := make([]*core.StreamSeq, c.seq.Streams())
+	for i := range out {
+		out[i] = c.seq.Stream(i)
+	}
+	return out
+}

@@ -1,0 +1,571 @@
+package stack
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+)
+
+// reqWires tracks which wire commands carry (parts of) a request, for the
+// retire-watermark protocol. Stored cluster-side, keyed by request.
+func (c *Cluster) trackWires(req *blockdev.Request, ws *wireState) {
+	if c.reqWires == nil {
+		c.reqWires = make(map[*blockdev.Request][]*wireState)
+	}
+	c.reqWires[req] = append(c.reqWires[req], ws)
+}
+
+// submitRio is the Rio path (Fig. 4 steps 1-2): attach an ordering
+// attribute and add to the stream's plug list / ORDER queue; everything
+// downstream is asynchronous.
+func (c *Cluster) submitRio(p *sim.Proc, req *blockdev.Request) {
+	c.useInitCPU(p, c.costs.SubmitBio)
+	st := c.seq.Stream(req.Stream)
+	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, func() {
+		c.deliver(req)
+	})
+	c.plugAdd(p, req)
+}
+
+// submitOrderless adds to the plug list; completion is delivered as soon
+// as the hardware reports it.
+func (c *Cluster) submitOrderless(p *sim.Proc, req *blockdev.Request) {
+	c.useInitCPU(p, c.costs.SubmitBio)
+	c.plugAdd(p, req)
+}
+
+// plugAdd stages a request on the stream's plug. Overflow drains inline in
+// the caller's context (the submitting thread pays the scheduler CPU, as
+// in Linux); otherwise a short timer hands leftovers to the dispatcher.
+const plugHold = 2 * sim.Microsecond
+
+func (c *Cluster) plugAdd(p *sim.Proc, req *blockdev.Request) {
+	if c.plugs == nil {
+		c.plugs = make([]*plugState, c.cfg.Streams)
+	}
+	stream := req.Stream
+	pl := c.plugs[stream]
+	if pl == nil {
+		pl = &plugState{}
+		c.plugs[stream] = pl
+	}
+	pl.reqs = append(pl.reqs, req)
+	if len(pl.reqs) >= c.cfg.MaxPlug {
+		batch := pl.reqs
+		pl.reqs = nil
+		c.dispatchBatch(p, stream, batch)
+		return
+	}
+	if !pl.armed && !pl.held {
+		pl.armed = true
+		epoch := c.epoch
+		c.Eng.At(plugHold, func() {
+			pl.armed = false
+			if epoch != c.epoch || pl.held || len(pl.reqs) == 0 {
+				return
+			}
+			for _, r := range pl.reqs {
+				c.streamQs[stream].Push(r)
+			}
+			pl.reqs = nil
+		})
+	}
+}
+
+// StartPlug opens an explicit plug window on a stream (blk_start_plug):
+// submissions stage until FinishPlug, maximizing scheduler merging.
+func (c *Cluster) StartPlug(stream int) {
+	if c.plugs == nil {
+		c.plugs = make([]*plugState, c.cfg.Streams)
+	}
+	if c.plugs[stream] == nil {
+		c.plugs[stream] = &plugState{}
+	}
+	c.plugs[stream].held = true
+}
+
+// FinishPlug closes the plug window and dispatches the staged batch in the
+// caller's context (blk_finish_plug).
+func (c *Cluster) FinishPlug(p *sim.Proc, stream int) {
+	if c.plugs == nil || c.plugs[stream] == nil {
+		return
+	}
+	c.plugs[stream].held = false
+	c.plugFlush(p, stream)
+}
+
+// plugFlush drains a stream's plug inline (called when the submitter is
+// about to block — Linux's flush-on-schedule).
+func (c *Cluster) plugFlush(p *sim.Proc, stream int) {
+	if c.plugs == nil || stream >= len(c.plugs) {
+		return
+	}
+	pl := c.plugs[stream]
+	if pl == nil || len(pl.reqs) == 0 {
+		return
+	}
+	batch := pl.reqs
+	pl.reqs = nil
+	c.dispatchBatch(p, stream, batch)
+}
+
+// submitHorae runs Horae's control path before the data path. Control
+// entries of one ordered-write group are batched: non-boundary requests
+// stage their ordering metadata and data; the boundary request sends one
+// control capsule per touched target, blocks for the acks (Horae's
+// serialization point, §3.2 lesson 2) and only then releases the whole
+// group to the asynchronous data path. This matches the paper's Fig. 14,
+// where D dispatch is cheap but JM and JC each pay a control round trip.
+func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
+	c.useInitCPU(p, c.costs.SubmitBio)
+	st := c.seq.Stream(req.Stream)
+	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, func() {
+		c.deliver(req)
+	})
+	buf := c.horaeBuf(req.Stream)
+	req.HoraeIdx = make(map[int]uint64)
+	targets := map[int]bool{}
+	for _, ext := range c.vol.Extents(req.LBA, req.Blocks) {
+		ref := c.vol.Dev(ext.Dev)
+		if targets[ref.Server] {
+			continue
+		}
+		targets[ref.Server] = true
+		a := req.Ticket.Attr
+		a.LBA = ext.DevLBA
+		a.Blocks = ext.Blocks
+		a.NS = uint16(ref.SSD)
+		a.ServerIdx = st.NextServerIdx(ref.Server)
+		req.HoraeIdx[ref.Server] = a.ServerIdx
+		cr := &ctrlReq{attr: a, ack: sim.NewSignal(c.Eng), epoch: c.epoch}
+		buf.ctrls[ref.Server] = append(buf.ctrls[ref.Server], cr)
+	}
+	buf.reqs = append(buf.reqs, req)
+	if !req.Boundary {
+		return // staged: the group's boundary request pays the control RTT
+	}
+	var acks []*ctrlReq
+	for ti := range c.targets {
+		list := buf.ctrls[ti]
+		if len(list) == 0 {
+			continue
+		}
+		c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(list))+c.costs.PostMsg)
+		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{
+			QP:      c.qpFor(req.Stream),
+			Size:    nvmeof.CapsuleSize(32 * len(list)),
+			Payload: &capsule{ctrl: list, epoch: c.epoch},
+		})
+		c.stats.WireMessages++
+		acks = append(acks, list...)
+	}
+	for _, cr := range acks {
+		c.blockingWait(p, cr.ack)
+	}
+	// Control metadata persisted: release the group to the data path.
+	for _, r := range buf.reqs {
+		c.streamQs[r.Stream].Push(r)
+	}
+	buf.reqs = nil
+	buf.ctrls = map[int][]*ctrlReq{}
+}
+
+// submitLinux is the classic synchronous execution: one in-flight ordered
+// request for the whole device (§6.5), completed and — on devices without
+// PLP — flushed before the next may start.
+func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
+	c.useInitCPU(p, c.costs.SubmitBio)
+	c.linuxMu.Acquire(p)
+	wires := c.buildWires(req)
+	c.postByTarget(p, wires, req.Stream)
+	for _, ws := range wires {
+		c.blockingWait(p, ws.hwDone)
+	}
+	// FLUSH per ordered request on every touched device without PLP.
+	var flushes []*wireState
+	seen := map[int]bool{}
+	for _, ws := range wires {
+		if seen[ws.wc.Dev] {
+			continue
+		}
+		seen[ws.wc.Dev] = true
+		if c.targets[ws.target].ssds[ws.ssdIdx].HasPLP() {
+			continue
+		}
+		fw := c.newWire(&blockdev.WireCmd{Dev: ws.wc.Dev, Flush: true}, req.Stream)
+		fw.flushWire = true
+		fw.sqe = nvmeof.FlushCommand(uint32(ws.ssdIdx))
+		c.useInitCPU(p, c.costs.CmdBuild)
+		flushes = append(flushes, fw)
+	}
+	if len(flushes) > 0 {
+		c.postByTarget(p, flushes, req.Stream)
+		for _, fw := range flushes {
+			c.blockingWait(p, fw.hwDone)
+		}
+	}
+	c.linuxMu.Release()
+	c.deliver(req)
+}
+
+// deliver exposes a completion to the application and updates the retire
+// watermarks for the PMR log entries the request touched.
+func (c *Cluster) deliver(req *blockdev.Request) {
+	req.DeliverAt = c.Eng.Now()
+	for _, ws := range c.reqWires[req] {
+		ws.pendingRq--
+		if ws.pendingRq == 0 && ws.serverIdx > 0 {
+			k := [2]int{ws.stream, ws.target}
+			if ws.serverIdx > c.retireMark[k] {
+				c.retireMark[k] = ws.serverIdx
+			}
+		}
+	}
+	delete(c.reqWires, req)
+	req.Done.Fire()
+}
+
+// dispatchLoop drains one stream's queue with plugging: requests that
+// accumulate while the dispatcher works are batched, enabling merging.
+func (c *Cluster) dispatchLoop(p *sim.Proc, stream int, q *sim.Queue[*blockdev.Request]) {
+	for {
+		first := q.Pop(p)
+		batch := []*blockdev.Request{first}
+		for len(batch) < c.cfg.MaxPlug {
+			r, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
+		}
+		c.dispatchBatch(p, stream, batch)
+	}
+}
+
+// dispatchBatch turns requests into wire commands: volume striping and
+// transfer-limit splitting, scheduler merging, per-server index
+// assignment, command build and posting.
+func (c *Cluster) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Request) {
+	var wires []*wireState
+	for _, req := range batch {
+		req.DispatchAt = p.Now()
+		wires = append(wires, c.buildWires(req)...)
+	}
+	if c.cfg.MergeEnabled && len(wires) > 1 {
+		wires = c.fuseWires(p, wires)
+	}
+	c.assignOrderState(wires)
+	c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(wires)))
+	c.postByTarget(p, wires, stream)
+}
+
+// buildWires splits one request into per-device wire commands respecting
+// stripe geometry and the SSD transfer limit. For ordered requests the
+// ordering attribute is split alongside (Fig. 8b).
+func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
+	type piece struct {
+		ext    blockdev.Extent
+		offset uint32
+	}
+	var pieces []piece
+	maxBlocks := uint32(32)
+	for _, ext := range c.vol.Extents(req.LBA, req.Blocks) {
+		if int(ext.Blocks) > int(maxBlocks) {
+			for off := uint32(0); off < ext.Blocks; off += maxBlocks {
+				n := ext.Blocks - off
+				if n > maxBlocks {
+					n = maxBlocks
+				}
+				pieces = append(pieces, piece{blockdev.Extent{
+					Dev: ext.Dev, DevLBA: ext.DevLBA + uint64(off),
+					Blocks: n, Offset: ext.Offset + off,
+				}, ext.Offset + off})
+			}
+		} else {
+			pieces = append(pieces, piece{ext, ext.Offset})
+		}
+	}
+	req.InitFragments(len(pieces))
+
+	// Attribute geometry: single piece keeps the ticket attr; multiple
+	// pieces split it.
+	var attrs []core.Attr
+	if req.Ordered && req.Ticket != nil {
+		base := req.Ticket.Attr
+		if len(pieces) == 1 {
+			a := base
+			a.LBA = pieces[0].ext.DevLBA
+			a.Blocks = pieces[0].ext.Blocks
+			attrs = []core.Attr{a}
+		} else {
+			blocks := make([]uint32, len(pieces))
+			for i, pc := range pieces {
+				blocks[i] = pc.ext.Blocks
+			}
+			attrs = core.SplitAttr(base, blocks)
+			for i := range attrs {
+				attrs[i].LBA = pieces[i].ext.DevLBA
+			}
+		}
+		for i := range attrs {
+			attrs[i].NS = uint16(c.vol.Dev(pieces[i].ext.Dev).SSD)
+			if c.cfg.Mode == ModeHorae {
+				// Correlate data commands to the control-path entries the
+				// submit path already persisted for each server.
+				attrs[i].ServerIdx = req.HoraeIdx[c.vol.Dev(pieces[i].ext.Dev).Server]
+			}
+		}
+	}
+
+	var out []*wireState
+	for i, pc := range pieces {
+		wc := &blockdev.WireCmd{
+			Dev:     pc.ext.Dev,
+			LBA:     pc.ext.DevLBA,
+			Blocks:  pc.ext.Blocks,
+			Ordered: req.Ordered,
+			Reqs:    []*blockdev.Request{req},
+		}
+		wc.Stamps = make([]uint64, pc.ext.Blocks)
+		for j := range wc.Stamps {
+			wc.Stamps[j] = req.Stamp
+		}
+		if req.Data != nil {
+			wc.Data = make([][]byte, pc.ext.Blocks)
+			for j := uint32(0); j < pc.ext.Blocks; j++ {
+				if int(pc.offset+j) < len(req.Data) {
+					wc.Data[j] = req.Data[pc.offset+j]
+				}
+			}
+		}
+		if attrs != nil {
+			wc.Attr = attrs[i]
+		}
+		ws := c.newWire(wc, req.Stream)
+		c.trackWires(req, ws)
+		out = append(out, ws)
+	}
+	return out
+}
+
+// fuseWires applies the Rio scheduler's merging per device, preserving the
+// ORDER-queue order (no reordering, §4.5 Principle 3). Orderless requests
+// merge on plain contiguity (classic plug merging, Fig. 3).
+func (c *Cluster) fuseWires(p *sim.Proc, wires []*wireState) []*wireState {
+	var out []*wireState
+	// Per-device tails: we only fuse a command into the most recent
+	// command for the same device, so queue order within a device holds.
+	tail := map[int]*wireState{}
+	var checks int
+	for _, ws := range wires {
+		prev := tail[ws.wc.Dev]
+		if prev != nil && !prev.flushWire && !ws.flushWire {
+			checks++
+			if c.tryFuse(prev, ws) {
+				c.stats.FusedCmds++
+				delete(c.outstanding, ws.id)
+				continue
+			}
+		}
+		tail[ws.wc.Dev] = ws
+		out = append(out, ws)
+	}
+	if checks > 0 {
+		c.useInitCPU(p, c.costs.MergeCheck*sim.Time(checks))
+	}
+	return out
+}
+
+func (c *Cluster) tryFuse(a, b *wireState) bool {
+	if a.wc.Ordered != b.wc.Ordered {
+		return false
+	}
+	if a.wc.Ordered {
+		switch c.cfg.Mode {
+		case ModeRio:
+			if !blockdev.TryFuse(a.wc, b.wc, 32) {
+				// Attribute-level merge rejected (e.g. striping broke the
+				// sequence continuity): fall back to vector fusion.
+				if a.wc.Attr.Merged() || b.wc.Attr.Merged() ||
+					a.wc.Attr.Split || b.wc.Attr.Split {
+					return false
+				}
+				aAttrs := a.vecAttrs
+				if aAttrs == nil {
+					aAttrs = []core.Attr{a.wc.Attr}
+				}
+				bAttrs := b.vecAttrs
+				if bAttrs == nil {
+					bAttrs = []core.Attr{b.wc.Attr}
+				}
+				if !contigFuse(a.wc, b.wc, 32) {
+					return false
+				}
+				a.vecAttrs = append(aAttrs, bAttrs...)
+			}
+		case ModeHorae:
+			// Horae merges data-path requests on contiguity; ordering
+			// already persisted by the control path. Keep constituent
+			// attrs for persist-bit correlation.
+			if !contigFuse(a.wc, b.wc, 32) {
+				return false
+			}
+			a.horaeAttrs = append(a.horaeAttrs, b.allHoraeAttrs()...)
+		default:
+			return false
+		}
+	} else {
+		if !contigFuse(a.wc, b.wc, 32) {
+			return false
+		}
+	}
+	// b's origin requests now complete through a.
+	a.pendingRq = len(a.wc.Reqs)
+	for _, req := range b.wc.Reqs {
+		c.replaceWire(req, b, a)
+	}
+	return true
+}
+
+func (c *Cluster) replaceWire(req *blockdev.Request, from, to *wireState) {
+	ws := c.reqWires[req]
+	for i, w := range ws {
+		if w == from {
+			ws[i] = to
+		}
+	}
+}
+
+// contigFuse merges b into a when both are plain contiguous writes on the
+// same device (no attribute semantics).
+func contigFuse(a, b *blockdev.WireCmd, maxBlocks int) bool {
+	if a.Dev != b.Dev || a.Flush || b.Flush {
+		return false
+	}
+	if int(a.Blocks+b.Blocks) > maxBlocks {
+		return false
+	}
+	if a.LBA+uint64(a.Blocks) != b.LBA {
+		return false
+	}
+	a.Blocks += b.Blocks
+	a.Stamps = append(a.Stamps, b.Stamps...)
+	if a.Data != nil || b.Data != nil {
+		if a.Data == nil {
+			a.Data = make([][]byte, len(a.Stamps)-len(b.Stamps))
+		}
+		if b.Data == nil {
+			b.Data = make([][]byte, len(b.Stamps))
+		}
+		a.Data = append(a.Data, b.Data...)
+	}
+	a.Reqs = append(a.Reqs, b.Reqs...)
+	return true
+}
+
+// assignOrderState stamps per-server indices (Rio) and encodes the SQEs.
+func (c *Cluster) assignOrderState(wires []*wireState) {
+	for _, ws := range wires {
+		if ws.flushWire {
+			continue
+		}
+		ref := c.vol.Dev(ws.wc.Dev)
+		if ws.wc.Ordered && c.cfg.Mode == ModeRio {
+			st := c.seq.Stream(ws.stream)
+			if len(ws.vecAttrs) > 1 {
+				for i := range ws.vecAttrs {
+					ws.vecAttrs[i].ServerIdx = st.NextServerIdx(ref.Server)
+				}
+				ws.wc.Attr = ws.vecAttrs[0]
+				ws.serverIdx = ws.vecAttrs[len(ws.vecAttrs)-1].ServerIdx
+			} else {
+				ws.wc.Attr.ServerIdx = st.NextServerIdx(ref.Server)
+				ws.serverIdx = ws.wc.Attr.ServerIdx
+			}
+			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
+		} else if ws.wc.Ordered && c.cfg.Mode == ModeHorae {
+			ws.serverIdx = ws.wc.Attr.ServerIdx
+			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
+		} else {
+			ws.sqe = nvmeof.WriteCommand(uint32(ref.SSD), ws.wc.LBA, ws.wc.Blocks)
+		}
+	}
+}
+
+// postByTarget groups wire commands into per-target capsules (posted lists
+// sharing a doorbell) and sends them.
+func (c *Cluster) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
+	c.stats.WireCmds += int64(len(wires))
+	for ti := range c.targets {
+		var list []*wireState
+		inline := 0
+		for _, ws := range wires {
+			if ws.target != ti {
+				continue
+			}
+			list = append(list, ws)
+			if !ws.flushWire {
+				inline += ws.wc.InlineBytes(c.cfg.InlineThreshold)
+			}
+		}
+		if len(list) == 0 {
+			continue
+		}
+		caps := &capsule{cmds: list, inline: inline, epoch: c.epoch}
+		if c.cfg.Mode == ModeRio {
+			k := [2]int{stream, ti}
+			if mark := c.retireMark[k]; mark > 0 {
+				caps.retires = append(caps.retires, retire{stream: uint16(stream), upTo: mark})
+			}
+		}
+		qp := c.qpFor(stream)
+		for _, ws := range list {
+			ws.qp = qp
+		}
+		size := len(list)*nvmeof.CapsuleHeaderSize + inline
+		c.useInitCPU(p, c.costs.PostMsg)
+		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: caps})
+		c.stats.WireMessages++
+	}
+}
+
+// completionLoop is the initiator-side interrupt context: it consumes
+// completion capsules, fans fragments back to requests, and runs the
+// mode-appropriate delivery protocol.
+func (c *Cluster) completionLoop(p *sim.Proc) {
+	for {
+		msg := c.cplQ.Pop(p)
+		if msg.epoch != c.epoch {
+			continue
+		}
+		c.useInitCPU(p, c.costs.CplHandle)
+		for _, cr := range msg.ctrlAcks {
+			cr.ack.Fire()
+		}
+		for _, id := range msg.ids {
+			ws := c.outstanding[id]
+			if ws == nil || ws.epoch != c.epoch {
+				continue
+			}
+			delete(c.outstanding, id)
+			ws.hwDone.Fire()
+			for _, req := range ws.wc.Reqs {
+				if !req.FragmentDone() {
+					continue
+				}
+				req.CompleteAt = p.Now()
+				c.stats.Completed++
+				switch {
+				case req.Ordered && (c.cfg.Mode == ModeRio || c.cfg.Mode == ModeHorae):
+					c.seq.Stream(req.Stream).Completed(req.Ticket.Attr.ReqID)
+				case req.Ordered && c.cfg.Mode == ModeLinux:
+					// submitLinux fires Done itself after the flush.
+				default:
+					c.deliver(req)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package stack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// TargetStats counts target-side events.
+type TargetStats struct {
+	Capsules   int64
+	Commands   int64
+	CtrlOps    int64
+	Holdbacks  int64 // in-order submission stalls (§4.3.1)
+	PMRAppends int64
+	PMRToggles int64
+	Responses  int64
+	Flushes    int64
+}
+
+// tDone is one SSD completion routed to the target's completion context.
+type tDone struct {
+	ws    *wireState
+	slots []uint64 // PMR entries of this command (vector commands: several)
+	// isFlush marks the completion of a FLUSH the target issued on behalf
+	// of a flush-carrying ordered write (ws is that write).
+	isFlush    bool
+	flushSlots []uint64 // additional slots this flush certifies (Horae)
+	epoch      int
+}
+
+type tgate struct {
+	next   uint64 // next expected ServerIdx for this stream
+	parked map[uint64]*wireState
+}
+
+// Target is one target server: CPU cores, an RDMA connection to the
+// initiator, SSDs, and (for Rio/Horae) the PMR ordering-attribute log on
+// its first SSD.
+type Target struct {
+	c     *Cluster
+	id    int
+	cores *sim.Resource
+	conn  *fabric.Conn
+	ssds  []*ssd.SSD
+
+	log       *core.Log
+	logSpace  *sim.Cond
+	slotBy    map[[2]uint64]uint64 // {stream, serverIdx} -> slot
+	retiredTo map[uint16]uint64    // per stream: retired watermark
+	gates     map[uint16]*tgate
+	unflushed map[int][]uint64 // per SSD: completed-but-unflushed slots (Horae, non-PLP)
+
+	rxQs  []*sim.Queue[*capsule] // one per QP: per-QP arrivals process serially
+	doneQ *sim.Queue[*tDone]
+
+	alive bool
+	epoch int
+	stats TargetStats
+}
+
+func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
+	t := &Target{
+		c:     c,
+		id:    id,
+		cores: sim.NewResource(c.Eng, c.cfg.TargetCores),
+		alive: true,
+		doneQ: sim.NewQueue[*tDone](c.Eng),
+	}
+	for i := 0; i < c.cfg.QPs; i++ {
+		t.rxQs = append(t.rxQs, sim.NewQueue[*capsule](c.Eng))
+	}
+	for _, sc := range tc.SSDs {
+		sc.KeepHistory = c.cfg.KeepHistory
+		t.ssds = append(t.ssds, ssd.New(c.Eng, sc))
+	}
+	t.resetOrderingState()
+	t.conn = fabric.NewConn(c.Eng, c.cfg.Fabric)
+	t.conn.SetHandler(fabric.Target, func(m fabric.Message) {
+		if cp, ok := m.Payload.(*capsule); ok {
+			// Retire watermarks are processed immediately in interrupt
+			// context: they free PMR log space and must not queue behind
+			// commands that may be blocked waiting for that very space.
+			if t.alive && cp.epoch == t.c.epoch {
+				for _, r := range cp.retires {
+					t.retireUpTo(r.stream, r.upTo)
+				}
+			}
+			t.rxQs[m.QP].Push(cp)
+		}
+	})
+	t.conn.SetHandler(fabric.Initiator, func(m fabric.Message) {
+		if cm, ok := m.Payload.(*completionMsg); ok {
+			c.cplQ.Push(cm)
+		}
+	})
+	// One receive context per QP: arrivals on a queue pair are handled
+	// serially (as on real hardware, where a QP maps to one completion
+	// queue), which is what makes stream→QP affinity deliver commands to
+	// the in-order gate without holdbacks (§4.5 Principle 2).
+	for i := 0; i < c.cfg.QPs; i++ {
+		q := t.rxQs[i]
+		c.Eng.Go(fmt.Sprintf("tgt%d/rx%d", id, i), func(p *sim.Proc) { t.rxLoop(p, q) })
+	}
+	for i := 0; i < 2; i++ {
+		c.Eng.Go(fmt.Sprintf("tgt%d/cpl%d", id, i), func(p *sim.Proc) { t.doneLoop(p) })
+	}
+	return t
+}
+
+// resetOrderingState reinitializes the PMR log wrapper, gates and slot
+// maps; called at construction and after a restart+recovery.
+func (t *Target) resetOrderingState() {
+	t.log = core.NewLog(t.ssds[0].PMRBytes())
+	t.logSpace = sim.NewCond(t.c.Eng)
+	t.slotBy = make(map[[2]uint64]uint64)
+	t.retiredTo = make(map[uint16]uint64)
+	t.gates = make(map[uint16]*tgate)
+	t.unflushed = make(map[int][]uint64)
+}
+
+// Stats returns the target counters.
+func (t *Target) Stats() TargetStats { return t.stats }
+
+// SSD returns device i of this target.
+func (t *Target) SSD(i int) *ssd.SSD { return t.ssds[i] }
+
+// Cores exposes the CPU pool (for utilization measurements).
+func (t *Target) Cores() *sim.Resource { return t.cores }
+
+// Alive reports whether the server is powered.
+func (t *Target) Alive() bool { return t.alive }
+
+func (t *Target) gate(stream uint16) *tgate {
+	g := t.gates[stream]
+	if g == nil {
+		g = &tgate{next: 1, parked: make(map[uint64]*wireState)}
+		t.gates[stream] = g
+	}
+	return g
+}
+
+// rxLoop is one receive worker: it consumes capsules (two-sided SENDs cost
+// target CPU — the asymmetry Lesson 3 is about), fetches non-inline data
+// with one-sided READs, and routes commands through the mode-specific
+// submission path.
+func (t *Target) rxLoop(p *sim.Proc, rxQ *sim.Queue[*capsule]) {
+	for {
+		cp := rxQ.Pop(p)
+		if cp.epoch != t.c.epoch || !t.alive {
+			continue
+		}
+		t.stats.Capsules++
+		t.cores.Use(p, t.c.costs.RecvMsg)
+		if len(cp.ctrl) > 0 {
+			t.handleCtrl(p, cp)
+		}
+		// Fetch any non-inline payload in one shot (one-sided READ: no
+		// initiator CPU).
+		var bulk int
+		for _, ws := range cp.cmds {
+			if !ws.flushWire && ws.wc.InlineBytes(t.c.cfg.InlineThreshold) == 0 {
+				bulk += ws.wc.PayloadBytes()
+			}
+		}
+		if bulk > 0 {
+			if !t.conn.BulkRead(p, fabric.Target, bulk) {
+				continue // connection died mid-read
+			}
+		}
+		for _, ws := range cp.cmds {
+			if !t.alive || ws.epoch != t.c.epoch {
+				break
+			}
+			t.stats.Commands++
+			t.cores.Use(p, t.c.costs.CmdProcess)
+			if ws.flushWire {
+				t.submitFlushCmd(ws)
+				continue
+			}
+			if ws.wc.Ordered && t.c.cfg.Mode == ModeRio {
+				t.rioSubmit(p, ws)
+			} else {
+				t.submitWrite(ws, t.horaeSlot(ws))
+			}
+		}
+	}
+}
+
+// handleCtrl persists Horae control-path ordering metadata to PMR and
+// acks. This happens before the corresponding data is even dispatched at
+// the initiator — the control path is synchronous.
+func (t *Target) handleCtrl(p *sim.Proc, cp *capsule) {
+	acks := make([]*ctrlReq, 0, len(cp.ctrl))
+	for _, cr := range cp.ctrl {
+		t.stats.CtrlOps++
+		t.appendPMR(p, cr.attr)
+		acks = append(acks, cr)
+	}
+	t.cores.Use(p, t.c.costs.PostMsg)
+	t.stats.Responses++
+	t.conn.Send(fabric.Target, fabric.Message{
+		QP: 0, Size: nvmeof.ResponseSize,
+		Payload: &completionMsg{ctrlAcks: acks, epoch: cp.epoch},
+	})
+}
+
+// appendPMR persists one ordering attribute (step 5 of Fig. 4): the CPU is
+// held for the MMIO issue plus the persistence latency (write + read-back)
+// and blocks if the circular log is full.
+func (t *Target) appendPMR(p *sim.Proc, a core.Attr) uint64 {
+	t.cores.Acquire(p)
+	p.Sleep(t.c.costs.PMRAppendCPU)
+	for {
+		slot, ok := t.log.Append(a)
+		if ok {
+			p.Sleep(t.ssds[0].PMRWriteLat())
+			t.cores.Release()
+			t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}] = slot
+			t.stats.PMRAppends++
+			return slot
+		}
+		// Log full: wait for retirement (backpressure).
+		t.cores.Release()
+		t.logSpace.Wait(p)
+		t.cores.Acquire(p)
+	}
+}
+
+// rioSubmit enforces per-server in-order submission (§4.3.1): a request
+// may only go to the SSD after every smaller ServerIdx of its stream has.
+// With stream→QP affinity the network delivers in order and this gate
+// almost never parks.
+func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
+	attrs := ws.vecAttrs
+	if attrs == nil {
+		attr, err := nvmeof.DecodeAttr(&ws.sqe)
+		if err != nil {
+			panic("stack: rio command without attribute: " + err.Error())
+		}
+		attrs = []core.Attr{attr}
+	}
+	g := t.gate(attrs[0].Stream)
+	if attrs[0].ServerIdx != g.next {
+		t.stats.Holdbacks++
+		g.parked[attrs[0].ServerIdx] = ws
+		return
+	}
+	t.rioProcess(p, ws, attrs, g)
+	// Drain any parked successors.
+	for {
+		next, ok := g.parked[g.next]
+		if !ok {
+			break
+		}
+		delete(g.parked, g.next)
+		na := next.vecAttrs
+		if na == nil {
+			a, _ := nvmeof.DecodeAttr(&next.sqe)
+			na = []core.Attr{a}
+		}
+		t.rioProcess(p, next, na, g)
+	}
+}
+
+func (t *Target) rioProcess(p *sim.Proc, ws *wireState, attrs []core.Attr, g *tgate) {
+	slots := make([]uint64, 0, len(attrs))
+	for _, a := range attrs {
+		slots = append(slots, t.appendPMR(p, a))
+		g.next = a.ServerIdx + 1
+	}
+	t.submitWrite(ws, slots)
+}
+
+// horaeSlot looks up the control-path entry for a Horae data command.
+func (t *Target) horaeSlot(ws *wireState) []uint64 {
+	if t.c.cfg.Mode != ModeHorae || !ws.wc.Ordered {
+		return nil
+	}
+	a := ws.wc.Attr
+	if slot, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
+		return []uint64{slot}
+	}
+	return nil
+}
+
+// submitWrite hands a write to its SSD; the completion flows to doneLoop.
+// Ordered writes are stamped with their attribute-derived identity so
+// recovery can erase exactly these blocks (core.AttrStamp); vector-fused
+// commands carry per-constituent stamps.
+func (t *Target) submitWrite(ws *wireState, slots []uint64) {
+	sd := t.ssds[ws.ssdIdx]
+	epoch := t.c.epoch
+	stamps := ws.wc.Stamps
+	if ws.wc.Ordered && (t.c.cfg.Mode == ModeRio || t.c.cfg.Mode == ModeHorae) {
+		stamps = make([]uint64, ws.wc.Blocks)
+		if len(ws.vecAttrs) > 1 {
+			i := 0
+			for _, a := range ws.vecAttrs {
+				st := core.AttrStamp(a)
+				for b := uint32(0); b < a.Blocks && i < len(stamps); b++ {
+					stamps[i] = st
+					i++
+				}
+			}
+		} else {
+			stamp := core.AttrStamp(ws.wc.Attr)
+			for i := range stamps {
+				stamps[i] = stamp
+			}
+		}
+	}
+	cmd := &ssd.Command{
+		Op:     ssd.OpWrite,
+		LBA:    ws.wc.LBA,
+		Blocks: ws.wc.Blocks,
+		Stamps: stamps,
+		Data:   ws.wc.Data,
+		Done: func(*ssd.Command) {
+			t.doneQ.Push(&tDone{ws: ws, slots: slots, epoch: epoch})
+		},
+	}
+	sd.Submit(cmd)
+}
+
+func (t *Target) submitFlushCmd(ws *wireState) {
+	sd := t.ssds[ws.ssdIdx]
+	epoch := t.c.epoch
+	t.stats.Flushes++
+	sd.Submit(&ssd.Command{
+		Op: ssd.OpFlush,
+		Done: func(*ssd.Command) {
+			t.doneQ.Push(&tDone{ws: ws, epoch: epoch})
+		},
+	})
+}
+
+// doneLoop is the target completion context: persist-bit maintenance
+// (step 7), durability barriers for flush-carrying ordered writes, and
+// completion responses back to the initiator.
+func (t *Target) doneLoop(p *sim.Proc) {
+	for {
+		d := t.doneQ.Pop(p)
+		if d.epoch != t.c.epoch || !t.alive {
+			continue
+		}
+		t.cores.Use(p, t.c.costs.CplHandle)
+		mode := t.c.cfg.Mode
+		ordered := d.ws.wc.Ordered && (mode == ModeRio || mode == ModeHorae)
+		plp := t.ssds[d.ws.ssdIdx].HasPLP()
+
+		if d.isFlush {
+			// FLUSH on behalf of a flush-carrying ordered write: mark the
+			// carrier (and, for Horae, everything it certifies) persistent.
+			for _, s := range d.slots {
+				t.markPersist(p, s)
+			}
+			for _, s := range d.flushSlots {
+				t.markPersist(p, s)
+			}
+			t.respond(p, d.ws)
+			continue
+		}
+
+		if !ordered || d.ws.flushWire {
+			t.respond(p, d.ws)
+			continue
+		}
+
+		attrFlush := t.orderedFlushWanted(d.ws)
+		switch {
+		case plp:
+			// Completion implies durability: toggle persist now.
+			for _, s := range d.slots {
+				t.markPersist(p, s)
+			}
+			if mode == ModeHorae {
+				for _, a := range d.ws.horaeAttrs {
+					if s, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
+						t.markPersist(p, s)
+					}
+				}
+			}
+			t.respond(p, d.ws)
+		case attrFlush:
+			// The group's durability barrier: drain the device, then mark.
+			fd := &tDone{ws: d.ws, slots: d.slots, isFlush: true, epoch: d.epoch}
+			if mode == ModeHorae {
+				fd.flushSlots = t.unflushed[d.ws.ssdIdx]
+				t.unflushed[d.ws.ssdIdx] = nil
+			}
+			t.stats.Flushes++
+			t.ssds[d.ws.ssdIdx].Submit(&ssd.Command{
+				Op:   ssd.OpFlush,
+				Done: func(*ssd.Command) { t.doneQ.Push(fd) },
+			})
+		default:
+			// Non-PLP, no flush: leave persist=0 (a later FLUSH-carrying
+			// entry certifies it during recovery, §4.3.2).
+			if mode == ModeHorae {
+				t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], d.slots...)
+			}
+			t.respond(p, d.ws)
+		}
+	}
+}
+
+// orderedFlushWanted reports whether this ordered command carries the
+// group durability barrier.
+func (t *Target) orderedFlushWanted(ws *wireState) bool {
+	if ws.wc.Attr.Flush {
+		return true
+	}
+	for _, a := range ws.horaeAttrs {
+		if a.Flush {
+			return true
+		}
+	}
+	for _, a := range ws.vecAttrs {
+		if a.Flush {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Target) markPersist(p *sim.Proc, slot uint64) {
+	t.cores.Use(p, t.c.costs.PMRToggleCPU)
+	t.log.MarkPersist(slot)
+	t.stats.PMRToggles++
+}
+
+func (t *Target) respond(p *sim.Proc, ws *wireState) {
+	t.cores.Use(p, t.c.costs.PostMsg)
+	t.stats.Responses++
+	t.conn.Send(fabric.Target, fabric.Message{
+		QP: ws.qp, Size: nvmeof.ResponseSize,
+		Payload: &completionMsg{ids: []uint64{ws.id}, epoch: ws.epoch},
+	})
+}
+
+// retireUpTo recycles PMR entries whose completions the initiator has
+// delivered (head-pointer advance of §4.3.2).
+func (t *Target) retireUpTo(stream uint16, upTo uint64) {
+	last := t.retiredTo[stream]
+	for idx := last + 1; idx <= upTo; idx++ {
+		k := [2]uint64{uint64(stream), idx}
+		if slot, ok := t.slotBy[k]; ok {
+			t.log.Retire(slot)
+			delete(t.slotBy, k)
+		}
+	}
+	if upTo > last {
+		t.retiredTo[stream] = upTo
+		t.logSpace.Broadcast()
+	}
+}

@@ -1,0 +1,390 @@
+// Package workload implements the paper's benchmark drivers: the block
+// microbenchmarks of §6.2 (journaling pairs, random/sequential writes of
+// varying size, mergeable batches), the FIO append+fsync job of §6.3, the
+// Filebench Varmail personality of §6.4, and db_bench fillsync. Each
+// driver runs threads as simulated processes, applies a warmup window,
+// and reports throughput, latency and per-server CPU utilization.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/fs"
+	"repro/internal/kv"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Meter accumulates results with a warmup gate.
+type Meter struct {
+	warm    bool
+	ops     int64
+	bytes   int64
+	lat     metrics.Histogram
+	started sim.Time
+}
+
+// Op records one completed operation of b bytes with latency l.
+func (m *Meter) Op(b int64, l sim.Time) {
+	if !m.warm {
+		return
+	}
+	m.ops++
+	m.bytes += b
+	if l > 0 {
+		m.lat.Record(l)
+	}
+}
+
+// Pattern selects the block-bench access pattern.
+type Pattern int
+
+const (
+	// PatternJournal issues the Fig. 2 pair: an 8 KB ordered write then a
+	// consecutive 4 KB ordered write (journal description+metadata, then
+	// commit record).
+	PatternJournal Pattern = iota
+	// PatternRandom4K issues independent 4 KB ordered writes at random
+	// offsets (Fig. 10).
+	PatternRandom4K
+	// PatternSize issues WriteBlocks-sized writes, random or sequential
+	// (Fig. 11).
+	PatternSize
+	// PatternBatch issues Batch consecutive mergeable 4 KB ordered writes
+	// then waits for the tail (Figs. 3 and 12).
+	PatternBatch
+)
+
+// BlockJob configures a block-device benchmark.
+type BlockJob struct {
+	Threads     int
+	Pattern     Pattern
+	Ordered     bool // false: orderless baseline
+	WriteBlocks uint32
+	Sequential  bool
+	Batch       int
+	Window      int // outstanding groups per thread before waiting
+}
+
+// BlockResult is the measured outcome.
+type BlockResult struct {
+	Elapsed  sim.Time
+	Requests int64
+	Bytes    int64
+	InitUtil float64
+	TgtUtil  float64
+}
+
+// KIOPS returns thousands of requests per second.
+func (r BlockResult) KIOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds() / 1e3
+}
+
+// GBps returns data gigabytes per second.
+func (r BlockResult) GBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e9 / r.Elapsed.Seconds()
+}
+
+// Efficiency returns KIOPS per unit of CPU utilization.
+func (r BlockResult) Efficiency(util float64) float64 {
+	return metrics.Efficiency(r.KIOPS(), util)
+}
+
+// RunBlock executes a block benchmark on c for warmup+measure.
+func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure sim.Time) BlockResult {
+	if job.Window <= 0 {
+		job.Window = 8
+	}
+	m := &Meter{}
+	const region = uint64(1 << 20) // private 4 GB area per thread (blocks)
+	for th := 0; th < job.Threads; th++ {
+		th := th
+		eng.Go(fmt.Sprintf("wl/blk%d", th), func(p *sim.Proc) {
+			rng := eng.Rand()
+			base := uint64(th) * region
+			var next uint64
+			var pending []*blockdev.Request
+			stamp := uint64(th) << 32
+			write := func(lba uint64, blocks uint32, boundary, flush bool) *blockdev.Request {
+				stamp++
+				if job.Ordered {
+					return c.OrderedWrite(p, th, lba, blocks, stamp, nil, boundary, flush, false)
+				}
+				return c.OrderlessWrite(p, th, lba, blocks, stamp, nil)
+			}
+			reap := func(force bool) {
+				// Count everything already delivered, then block only when
+				// the outstanding window is exceeded.
+				for len(pending) > 0 &&
+					(force || pending[0].Done.Fired() || len(pending) >= job.Window) {
+					r := pending[0]
+					pending = pending[1:]
+					c.Wait(p, r)
+					blocks := int64(r.Blocks)
+					m.Op(blocks*4096, r.DeliverAt-r.SubmitAt)
+				}
+			}
+			for {
+				switch job.Pattern {
+				case PatternJournal:
+					lba := base + next
+					next = (next + 3) % region
+					pending = append(pending, write(lba, 2, true, false))
+					pending = append(pending, write(lba+2, 1, true, false))
+				case PatternRandom4K:
+					lba := base + uint64(rng.Int63n(int64(region)))
+					pending = append(pending, write(lba, 1, true, false))
+				case PatternSize:
+					var lba uint64
+					if job.Sequential {
+						lba = base + next
+						next = (next + uint64(job.WriteBlocks)) % region
+					} else {
+						lba = base + uint64(rng.Int63n(int64(region-uint64(job.WriteBlocks))))
+					}
+					pending = append(pending, write(lba, job.WriteBlocks, true, false))
+				case PatternBatch:
+					// The paper controls mergeable batches with
+					// blk_start_plug / blk_finish_plug (Fig. 3).
+					lba := base + next
+					next = (next + uint64(job.Batch)) % region
+					c.StartPlug(th)
+					for b := 0; b < job.Batch; b++ {
+						pending = append(pending, write(lba+uint64(b), 1, true, false))
+					}
+					c.FinishPlug(p, th)
+				}
+				reap(false)
+			}
+		})
+	}
+	eng.RunUntil(eng.Now() + warmup)
+	m.warm = true
+	m.started = eng.Now()
+	iu0 := c.InitiatorUtil()
+	tu0 := c.TargetUtil()
+	eng.RunUntil(eng.Now() + measure)
+	iu1 := c.InitiatorUtil()
+	tu1 := c.TargetUtil()
+	res := BlockResult{
+		Elapsed:  eng.Now() - m.started,
+		Bytes:    m.bytes,
+		Requests: m.ops,
+		InitUtil: metrics.Utilization(iu0, iu1),
+		TgtUtil:  metrics.Utilization(tu0, tu1),
+	}
+	return res
+}
+
+// FsResult is the outcome of a file-system benchmark.
+type FsResult struct {
+	Elapsed  sim.Time
+	Ops      int64
+	Lat      metrics.Histogram
+	InitUtil float64
+	TgtUtil  float64
+	Traces   TraceAgg
+}
+
+// TraceAgg averages fsync phase breakdowns (Fig. 14).
+type TraceAgg struct {
+	N                            int64
+	DDisp, JMDisp, JCDisp, WaitT sim.Time
+}
+
+// Add accumulates one trace.
+func (t *TraceAgg) Add(tr fs.FsyncTrace) {
+	t.N++
+	t.DDisp += tr.DDispatch
+	t.JMDisp += tr.JMDispatch
+	t.JCDisp += tr.JCDispatch
+	t.WaitT += tr.WaitIO
+}
+
+// Mean returns the averaged phases.
+func (t TraceAgg) Mean() (d, jm, jc, wait sim.Time) {
+	if t.N == 0 {
+		return
+	}
+	n := sim.Time(t.N)
+	return t.DDisp / n, t.JMDisp / n, t.JCDisp / n, t.WaitT / n
+}
+
+// KIOPS returns thousands of operations per second.
+func (r FsResult) KIOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e3
+}
+
+// RunFioFsync runs the §6.3 microbenchmark: each thread appends 4 KB to a
+// private file and fsyncs, continuously.
+func RunFioFsync(eng *sim.Engine, fsys *fs.FS, threads int, warmup, measure sim.Time) FsResult {
+	m := &Meter{}
+	agg := &TraceAgg{}
+	ready := sim.NewWaitGroup(eng)
+	ready.Add(threads)
+	for th := 0; th < threads; th++ {
+		th := th
+		eng.Go(fmt.Sprintf("wl/fio%d", th), func(p *sim.Proc) {
+			f, err := fsys.Create(p, fmt.Sprintf("fio%d", th))
+			ready.Done()
+			if err != nil {
+				return
+			}
+			for {
+				start := p.Now()
+				if err := fsys.Append(p, f, 4096); err != nil {
+					return
+				}
+				fsys.Fsync(p, f, th)
+				if m.warm {
+					m.Op(4096, p.Now()-start)
+					agg.Add(fsys.LastTrace)
+				}
+			}
+		})
+	}
+	eng.RunUntil(eng.Now() + warmup)
+	m.warm = true
+	m.started = eng.Now()
+	c := fsys.Cluster()
+	iu0, tu0 := c.InitiatorUtil(), c.TargetUtil()
+	eng.RunUntil(eng.Now() + measure)
+	iu1, tu1 := c.InitiatorUtil(), c.TargetUtil()
+	return FsResult{
+		Elapsed:  eng.Now() - m.started,
+		Ops:      m.ops,
+		Lat:      m.lat,
+		InitUtil: metrics.Utilization(iu0, iu1),
+		TgtUtil:  metrics.Utilization(tu0, tu1),
+		Traces:   *agg,
+	}
+}
+
+// RunVarmail runs a Filebench-Varmail-like personality: per-thread
+// directories with create/append/fsync, read, append/fsync, delete — the
+// metadata- and fsync-intensive mix of §6.4.
+func RunVarmail(eng *sim.Engine, fsys *fs.FS, threads int, warmup, measure sim.Time) FsResult {
+	m := &Meter{}
+	const fileKB = 16
+	const keepFiles = 20
+	for th := 0; th < threads; th++ {
+		th := th
+		eng.Go(fmt.Sprintf("wl/vm%d", th), func(p *sim.Proc) {
+			dir := fmt.Sprintf("vm%d", th)
+			if err := fsys.Mkdir(p, dir); err != nil {
+				return
+			}
+			var files []string
+			n := 0
+			for {
+				// create + append + fsync (new mail).
+				name := fmt.Sprintf("%s/m%06d", dir, n)
+				n++
+				start := p.Now()
+				f, err := fsys.Create(p, name)
+				if err != nil {
+					return
+				}
+				fsys.Append(p, f, fileKB*1024/2)
+				fsys.Fsync(p, f, th)
+				m.Op(fileKB*1024/2, p.Now()-start)
+				files = append(files, name)
+
+				// read an older mail.
+				start = p.Now()
+				if len(files) > 1 {
+					if rf, err := fsys.Open(p, files[0]); err == nil {
+						fsys.Read(p, rf, 0, fileKB*1024/2)
+					}
+				}
+				m.Op(0, p.Now()-start)
+
+				// append + fsync (reply).
+				start = p.Now()
+				fsys.Append(p, f, fileKB*1024/2)
+				fsys.Fsync(p, f, th)
+				m.Op(fileKB*1024/2, p.Now()-start)
+
+				// delete the oldest beyond the working set.
+				if len(files) > keepFiles {
+					start = p.Now()
+					fsys.Unlink(p, files[0])
+					files = files[1:]
+					m.Op(0, p.Now()-start)
+				}
+			}
+		})
+	}
+	eng.RunUntil(eng.Now() + warmup)
+	m.warm = true
+	m.started = eng.Now()
+	c := fsys.Cluster()
+	iu0, tu0 := c.InitiatorUtil(), c.TargetUtil()
+	eng.RunUntil(eng.Now() + measure)
+	iu1, tu1 := c.InitiatorUtil(), c.TargetUtil()
+	return FsResult{
+		Elapsed:  eng.Now() - m.started,
+		Ops:      m.ops,
+		Lat:      m.lat,
+		InitUtil: metrics.Utilization(iu0, iu1),
+		TgtUtil:  metrics.Utilization(tu0, tu1),
+	}
+}
+
+// RunFillsync runs db_bench fillsync: threads issue random-key puts with
+// 16-byte keys and 1024-byte values (§6.4).
+func RunFillsync(eng *sim.Engine, fsys *fs.FS, threads int, warmup, measure sim.Time) FsResult {
+	m := &Meter{}
+	cfg := kv.DefaultConfig()
+	var db *kv.DB
+	eng.Go("wl/dbopen", func(p *sim.Proc) {
+		var err error
+		db, err = kv.Open(p, fsys, cfg)
+		if err != nil {
+			panic(err)
+		}
+	})
+	eng.RunUntil(eng.Now() + sim.Microsecond)
+	if db == nil {
+		panic("workload: db did not open")
+	}
+	for th := 0; th < threads; th++ {
+		th := th
+		eng.Go(fmt.Sprintf("wl/db%d", th), func(p *sim.Proc) {
+			rng := eng.Rand()
+			for {
+				key := fmt.Sprintf("%016d", rng.Int63n(20<<20/1040))
+				start := p.Now()
+				if err := db.Put(p, th, key, cfg.ValueSize); err != nil {
+					return
+				}
+				m.Op(int64(cfg.KeySize+cfg.ValueSize), p.Now()-start)
+			}
+		})
+	}
+	eng.RunUntil(eng.Now() + warmup)
+	m.warm = true
+	m.started = eng.Now()
+	c := fsys.Cluster()
+	iu0, tu0 := c.InitiatorUtil(), c.TargetUtil()
+	eng.RunUntil(eng.Now() + measure)
+	iu1, tu1 := c.InitiatorUtil(), c.TargetUtil()
+	return FsResult{
+		Elapsed:  eng.Now() - m.started,
+		Ops:      m.ops,
+		Lat:      m.lat,
+		InitUtil: metrics.Utilization(iu0, iu1),
+		TgtUtil:  metrics.Utilization(tu0, tu1),
+	}
+}

@@ -1,0 +1,122 @@
+package librio
+
+import (
+	"testing"
+
+	"repro/rio"
+)
+
+func TestRingSubmitHarvest(t *testing.T) {
+	c := rio.NewCluster(rio.Options{Seed: 1})
+	defer c.Close()
+	c.Go(func(ctx *rio.Ctx) {
+		r := NewRing(ctx, 0, 16)
+		var ids []uint64
+		for i := 0; i < 10; i++ {
+			id, err := r.Write(Op{LBA: uint64(i * 8), Blocks: 1, Boundary: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids = append(ids, id)
+		}
+		if r.Inflight() != 10 {
+			t.Errorf("inflight = %d", r.Inflight())
+		}
+		got := r.Drain()
+		if len(got) != 10 {
+			t.Fatalf("harvested %d of 10", len(got))
+		}
+		// Completions arrive in submission (= storage) order.
+		for i, cp := range got {
+			if cp.ID != ids[i] {
+				t.Errorf("completion %d = id %d, want %d", i, cp.ID, ids[i])
+			}
+			if cp.Group != uint64(i+1) {
+				t.Errorf("completion %d group = %d, want %d", i, cp.Group, i+1)
+			}
+		}
+		if r.Inflight() != 0 {
+			t.Error("ring not drained")
+		}
+	})
+	c.Run()
+}
+
+func TestRingFullBackpressure(t *testing.T) {
+	c := rio.NewCluster(rio.Options{Seed: 2})
+	defer c.Close()
+	c.Go(func(ctx *rio.Ctx) {
+		r := NewRing(ctx, 0, 2)
+		r.Write(Op{LBA: 0, Blocks: 1, Boundary: true})
+		r.Write(Op{LBA: 8, Blocks: 1, Boundary: true})
+		if _, err := r.Write(Op{LBA: 16, Blocks: 1, Boundary: true}); err != ErrRingFull {
+			t.Errorf("err = %v, want ErrRingFull", err)
+		}
+		r.WaitMin(1)
+		if _, err := r.Write(Op{LBA: 16, Blocks: 1, Boundary: true}); err != nil {
+			t.Errorf("write after harvest: %v", err)
+		}
+		r.Drain()
+	})
+	c.Run()
+}
+
+func TestWaitMinPartialHarvest(t *testing.T) {
+	c := rio.NewCluster(rio.Options{Seed: 3})
+	defer c.Close()
+	c.Go(func(ctx *rio.Ctx) {
+		r := NewRing(ctx, 0, 32)
+		for i := 0; i < 8; i++ {
+			r.Write(Op{LBA: uint64(i), Blocks: 1, Boundary: true})
+		}
+		got := r.WaitMin(3)
+		if len(got) < 3 {
+			t.Fatalf("WaitMin(3) returned %d", len(got))
+		}
+		rest := r.Drain()
+		if len(got)+len(rest) != 8 {
+			t.Fatalf("total harvested = %d", len(got)+len(rest))
+		}
+	})
+	c.Run()
+}
+
+func TestTransactionPattern(t *testing.T) {
+	c := rio.NewCluster(rio.Options{Seed: 4})
+	defer c.Close()
+	c.Go(func(ctx *rio.Ctx) {
+		r := NewRing(ctx, 0, 64)
+		// A BlueStore-ish transaction: data extents, metadata, commit.
+		r.Write(Op{LBA: 1000, Blocks: 8})                           // data
+		r.Write(Op{LBA: 1008, Blocks: 8, Boundary: true})           // data, end group
+		r.Write(Op{LBA: 8, Blocks: 1, Boundary: true})              // metadata
+		r.Write(Op{LBA: 0, Blocks: 1, Boundary: true, Flush: true}) // commit
+		cps := r.Barrier()
+		if len(cps) != 4 {
+			t.Fatalf("transaction harvested %d of 4", len(cps))
+		}
+		if !cps[3].Op.Flush {
+			t.Error("commit completion lost its flush marker")
+		}
+	})
+	c.Run()
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	c := rio.NewCluster(rio.Options{Seed: 5})
+	defer c.Close()
+	c.Go(func(ctx *rio.Ctx) {
+		r := NewRing(ctx, 0, 8)
+		if got := r.Poll(4); len(got) != 0 {
+			t.Errorf("poll on empty ring = %d", len(got))
+		}
+		r.Write(Op{LBA: 0, Blocks: 1, Boundary: true})
+		// Immediately after submit nothing is complete yet.
+		if got := r.Poll(4); len(got) != 0 {
+			t.Errorf("poll right after submit = %d completions", len(got))
+		}
+		r.Drain()
+	})
+	c.Run()
+}

@@ -1,0 +1,292 @@
+// Package rio is the public API of the Rio reproduction: an
+// order-preserving networked block device (and file system) in the spirit
+// of the paper's programming model (§4.6) — rio_setup, rio_submit,
+// rio_wait — running on a deterministic simulation of the full NVMe-oF
+// stack (initiator, RDMA fabric, targets, SSDs with PMR).
+//
+// A minimal session:
+//
+//	c := rio.NewCluster(rio.Options{})            // rio_setup
+//	c.Go(func(ctx *rio.Ctx) {
+//	    s := ctx.Stream(0)
+//	    s.Write(10, 2)                            // rio_submit (group open)
+//	    h := s.Commit(12, 1)                      // boundary + FLUSH
+//	    h.Wait()                                  // rio_wait
+//	})
+//	c.Run()
+//
+// Crash behavior is first-class: PowerCut drops volatile state everywhere,
+// Recover runs the paper's §4.4 algorithm, and the Report's durable prefix
+// tells you exactly which groups survived.
+package rio
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stack"
+)
+
+// DeviceClass selects an SSD personality.
+type DeviceClass int
+
+const (
+	// Flash is a consumer NVMe SSD with a volatile write cache and an
+	// expensive device-wide FLUSH (no power-loss protection).
+	Flash DeviceClass = iota
+	// Optane is a PLP low-latency SSD: writes are durable on completion.
+	Optane
+)
+
+// Ordering selects the storage-order machinery of the stack.
+type Ordering int
+
+const (
+	// Rio is the paper's design (default): asynchronous ordered writes
+	// with ordering attributes, in-order submission/completion and PMR
+	// recovery.
+	Rio Ordering = iota
+	// Horae is the baseline with a synchronous control path.
+	Horae
+	// LinuxOrdered is classic synchronous transfer + FLUSH.
+	LinuxOrdered
+	// Orderless gives no ordering guarantee (upper bound).
+	Orderless
+)
+
+// TargetSpec describes one target server.
+type TargetSpec struct {
+	SSDs []DeviceClass
+}
+
+// Options configures a cluster (rio_setup). Zero values select one Optane
+// target server, 24 streams, and the Rio ordering mode.
+type Options struct {
+	Ordering Ordering
+	Targets  []TargetSpec
+	Streams  int
+	Merging  *bool // nil = enabled
+	Seed     int64
+	History  bool // retain media write history (needed by VerifyPrefix)
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	eng   *sim.Engine
+	inner *stack.Cluster
+}
+
+// NewCluster builds and starts the stack.
+func NewCluster(o Options) *Cluster {
+	if len(o.Targets) == 0 {
+		o.Targets = []TargetSpec{{SSDs: []DeviceClass{Optane}}}
+	}
+	if o.Streams == 0 {
+		o.Streams = 24
+	}
+	var mode stack.Mode
+	switch o.Ordering {
+	case Horae:
+		mode = stack.ModeHorae
+	case LinuxOrdered:
+		mode = stack.ModeLinux
+	case Orderless:
+		mode = stack.ModeOrderless
+	default:
+		mode = stack.ModeRio
+	}
+	var targets []stack.TargetConfig
+	for _, t := range o.Targets {
+		var tc stack.TargetConfig
+		for _, d := range t.SSDs {
+			if d == Flash {
+				tc.SSDs = append(tc.SSDs, ssd.FlashConfig())
+			} else {
+				tc.SSDs = append(tc.SSDs, ssd.OptaneConfig())
+			}
+		}
+		targets = append(targets, tc)
+	}
+	cfg := stack.DefaultConfig(mode, targets...)
+	cfg.Streams = o.Streams
+	cfg.QPs = o.Streams
+	cfg.Fabric.NumQPs = o.Streams
+	if o.Merging != nil {
+		cfg.MergeEnabled = *o.Merging
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.KeepHistory = o.History
+	eng := sim.New(cfg.Seed)
+	return &Cluster{eng: eng, inner: stack.New(eng, cfg)}
+}
+
+// Ctx is the execution context of simulated application code.
+type Ctx struct {
+	p *sim.Proc
+	c *Cluster
+}
+
+// Go spawns fn as a simulated application thread. Call Run to execute.
+func (c *Cluster) Go(fn func(ctx *Ctx)) {
+	c.eng.Go("app", func(p *sim.Proc) { fn(&Ctx{p: p, c: c}) })
+}
+
+// Run executes the simulation until it quiesces.
+func (c *Cluster) Run() { c.eng.Run() }
+
+// RunFor advances simulated time by d nanoseconds.
+func (c *Cluster) RunFor(d sim.Time) { c.eng.RunFor(d) }
+
+// Now returns the simulated clock.
+func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// Close releases simulation resources (parked goroutines).
+func (c *Cluster) Close() { c.eng.Shutdown() }
+
+// Stack exposes the underlying cluster for advanced use (benchmarks).
+func (c *Cluster) Stack() *stack.Cluster { return c.inner }
+
+// Engine exposes the simulation engine (for scheduling crash injection).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Sleep pauses the calling simulated thread.
+func (ctx *Ctx) Sleep(d sim.Time) { ctx.p.Sleep(d) }
+
+// Proc exposes the simulated thread, needed when calling lower-level APIs
+// (file system, workload drivers) from application code.
+func (ctx *Ctx) Proc() *sim.Proc { return ctx.p }
+
+// Now returns the simulated clock.
+func (ctx *Ctx) Now() sim.Time { return ctx.p.Now() }
+
+// Stream returns the ordered-write stream with the given id (§4.5: streams
+// are independent ordering domains; use one per thread or transaction
+// context).
+func (ctx *Ctx) Stream(id int) *Stream {
+	return &Stream{ctx: ctx, id: id}
+}
+
+// Stream issues ordered writes whose storage order follows submission
+// order (rio_submit).
+type Stream struct {
+	ctx *Ctx
+	id  int
+}
+
+// Handle tracks one submitted request.
+type Handle struct {
+	ctx *Ctx
+	req *blockdev.Request
+}
+
+// Wait blocks until the completion is delivered in storage order
+// (rio_wait).
+func (h *Handle) Wait() { h.ctx.c.inner.Wait(h.ctx.p, h.req) }
+
+// Done reports whether the completion has been delivered.
+func (h *Handle) Done() bool { return h.req.Done.Fired() }
+
+// Attr returns the ordering attribute assigned by the sequencer (zero
+// value for orderless clusters).
+func (h *Handle) Attr() core.Attr {
+	if h.req.Ticket == nil {
+		return core.Attr{}
+	}
+	return h.req.Ticket.Attr
+}
+
+// Write submits an ordered write that stays inside the current group
+// (requests within a group may be freely reordered with each other).
+func (s *Stream) Write(lba uint64, blocks uint32) *Handle {
+	return s.submit(lba, blocks, false, false, false)
+}
+
+// Close submits an ordered write that ends the current group (boundary).
+func (s *Stream) Close(lba uint64, blocks uint32) *Handle {
+	return s.submit(lba, blocks, true, false, false)
+}
+
+// Commit submits a boundary write carrying the durability barrier (FLUSH):
+// when its Wait returns, the whole group — and every group before it — is
+// durable and ordered.
+func (s *Stream) Commit(lba uint64, blocks uint32) *Handle {
+	return s.submit(lba, blocks, true, true, false)
+}
+
+// WriteIPU submits an in-place update (§4.4.2): recovery will not roll it
+// back; upper layers handle its consistency.
+func (s *Stream) WriteIPU(lba uint64, blocks uint32, boundary bool) *Handle {
+	return s.submit(lba, blocks, boundary, false, true)
+}
+
+func (s *Stream) submit(lba uint64, blocks uint32, boundary, flush, ipu bool) *Handle {
+	req := s.ctx.c.inner.OrderedWrite(s.ctx.p, s.id, lba, blocks, 0, nil, boundary, flush, ipu)
+	return &Handle{ctx: s.ctx, req: req}
+}
+
+// WriteOrderless submits a write with no ordering guarantee.
+func (ctx *Ctx) WriteOrderless(lba uint64, blocks uint32) *Handle {
+	req := ctx.c.inner.OrderlessWrite(ctx.p, 0, lba, blocks, 0, nil)
+	return &Handle{ctx: ctx, req: req}
+}
+
+// Read performs a synchronous read.
+func (ctx *Ctx) Read(lba uint64, blocks uint32) []ssd.Rec {
+	return ctx.c.inner.Read(ctx.p, lba, blocks)
+}
+
+// Flush issues a standalone device FLUSH barrier (block-reuse fallback).
+func (ctx *Ctx) Flush() { ctx.c.inner.FlushDevice(ctx.p, 0) }
+
+// PowerCut models a whole-cluster power failure: volatile state is lost,
+// media and PMR survive.
+func (c *Cluster) PowerCut() { c.inner.PowerCutAll() }
+
+// PowerCutTarget crashes a single target server.
+func (c *Cluster) PowerCutTarget(i int) { c.inner.PowerCutTarget(i) }
+
+// Report is the recovery outcome: per-stream durable prefixes.
+type Report struct {
+	inner  *core.Report
+	Timing stack.RecoveryTiming
+}
+
+// DurablePrefix returns the highest group seq of the stream for which all
+// preceding groups are durable (the §4.8 prefix).
+func (r *Report) DurablePrefix(stream int) uint64 {
+	return r.inner.Prefix(uint16(stream))
+}
+
+// Recover runs initiator recovery (§4.4.1) after PowerCut and returns the
+// global ordering report. The cluster is usable again afterwards.
+func (ctx *Ctx) Recover() *Report {
+	rep, tm := ctx.c.inner.RecoverFull(ctx.p)
+	return &Report{inner: rep, Timing: tm}
+}
+
+// RecoverTarget repairs a single crashed target by replaying in-flight
+// requests (§4.4.1 target recovery).
+func (ctx *Ctx) RecoverTarget(i int) *Report {
+	rep, tm := ctx.c.inner.RecoverTarget(ctx.p, i)
+	return &Report{inner: rep, Timing: tm}
+}
+
+// FSDesign selects a file-system journaling design (§4.7).
+type FSDesign = fs.Design
+
+// File-system designs.
+const (
+	Ext4FS    = fs.Ext4
+	HoraeFSFS = fs.HoraeFS
+	RioFSFS   = fs.RioFS
+)
+
+// NewFS formats a file system on the cluster. journals is the per-core
+// journal count (ignored for Ext4).
+func (c *Cluster) NewFS(design FSDesign, journals int) *fs.FS {
+	return fs.New(c.inner, fs.DefaultConfig(design, journals))
+}

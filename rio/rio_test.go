@@ -1,0 +1,161 @@
+package rio
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c := NewCluster(Options{Seed: 1})
+	defer c.Close()
+	delivered := []string{}
+	c.Go(func(ctx *Ctx) {
+		s := ctx.Stream(0)
+		s.Write(10, 2)                   // journal description + metadata
+		jc := s.Close(12, 1)             // group boundary
+		h := ctx.Stream(0).Commit(13, 1) // commit record with FLUSH
+		h.Wait()
+		if !jc.Done() {
+			t.Error("earlier group must be delivered before the commit")
+		}
+		delivered = append(delivered, "done")
+	})
+	c.Run()
+	if len(delivered) != 1 {
+		t.Fatal("app thread did not finish")
+	}
+}
+
+func TestAttrExposure(t *testing.T) {
+	c := NewCluster(Options{Seed: 2})
+	defer c.Close()
+	c.Go(func(ctx *Ctx) {
+		h1 := ctx.Stream(3).Close(0, 1)
+		h2 := ctx.Stream(3).Commit(1, 1)
+		h2.Wait()
+		if h1.Attr().SeqStart != 1 || h2.Attr().SeqStart != 2 {
+			t.Errorf("seqs = %d, %d", h1.Attr().SeqStart, h2.Attr().SeqStart)
+		}
+		if h1.Attr().Stream != 3 {
+			t.Errorf("stream = %d", h1.Attr().Stream)
+		}
+		if !h2.Attr().Flush {
+			t.Error("commit must carry the flush barrier")
+		}
+	})
+	c.Run()
+}
+
+func TestOrderlessClusterHasNoAttrs(t *testing.T) {
+	c := NewCluster(Options{Ordering: Orderless, Seed: 3})
+	defer c.Close()
+	c.Go(func(ctx *Ctx) {
+		h := ctx.WriteOrderless(5, 1)
+		h.Wait()
+		if h.Attr().SeqStart != 0 {
+			t.Error("orderless write should carry no attribute")
+		}
+		recs := ctx.Read(5, 1)
+		if len(recs) != 1 {
+			t.Errorf("read returned %d recs", len(recs))
+		}
+	})
+	c.Run()
+}
+
+func TestPowerCutAndRecover(t *testing.T) {
+	c := NewCluster(Options{Seed: 4, History: true})
+	defer c.Close()
+	c.Go(func(ctx *Ctx) {
+		s := ctx.Stream(0)
+		h := s.Commit(0, 1)
+		h.Wait()
+		s.Close(1, 1) // in flight at the cut
+		c.PowerCut()
+	})
+	c.Run()
+	var prefix uint64
+	c.Go(func(ctx *Ctx) {
+		rep := ctx.Recover()
+		prefix = rep.DurablePrefix(0)
+		if rep.Timing.OrderRebuild == 0 {
+			t.Error("order rebuild should take time")
+		}
+	})
+	c.Run()
+	if prefix < 1 {
+		t.Fatalf("durable prefix = %d, want >= 1 (group 1 was committed)", prefix)
+	}
+}
+
+func TestTargetCrashRecover(t *testing.T) {
+	c := NewCluster(Options{
+		Seed:    5,
+		Targets: []TargetSpec{{SSDs: []DeviceClass{Optane}}, {SSDs: []DeviceClass{Optane}}},
+	})
+	defer c.Close()
+	var handles []*Handle
+	c.Go(func(ctx *Ctx) {
+		s := ctx.Stream(0)
+		for i := 0; i < 16; i++ {
+			handles = append(handles, s.Close(uint64(i), 1))
+			ctx.Sleep(2 * sim.Microsecond)
+		}
+	})
+	c.Engine().At(20*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	c.RunFor(300 * sim.Microsecond)
+	c.Go(func(ctx *Ctx) {
+		rep := ctx.RecoverTarget(1)
+		if rep.Timing.Replayed == 0 {
+			t.Error("expected replayed requests")
+		}
+	})
+	c.Run()
+	for i, h := range handles {
+		if !h.Done() {
+			t.Fatalf("request %d lost after target recovery", i)
+		}
+	}
+}
+
+func TestFSOnPublicAPI(t *testing.T) {
+	c := NewCluster(Options{Seed: 6})
+	defer c.Close()
+	fsys := c.NewFS(RioFSFS, 4)
+	ok := false
+	c.Go(func(ctx *Ctx) {
+		f, err := fsys.Create(ctx.Proc(), "hello")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fsys.Append(ctx.Proc(), f, 4096); err != nil {
+			t.Error(err)
+			return
+		}
+		fsys.Fsync(ctx.Proc(), f, 0)
+		ok = true
+	})
+	c.Run()
+	if !ok {
+		t.Fatal("fs flow failed")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := NewCluster(Options{})
+	defer c.Close()
+	if c.Stack().Config().Streams != 24 {
+		t.Fatalf("default streams = %d", c.Stack().Config().Streams)
+	}
+	if got := c.Stack().Config().Mode.String(); got != "rio" {
+		t.Fatalf("default mode = %s", got)
+	}
+	off := false
+	c2 := NewCluster(Options{Merging: &off})
+	defer c2.Close()
+	if c2.Stack().Config().MergeEnabled {
+		t.Fatal("merging override ignored")
+	}
+}
