@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench bench-json ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Quick smoke of every experiment (same command CI runs).
+bench: build
+	$(GO) run ./cmd/riobench -exp all -quick
+
+# Regenerate the tracked perf-trajectory snapshot.
+bench-json: build
+	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_1.json
+
+ci: fmt-check vet build race bench

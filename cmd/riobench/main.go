@@ -7,23 +7,38 @@
 //	riobench -list
 //	riobench -exp fig10b
 //	riobench -exp all -quick
+//	riobench -exp scale -quick -json BENCH_1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// jsonReport is the schema riobench -json writes: headline metrics keyed
+// by experiment, so BENCH_*.json files track the perf trajectory
+// PR-over-PR.
+type jsonReport struct {
+	Schema      int                `json:"schema"`
+	Quick       bool               `json:"quick"`
+	Seed        int64              `json:"seed"`
+	Experiments []string           `json:"experiments"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		quick = flag.Bool("quick", false, "shorter windows and sweeps")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick    = flag.Bool("quick", false, "shorter windows and sweeps")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		list     = flag.Bool("list", false, "list experiment ids")
+		jsonPath = flag.String("json", "", "write headline metrics to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +57,7 @@ func main() {
 	if *exp == "all" {
 		names = bench.Names()
 	}
+	report := jsonReport{Schema: 1, Quick: *quick, Seed: *seed, Metrics: map[string]float64{}}
 	for _, n := range names {
 		start := time.Now()
 		r, err := bench.Run(n, opts)
@@ -51,5 +67,23 @@ func main() {
 		}
 		fmt.Print(r.Render())
 		fmt.Printf("(%s wall time: %.1fs)\n\n", n, time.Since(start).Seconds())
+		report.Experiments = append(report.Experiments, n)
+		for k, v := range r.Metrics {
+			report.Metrics[k] = v
+		}
+	}
+	if *jsonPath != "" {
+		sort.Strings(report.Experiments)
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "riobench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d metrics)\n", *jsonPath, len(report.Metrics))
 	}
 }

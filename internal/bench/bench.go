@@ -44,6 +44,18 @@ type Result struct {
 	Name   string
 	Tables []string
 	Notes  []string
+	// Metrics are headline numbers for machine consumption (riobench
+	// -json writes them to a BENCH_*.json so the perf trajectory is
+	// tracked PR-over-PR).
+	Metrics map[string]float64
+}
+
+// Metric records one headline number.
+func (r *Result) Metric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[key] = v
 }
 
 // Render formats the result for the terminal.
@@ -78,6 +90,7 @@ var Experiments = map[string]Runner{
 	"fig15a":   Fig15aVarmail,
 	"fig15b":   Fig15bRocksDB,
 	"recovery": RecoveryTimes,
+	"scale":    ScaleSweep,
 }
 
 // Names returns the experiment IDs in order.

@@ -7,7 +7,7 @@ import (
 
 func TestNamesComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig10a", "fig10b", "fig10c", "fig10d",
-		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp"}
+		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp", "scale"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v", names)
@@ -65,5 +65,35 @@ func TestFig14Table(t *testing.T) {
 	out := r.Render()
 	if !strings.Contains(out, "horaefs") || !strings.Contains(out, "riofs") {
 		t.Fatalf("fig14 output:\n%s", out)
+	}
+}
+
+// TestScaleSweep: the scale experiment must show Rio throughput rising
+// monotonically from 1 to 8 streams and a >= 30% hot-path allocation
+// reduction versus the unpooled ablation (the PR's acceptance bar).
+func TestScaleSweep(t *testing.T) {
+	r, err := Run("scale", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []float64{
+		r.Metrics["scale.rio.kiops.s1"],
+		r.Metrics["scale.rio.kiops.s2"],
+		r.Metrics["scale.rio.kiops.s4"],
+		r.Metrics["scale.rio.kiops.s8"],
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("rio throughput not monotonic over streams: %v", ks)
+		}
+	}
+	if red := r.Metrics["scale.rio.alloc_reduction"]; red < 0.3 {
+		t.Fatalf("hot-path allocation reduction = %.0f%%, want >= 30%%", 100*red)
+	}
+	if hr := r.Metrics["scale.rio.pool_hit_rate"]; hr < 0.9 {
+		t.Fatalf("steady-state pool hit rate = %.2f, want >= 0.9", hr)
+	}
+	if occ := r.Metrics["scale.rio.batch_occupancy"]; occ <= 1 {
+		t.Fatalf("batch occupancy = %.2f, want > 1 (doorbell coalescing)", occ)
 	}
 }

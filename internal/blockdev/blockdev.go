@@ -42,6 +42,12 @@ type Request struct {
 	Ticket *core.Ticket
 	Done   *sim.Signal
 
+	// DispatchScratch is opaque per-request storage owned by the dispatch
+	// layer: the stack tracks the wire commands carrying this request here
+	// instead of in a global map, and clears it when the completion is
+	// delivered.
+	DispatchScratch any
+
 	// HoraeIdx records, per target server, the per-server index the Horae
 	// control path persisted for this request, so the data path can
 	// correlate its commands to the control entries.
@@ -54,8 +60,15 @@ type Request struct {
 	DeliverAt   sim.Time // completion delivered to the application
 	SubmitSpent sim.Time // synchronous CPU time the submit call itself took
 
-	remaining int // outstanding wire fragments
+	remaining int         // outstanding wire fragments
+	ticket    core.Ticket // inline storage for Ticket (see TicketSlot)
 }
+
+// TicketSlot returns the request's inline ticket storage. The sequencer
+// fills it via SubmitInto, so attaching an ordering ticket costs no
+// separate allocation and the attribute stays readable for the whole
+// lifetime of the request — pool reuse elsewhere can never clobber it.
+func (r *Request) TicketSlot() *core.Ticket { return &r.ticket }
 
 // InitFragments records how many wire commands must complete before the
 // request is hardware-complete.

@@ -124,6 +124,12 @@ func AttrStamp(a Attr) uint64 {
 // per-fragment block counts (Fig. 8b). Fragments share ReqID and seq and
 // are merged back during recovery.
 func SplitAttr(a Attr, blocks []uint32) []Attr {
+	return SplitAttrInto(nil, a, blocks)
+}
+
+// SplitAttrInto is SplitAttr appending into dst[:0], so dispatch-path
+// callers can reuse one scratch slice across requests.
+func SplitAttrInto(dst []Attr, a Attr, blocks []uint32) []Attr {
 	if a.Merged() {
 		panic("core: cannot split a merged request")
 	}
@@ -137,7 +143,7 @@ func SplitAttr(a Attr, blocks []uint32) []Attr {
 	if total != a.Blocks {
 		panic("core: split block counts do not sum to request size")
 	}
-	out := make([]Attr, len(blocks))
+	out := dst[:0]
 	lba := a.LBA
 	for i, b := range blocks {
 		f := a
@@ -146,7 +152,7 @@ func SplitAttr(a Attr, blocks []uint32) []Attr {
 		f.Split = true
 		f.SplitIdx = uint16(i)
 		f.SplitCnt = uint16(len(blocks))
-		out[i] = f
+		out = append(out, f)
 		lba += uint64(b)
 	}
 	return out

@@ -29,17 +29,29 @@ func (s *Sequencer) Streams() int { return len(s.streams) }
 // Stream returns stream i.
 func (s *Sequencer) Stream(i int) *StreamSeq { return s.streams[i] }
 
-// Ticket tracks one submitted ordered request through its lifetime.
+// Ticket tracks one submitted ordered request through its lifetime. A
+// ticket's storage may be owned by the caller (embedded in the block
+// request, see SubmitInto) and reused across submissions once the
+// previous lifetime has ended in delivery.
 type Ticket struct {
 	Attr    Attr
 	deliver func()
 	done    bool
+	live    bool // registered in a stream's inflight set
 }
 
 type groupTrack struct {
 	outstanding int  // requests not yet hardware-complete
 	closed      bool // boundary seen
 	buffered    []*Ticket
+}
+
+// reset prepares a recycled groupTrack for a new group, keeping the
+// buffered slice's capacity.
+func (g *groupTrack) reset() {
+	g.outstanding = 0
+	g.closed = false
+	g.buffered = g.buffered[:0]
 }
 
 // StreamSeq is the per-stream state: global order on the submission side,
@@ -54,6 +66,8 @@ type StreamSeq struct {
 	fullyDone uint64 // all groups <= fullyDone are complete and delivered
 	groups    map[uint64]*groupTrack
 	inflight  map[uint32]*Ticket
+
+	groupFree []*groupTrack // free list of retired group trackers
 }
 
 func newStreamSeq(id uint16) *StreamSeq {
@@ -74,6 +88,18 @@ func (st *StreamSeq) ID() uint16 { return st.id }
 // the request with the durability barrier; ipu marks an in-place update.
 // deliver is called when the completion may be exposed in storage order.
 func (st *StreamSeq) Submit(lba uint64, blocks uint32, boundary, flush, ipu bool, deliver func()) *Ticket {
+	return st.SubmitInto(&Ticket{}, lba, blocks, boundary, flush, ipu, deliver)
+}
+
+// SubmitInto is Submit writing into caller-owned ticket storage (e.g. a
+// slot embedded in the block request), so attaching a ticket costs no
+// allocation. The storage may be reused for a later submission only after
+// the previous lifetime ended in delivery; reusing a live ticket would
+// corrupt the inflight set, so it panics.
+func (st *StreamSeq) SubmitInto(t *Ticket, lba uint64, blocks uint32, boundary, flush, ipu bool, deliver func()) *Ticket {
+	if t.live {
+		panic("core: SubmitInto would resurrect a live ticket")
+	}
 	a := Attr{
 		Stream:   st.id,
 		ReqID:    st.nextReqID,
@@ -89,7 +115,13 @@ func (st *StreamSeq) Submit(lba uint64, blocks uint32, boundary, flush, ipu bool
 	st.openCount++
 	g := st.groups[st.nextSeq]
 	if g == nil {
-		g = &groupTrack{}
+		if n := len(st.groupFree); n > 0 {
+			g = st.groupFree[n-1]
+			st.groupFree = st.groupFree[:n-1]
+			g.reset()
+		} else {
+			g = &groupTrack{}
+		}
 		st.groups[st.nextSeq] = g
 	}
 	g.outstanding++
@@ -99,7 +131,10 @@ func (st *StreamSeq) Submit(lba uint64, blocks uint32, boundary, flush, ipu bool
 		st.openCount = 0
 		st.nextSeq++
 	}
-	t := &Ticket{Attr: a, deliver: deliver}
+	t.Attr = a
+	t.deliver = deliver
+	t.done = false
+	t.live = true
 	st.inflight[a.ReqID] = t
 	return t
 }
@@ -149,12 +184,13 @@ func (st *StreamSeq) Completed(reqID uint32) []*Ticket {
 			break
 		}
 		delete(st.groups, st.fullyDone+1)
+		st.groupFree = append(st.groupFree, next)
 		st.fullyDone++
 		if ng := st.groups[st.fullyDone+1]; ng != nil {
 			for _, bt := range ng.buffered {
 				st.deliverTicket(bt, &delivered)
 			}
-			ng.buffered = nil
+			ng.buffered = ng.buffered[:0]
 		}
 	}
 	return delivered
@@ -162,6 +198,7 @@ func (st *StreamSeq) Completed(reqID uint32) []*Ticket {
 
 func (st *StreamSeq) deliverTicket(t *Ticket, out *[]*Ticket) {
 	delete(st.inflight, t.Attr.ReqID)
+	t.live = false // lifetime over: the storage may be reused
 	if t.deliver != nil {
 		t.deliver()
 	}

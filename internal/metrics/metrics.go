@@ -192,6 +192,73 @@ func (w Window) GBps() float64 {
 	return float64(w.Bytes) / 1e9 / w.Elapsed.Seconds()
 }
 
+// PoolStats counts free-list traffic on a hot path: Hits are objects
+// served from a pool (or from storage embedded in a longer-lived object),
+// Misses are fresh heap allocations. Misses is therefore the hot path's
+// allocation count.
+type PoolStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Hit records one pooled reuse.
+func (p *PoolStats) Hit() { p.Hits++ }
+
+// Miss records one fresh allocation.
+func (p *PoolStats) Miss() { p.Misses++ }
+
+// Gets returns the total number of object acquisitions.
+func (p PoolStats) Gets() int64 { return p.Hits + p.Misses }
+
+// HitRate returns the fraction of acquisitions served without allocating,
+// in [0,1].
+func (p PoolStats) HitRate() float64 {
+	if g := p.Gets(); g > 0 {
+		return float64(p.Hits) / float64(g)
+	}
+	return 0
+}
+
+// Sub returns the delta p - old.
+func (p PoolStats) Sub(old PoolStats) PoolStats {
+	return PoolStats{Hits: p.Hits - old.Hits, Misses: p.Misses - old.Misses}
+}
+
+// BatchStats tracks doorbell batching: Rings counts doorbell rings
+// (capsules sent), Items the commands they carried.
+type BatchStats struct {
+	Rings int64
+	Items int64
+}
+
+// Ring records one doorbell ring carrying n commands.
+func (b *BatchStats) Ring(n int) {
+	b.Rings++
+	b.Items += int64(n)
+}
+
+// Occupancy returns the mean commands per doorbell ring.
+func (b BatchStats) Occupancy() float64 {
+	if b.Rings > 0 {
+		return float64(b.Items) / float64(b.Rings)
+	}
+	return 0
+}
+
+// Sub returns the delta b - old.
+func (b BatchStats) Sub(old BatchStats) BatchStats {
+	return BatchStats{Rings: b.Rings - old.Rings, Items: b.Items - old.Items}
+}
+
+// AllocsPerOp returns allocations per operation, the hot-path efficiency
+// number the scale experiment tracks PR-over-PR.
+func AllocsPerOp(allocs, ops int64) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	return float64(allocs) / float64(ops)
+}
+
 // UtilSnapshot captures a resource busy-time integral at a point in time.
 type UtilSnapshot struct {
 	Busy     sim.Time

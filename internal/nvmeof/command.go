@@ -55,6 +55,9 @@ const (
 // data (the SQE itself plus fabrics framing).
 const CapsuleHeaderSize = 72
 
+// SQESize is the wire size of one submission queue entry.
+const SQESize = 64
+
 // ResponseSize is the wire size of a completion (CQE) capsule.
 const ResponseSize = 16
 
@@ -182,3 +185,58 @@ func FlushCommand(nsid uint32) SQE {
 // CapsuleSize returns the wire size of a command capsule carrying inline
 // data of the given byte length (NVMe-oF in-capsule data).
 func CapsuleSize(inline int) int { return CapsuleHeaderSize + inline }
+
+// Vectored batches (§4.3 in-order submission chains): all commands a
+// shard posts toward one target in one doorbell ring travel as a single
+// vectored submission. The fabrics framing is paid once for the whole
+// batch; each additional command adds only its 64-byte SQE, and the
+// ordering attributes ride with the batched data instead of one fully
+// framed capsule per block run. Entry i of n records its position in
+// dword 15 (reserved in write commands) so the target can verify the
+// batch arrived intact and was split on a target boundary.
+
+// MarkVector stamps position i of n into an SQE's vector dword.
+func (c *SQE) MarkVector(i, n int) {
+	c[15] = uint32(i) | uint32(n)<<16
+}
+
+// VectorPos returns an SQE's position within its vectored batch and the
+// batch length (1-based n; 0 means the SQE was never vector-marked).
+func (c *SQE) VectorPos() (i, n int) {
+	return int(c[15] & 0xffff), int(c[15] >> 16)
+}
+
+// EncodeVector marks a batch of SQEs as one vectored submission toward a
+// single target.
+func EncodeVector(sqes []*SQE) {
+	for i, c := range sqes {
+		c.MarkVector(i, len(sqes))
+	}
+}
+
+// CheckVector verifies that a received batch is a complete, in-order
+// vectored submission: every entry carries the same batch length and the
+// positions run 0..n-1. A violation means the dispatcher mixed targets
+// within one vector or the batch was torn in transit.
+func CheckVector(sqes []*SQE) error {
+	for i, c := range sqes {
+		pos, n := c.VectorPos()
+		if n != len(sqes) {
+			return fmt.Errorf("nvmeof: vector entry %d claims batch length %d, batch has %d", i, n, len(sqes))
+		}
+		if pos != i {
+			return fmt.Errorf("nvmeof: vector entry %d carries position %d", i, pos)
+		}
+	}
+	return nil
+}
+
+// VectorCapsuleSize returns the wire size of a vectored command capsule
+// carrying n SQEs and the given inline data bytes: one shared fabrics
+// framing plus one SQE per command.
+func VectorCapsuleSize(n, inline int) int {
+	if n <= 0 {
+		return 0
+	}
+	return CapsuleHeaderSize + (n-1)*SQESize + inline
+}

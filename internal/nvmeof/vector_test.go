@@ -1,0 +1,76 @@
+package nvmeof
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	sqes := make([]*SQE, 5)
+	for i := range sqes {
+		c := RioWriteCommand(0, core.Attr{Stream: 2, ReqID: uint32(i), SeqStart: 1, SeqEnd: 1, LBA: uint64(i * 8), Blocks: 8})
+		sqes[i] = &c
+	}
+	EncodeVector(sqes)
+	if err := CheckVector(sqes); err != nil {
+		t.Fatalf("intact vector rejected: %v", err)
+	}
+	for i, c := range sqes {
+		pos, n := c.VectorPos()
+		if pos != i || n != len(sqes) {
+			t.Fatalf("entry %d decoded as %d of %d", i, pos, n)
+		}
+		// The vector dword must not disturb the ordering attribute.
+		a, err := DecodeAttr(c)
+		if err != nil || a.ReqID != uint32(i) || a.LBA != uint64(i*8) {
+			t.Fatalf("attribute corrupted by vector marking: %+v, %v", a, err)
+		}
+	}
+}
+
+func TestCheckVectorTorn(t *testing.T) {
+	mk := func(n int) []*SQE {
+		out := make([]*SQE, n)
+		for i := range out {
+			c := WriteCommand(0, uint64(i), 1)
+			out[i] = &c
+		}
+		EncodeVector(out)
+		return out
+	}
+	// Truncated batch: entries claim a longer vector.
+	v := mk(4)
+	if err := CheckVector(v[:3]); err == nil {
+		t.Fatal("truncated vector accepted")
+	}
+	// Mixed batches: entry from another vector spliced in.
+	a, b := mk(3), mk(3)
+	a[1] = b[2]
+	if err := CheckVector(a); err == nil {
+		t.Fatal("spliced vector accepted")
+	}
+	// Single-command batches are valid vectors of one.
+	if err := CheckVector(mk(1)); err != nil {
+		t.Fatalf("singleton vector rejected: %v", err)
+	}
+}
+
+func TestVectorCapsuleSize(t *testing.T) {
+	if got := VectorCapsuleSize(1, 0); got != CapsuleHeaderSize {
+		t.Fatalf("one command = %d, want %d", got, CapsuleHeaderSize)
+	}
+	// n commands share one framing: cheaper than n full capsules.
+	n := 8
+	batched := VectorCapsuleSize(n, 0)
+	unbatched := n * CapsuleHeaderSize
+	if batched >= unbatched {
+		t.Fatalf("vectored batch (%d) not cheaper than %d capsules (%d)", batched, n, unbatched)
+	}
+	if want := CapsuleHeaderSize + (n-1)*SQESize; batched != want {
+		t.Fatalf("size = %d, want %d", batched, want)
+	}
+	if got := VectorCapsuleSize(2, 4096); got != CapsuleHeaderSize+SQESize+4096 {
+		t.Fatalf("inline accounting wrong: %d", got)
+	}
+}

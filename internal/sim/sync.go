@@ -65,6 +65,16 @@ func (s *Signal) Fire() {
 // Fired reports whether Fire has been called.
 func (s *Signal) Fired() bool { return s.fired }
 
+// Reset returns a fired signal to the unfired state so its storage can be
+// reused (pooled one-shot completions). Resetting a signal that still has
+// waiters would strand them, so it panics.
+func (s *Signal) Reset() {
+	if len(s.cond.waiters) > 0 {
+		panic("sim: reset of a signal with waiters")
+	}
+	s.fired = false
+}
+
 // Wait blocks p until the signal fires (returning immediately if it already
 // has).
 func (s *Signal) Wait(p *Proc) {

@@ -11,16 +11,21 @@ import (
 	"repro/internal/ssd"
 )
 
-// wireState tracks one NVMe-oF command from build to completion.
+// wireState tracks one NVMe-oF command from build to completion. The
+// WireCmd it carries is embedded (wc always points at wcs), so a pooled
+// wireState recycles the command struct and its payload slices along
+// with itself.
 type wireState struct {
 	id        uint64
 	wc        *blockdev.WireCmd
+	wcs       blockdev.WireCmd
 	sqe       nvmeof.SQE
 	target    int
 	ssdIdx    int
 	stream    int
 	qp        int
 	flushWire bool // explicit FLUSH command (Linux ordered path)
+	pinned    bool // target recovery still waits on hwDone: do not recycle
 	hwDone    *sim.Signal
 	pendingRq int // requests of wc not yet delivered (retire watermark)
 	serverIdx uint64
@@ -39,11 +44,25 @@ type wireState struct {
 	vecAttrs []core.Attr
 }
 
-// allHoraeAttrs returns every control-path attribute this data command
-// covers (its own plus any fused in).
-func (ws *wireState) allHoraeAttrs() []core.Attr {
-	out := []core.Attr{ws.wc.Attr}
-	return append(out, ws.horaeAttrs...)
+// reset prepares a (fresh or recycled) wireState for a new command,
+// keeping slice capacities but none of the old contents. Data is dropped
+// rather than truncated: code distinguishes nil from empty payloads.
+func (ws *wireState) reset() {
+	ws.wc = &ws.wcs
+	ws.sqe = nvmeof.SQE{}
+	ws.target = 0
+	ws.ssdIdx = 0
+	ws.qp = 0
+	ws.flushWire = false
+	ws.pinned = false
+	ws.pendingRq = 0
+	ws.serverIdx = 0
+	ws.horaeAttrs = ws.horaeAttrs[:0]
+	ws.vecAttrs = ws.vecAttrs[:0]
+	ws.wcs = blockdev.WireCmd{
+		Stamps: ws.wcs.Stamps[:0],
+		Reqs:   ws.wcs.Reqs[:0],
+	}
 }
 
 // retire is a piggybacked watermark: all PMR entries of stream with
@@ -84,17 +103,6 @@ type horaeStage struct {
 	ctrls map[int][]*ctrlReq
 }
 
-// plugState is the per-stream plug list (blk_start_plug semantics): back-
-// to-back submissions accumulate here so the scheduler can merge them. The
-// plug drains (a) inline in the submitting thread when it blocks in Wait
-// or exceeds MaxPlug — Linux flushes plugs on schedule() — or (b) via a
-// short timer into the dispatcher when the thread goes on computing.
-type plugState struct {
-	reqs  []*blockdev.Request
-	armed bool
-	held  bool // explicit blk_start_plug: no timer flush until FinishPlug
-}
-
 // ClusterStats aggregates initiator-side counters.
 type ClusterStats struct {
 	Submitted    int64
@@ -103,6 +111,32 @@ type ClusterStats struct {
 	WireMessages int64
 	FusedCmds    int64 // commands eliminated by merging
 	Holdbacks    int64 // target-side in-order submission stalls
+
+	// Pool tracks the dispatch hot path's object traffic: tickets, wire
+	// commands and wire tracking lists. Misses are heap allocations, so
+	// Pool.Misses/Submitted is the hot path's allocs-per-request figure.
+	Pool metrics.PoolStats
+	// Batch tracks doorbell coalescing: commands per vectored capsule.
+	Batch metrics.BatchStats
+}
+
+// AllocsPerReq returns hot-path allocations per submitted request.
+func (s ClusterStats) AllocsPerReq() float64 {
+	return metrics.AllocsPerOp(s.Pool.Misses, s.Submitted)
+}
+
+// Sub returns the counter deltas s - old (for measurement windows).
+func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
+	return ClusterStats{
+		Submitted:    s.Submitted - old.Submitted,
+		Completed:    s.Completed - old.Completed,
+		WireCmds:     s.WireCmds - old.WireCmds,
+		WireMessages: s.WireMessages - old.WireMessages,
+		FusedCmds:    s.FusedCmds - old.FusedCmds,
+		Holdbacks:    s.Holdbacks - old.Holdbacks,
+		Pool:         s.Pool.Sub(old.Pool),
+		Batch:        s.Batch.Sub(old.Batch),
+	}
 }
 
 // Cluster is one initiator server plus its target servers.
@@ -115,20 +149,34 @@ type Cluster struct {
 	initCores *sim.Resource
 	targets   []*Target
 
-	seq      *core.Sequencer
-	streamQs []*sim.Queue[*blockdev.Request]
+	seq    *core.Sequencer
+	shards []*shard // one submission shard per stream
 
 	outstanding map[uint64]*wireState
 	nextCmdID   uint64
 	linuxMu     *sim.Resource
 	cplQ        *sim.Queue[*completionMsg]
 	retireMark  map[[2]int]uint64 // {stream, target} -> watermark
-	reqWires    map[*blockdev.Request][]*wireState
-	horaeBufs   []*horaeStage
-	plugs       []*plugState
 	epoch       int
 
+	// fuseWires scratch: per-device batch tails, generation-stamped so a
+	// dispatch never reads a previous batch's tail (the slice is only
+	// touched between yields, so sharing it across shards is safe).
+	fuseTails []fuseTail
+	fuseGen   uint64
+
+	// buildWires scratch, shared by all shards: buildWires never yields,
+	// so one set serves every caller without handoff bookkeeping.
+	pieceBuf []piece
+	attrBuf  []core.Attr
+	blockBuf []uint32
+
 	stats ClusterStats
+}
+
+type fuseTail struct {
+	gen uint64
+	ws  *wireState
 }
 
 // New builds and starts a cluster.
@@ -159,12 +207,12 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		}
 	}
 	c.vol = blockdev.NewVolume(devs, cfg.ChunkBlocks)
+	c.fuseTails = make([]fuseTail, c.vol.Devices())
 	for s := 0; s < cfg.Streams; s++ {
-		q := sim.NewQueue[*blockdev.Request](eng)
-		c.streamQs = append(c.streamQs, q)
-		stream := s
+		sh := newShard(c, s)
+		c.shards = append(c.shards, sh)
 		eng.Go(fmt.Sprintf("init/dispatch%d", s), func(p *sim.Proc) {
-			c.dispatchLoop(p, stream, q)
+			c.dispatchLoop(p, sh)
 		})
 	}
 	// Initiator completion workers (softirq context).
@@ -331,8 +379,7 @@ func (c *Cluster) FlushDevice(p *sim.Proc, stream int) {
 	var states []*wireState
 	for d := 0; d < c.vol.Devices(); d++ {
 		ref := c.vol.Dev(d)
-		ws := c.newWire(&blockdev.WireCmd{Dev: d, Flush: true}, stream)
-		ws.flushWire = true
+		ws := c.newFlushWire(d, stream)
 		ws.sqe = nvmeof.FlushCommand(uint32(ref.SSD))
 		states = append(states, ws)
 	}
@@ -341,37 +388,75 @@ func (c *Cluster) FlushDevice(p *sim.Proc, stream int) {
 	for _, ws := range states {
 		c.blockingWait(p, ws.hwDone)
 	}
+	c.putFlushWires(states)
 }
 
-func (c *Cluster) newWire(wc *blockdev.WireCmd, stream int) *wireState {
-	c.nextCmdID++
-	ws := &wireState{
-		id:     c.nextCmdID,
-		wc:     wc,
-		stream: stream,
-		hwDone: sim.NewSignal(c.Eng),
-		epoch:  c.epoch,
+// newWire checks a wireState (with its embedded WireCmd) out of the
+// stream's shard pool, resets it, and registers it as outstanding. The
+// caller fills ws.wc and then resolves routing with bindWire.
+func (c *Cluster) newWire(stream int) *wireState {
+	sh := c.shards[stream]
+	var ws *wireState
+	if n := len(sh.wireFree); n > 0 && c.cfg.Pooling {
+		ws = sh.wireFree[n-1]
+		sh.wireFree = sh.wireFree[:n-1]
+		ws.hwDone.Reset()
+		c.stats.Pool.Hit()
+	} else {
+		ws = &wireState{hwDone: sim.NewSignal(c.Eng)}
+		c.stats.Pool.Miss()
 	}
-	ref := c.vol.Dev(wc.Dev)
-	ws.target = ref.Server
-	ws.ssdIdx = ref.SSD
-	ws.pendingRq = len(wc.Reqs)
+	ws.reset()
+	c.nextCmdID++
+	ws.id = c.nextCmdID
+	ws.stream = stream
+	ws.epoch = c.epoch
 	c.outstanding[ws.id] = ws
 	return ws
 }
 
+// bindWire resolves the wire command's device reference to its target
+// server and SSD, and arms the per-request delivery count.
+func (c *Cluster) bindWire(ws *wireState) {
+	ref := c.vol.Dev(ws.wc.Dev)
+	ws.target = ref.Server
+	ws.ssdIdx = ref.SSD
+	ws.pendingRq = len(ws.wc.Reqs)
+}
+
+// newFlushWire builds a standalone FLUSH command toward device d.
+func (c *Cluster) newFlushWire(d, stream int) *wireState {
+	ws := c.newWire(stream)
+	ws.wc.Dev = d
+	ws.wc.Flush = true
+	ws.flushWire = true
+	c.bindWire(ws)
+	return ws
+}
+
+// putFlushWires recycles standalone flush commands once their waits have
+// returned (they carry no requests, so delivery never recycles them).
+func (c *Cluster) putFlushWires(states []*wireState) {
+	for _, ws := range states {
+		if ws.epoch == c.epoch {
+			c.shards[ws.stream].putWire(c, ws)
+		}
+	}
+}
+
 func (c *Cluster) horaeBuf(stream int) *horaeStage {
-	if c.horaeBufs == nil {
-		c.horaeBufs = make([]*horaeStage, c.cfg.Streams)
+	sh := c.shards[stream]
+	if sh.horae == nil {
+		sh.horae = &horaeStage{ctrls: map[int][]*ctrlReq{}}
 	}
-	if c.horaeBufs[stream] == nil {
-		c.horaeBufs[stream] = &horaeStage{ctrls: map[int][]*ctrlReq{}}
-	}
-	return c.horaeBufs[stream]
+	return sh.horae
 }
 
 func (c *Cluster) qpFor(stream int) int {
 	if c.cfg.StreamAffinity {
+		if stream < len(c.shards) {
+			return c.shards[stream].qp
+		}
 		return stream % c.cfg.QPs
 	}
 	return c.Eng.Rand().Intn(c.cfg.QPs)

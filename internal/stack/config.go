@@ -124,6 +124,7 @@ type Config struct {
 	ChunkBlocks     int  // volume stripe chunk (blocks); 1 = paper's round-robin
 	MergeEnabled    bool // Rio I/O scheduler merging (and orderless plug merging)
 	StreamAffinity  bool // Principle 2: pin each stream to one QP
+	Pooling         bool // shard free-list pooling of hot-path objects (off = allocate per call, as the seed dispatch did)
 	InlineThreshold int  // max bytes of in-capsule data per command
 	MaxPlug         int  // dispatch batch size
 	DeviceBlocks    uint64
@@ -148,6 +149,7 @@ func DefaultConfig(mode Mode, targets ...TargetConfig) Config {
 		ChunkBlocks:     1,
 		MergeEnabled:    true,
 		StreamAffinity:  true,
+		Pooling:         true,
 		InlineThreshold: 8192,
 		MaxPlug:         32,
 		DeviceBlocks:    1 << 22, // 16 GiB per SSD

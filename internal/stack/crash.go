@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/nvmeof"
@@ -65,12 +64,12 @@ func (c *Cluster) PowerCutAll() {
 	c.epoch++
 	c.seq = core.NewSequencer(c.cfg.Streams)
 	c.outstanding = make(map[uint64]*wireState)
-	c.reqWires = make(map[*blockdev.Request][]*wireState)
 	c.retireMark = make(map[[2]int]uint64)
-	c.plugs = nil
-	c.horaeBufs = nil
-	for _, q := range c.streamQs {
-		q.Drain()
+	// Drop every shard's staged work and pools: pooled objects of the dead
+	// epoch may still be referenced by in-flight capsules and must not be
+	// reissued.
+	for _, sh := range c.shards {
+		sh.crashReset()
 	}
 	c.cplQ.Drain()
 }
@@ -247,6 +246,12 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 		}
 	}
 	tm.Replayed = len(replay)
+	// Pin the replay set: a replayed command whose requests all deliver
+	// before the wait loop below reaches it must not be recycled (a new
+	// owner would Reset the very hwDone signal recovery still waits on).
+	for _, ws := range replay {
+		ws.pinned = true
+	}
 	// Post per stream to preserve order on the wire.
 	byStream := map[int][]*wireState{}
 	var streamsOrder []int
@@ -260,9 +265,16 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 	for _, s := range streamsOrder {
 		c.postByTarget(p, byStream[s], s)
 	}
-	// Wait until every replayed command completes.
+	// Wait until every replayed command completes, then release the ones
+	// whose requests have all been delivered back to their pools.
 	for _, ws := range replay {
 		c.blockingWait(p, ws.hwDone)
+	}
+	for _, ws := range replay {
+		ws.pinned = false
+		if ws.pendingRq == 0 && ws.epoch == c.epoch {
+			c.shards[ws.stream].putWire(c, ws)
+		}
 	}
 	tm.DataRecovery = p.Now() - start
 	return report, tm

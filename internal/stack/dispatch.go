@@ -8,13 +8,33 @@ import (
 	"repro/internal/sim"
 )
 
-// reqWires tracks which wire commands carry (parts of) a request, for the
-// retire-watermark protocol. Stored cluster-side, keyed by request.
+// trackWires records that ws carries (part of) req, for the
+// retire-watermark protocol. The tracking list lives in the request's
+// dispatch scratch slot and returns to the stream shard's pool at
+// delivery — there is no global request→wires map.
 func (c *Cluster) trackWires(req *blockdev.Request, ws *wireState) {
-	if c.reqWires == nil {
-		c.reqWires = make(map[*blockdev.Request][]*wireState)
+	wl, _ := req.DispatchScratch.(*wireList)
+	if wl == nil {
+		wl = c.shards[req.Stream].getList(c)
+		req.DispatchScratch = wl
 	}
-	c.reqWires[req] = append(c.reqWires[req], ws)
+	wl.ws = append(wl.ws, ws)
+}
+
+// attachTicket creates the ordering attribute for req. With pooling the
+// ticket lives in storage embedded in the request itself (no allocation,
+// and the attribute stays readable for the request's whole lifetime);
+// the unpooled ablation allocates per call, as the seed dispatch did.
+func (c *Cluster) attachTicket(req *blockdev.Request, st *core.StreamSeq) {
+	deliver := func() { c.deliver(req) }
+	if c.cfg.Pooling {
+		req.Ticket = st.SubmitInto(req.TicketSlot(), req.LBA, req.Blocks,
+			req.Boundary, req.Flush, req.IPU, deliver)
+		c.stats.Pool.Hit()
+		return
+	}
+	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, deliver)
+	c.stats.Pool.Miss()
 }
 
 // submitRio is the Rio path (Fig. 4 steps 1-2): attach an ordering
@@ -22,10 +42,7 @@ func (c *Cluster) trackWires(req *blockdev.Request, ws *wireState) {
 // downstream is asynchronous.
 func (c *Cluster) submitRio(p *sim.Proc, req *blockdev.Request) {
 	c.useInitCPU(p, c.costs.SubmitBio)
-	st := c.seq.Stream(req.Stream)
-	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, func() {
-		c.deliver(req)
-	})
+	c.attachTicket(req, c.seq.Stream(req.Stream))
 	c.plugAdd(p, req)
 }
 
@@ -36,40 +53,31 @@ func (c *Cluster) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 	c.plugAdd(p, req)
 }
 
-// plugAdd stages a request on the stream's plug. Overflow drains inline in
-// the caller's context (the submitting thread pays the scheduler CPU, as
-// in Linux); otherwise a short timer hands leftovers to the dispatcher.
+// plugAdd stages a request on the stream shard's plug. Overflow drains
+// inline in the caller's context (the submitting thread pays the
+// scheduler CPU, as in Linux); otherwise a short timer hands leftovers to
+// the shard's dispatcher.
 const plugHold = 2 * sim.Microsecond
 
 func (c *Cluster) plugAdd(p *sim.Proc, req *blockdev.Request) {
-	if c.plugs == nil {
-		c.plugs = make([]*plugState, c.cfg.Streams)
-	}
-	stream := req.Stream
-	pl := c.plugs[stream]
-	if pl == nil {
-		pl = &plugState{}
-		c.plugs[stream] = pl
-	}
-	pl.reqs = append(pl.reqs, req)
-	if len(pl.reqs) >= c.cfg.MaxPlug {
-		batch := pl.reqs
-		pl.reqs = nil
-		c.dispatchBatch(p, stream, batch)
+	sh := c.shards[req.Stream]
+	sh.plugged = append(sh.plugged, req)
+	if len(sh.plugged) >= c.cfg.MaxPlug {
+		c.dispatchPlug(p, sh)
 		return
 	}
-	if !pl.armed && !pl.held {
-		pl.armed = true
+	if !sh.armed && !sh.held {
+		sh.armed = true
 		epoch := c.epoch
 		c.Eng.At(plugHold, func() {
-			pl.armed = false
-			if epoch != c.epoch || pl.held || len(pl.reqs) == 0 {
+			sh.armed = false
+			if epoch != c.epoch || sh.held || len(sh.plugged) == 0 {
 				return
 			}
-			for _, r := range pl.reqs {
-				c.streamQs[stream].Push(r)
+			for _, r := range sh.plugged {
+				sh.q.Push(r)
 			}
-			pl.reqs = nil
+			sh.plugged = sh.plugged[:0]
 		})
 	}
 }
@@ -77,38 +85,36 @@ func (c *Cluster) plugAdd(p *sim.Proc, req *blockdev.Request) {
 // StartPlug opens an explicit plug window on a stream (blk_start_plug):
 // submissions stage until FinishPlug, maximizing scheduler merging.
 func (c *Cluster) StartPlug(stream int) {
-	if c.plugs == nil {
-		c.plugs = make([]*plugState, c.cfg.Streams)
-	}
-	if c.plugs[stream] == nil {
-		c.plugs[stream] = &plugState{}
-	}
-	c.plugs[stream].held = true
+	c.shards[stream].held = true
 }
 
 // FinishPlug closes the plug window and dispatches the staged batch in the
 // caller's context (blk_finish_plug).
 func (c *Cluster) FinishPlug(p *sim.Proc, stream int) {
-	if c.plugs == nil || c.plugs[stream] == nil {
-		return
-	}
-	c.plugs[stream].held = false
+	sh := c.shards[stream]
+	sh.held = false
 	c.plugFlush(p, stream)
 }
 
 // plugFlush drains a stream's plug inline (called when the submitter is
 // about to block — Linux's flush-on-schedule).
 func (c *Cluster) plugFlush(p *sim.Proc, stream int) {
-	if c.plugs == nil || stream >= len(c.plugs) {
+	if stream >= len(c.shards) {
 		return
 	}
-	pl := c.plugs[stream]
-	if pl == nil || len(pl.reqs) == 0 {
+	sh := c.shards[stream]
+	if len(sh.plugged) == 0 {
 		return
 	}
-	batch := pl.reqs
-	pl.reqs = nil
-	c.dispatchBatch(p, stream, batch)
+	c.dispatchPlug(p, sh)
+}
+
+// dispatchPlug hands the shard's staged batch to dispatch and recycles
+// the batch's backing array afterwards.
+func (c *Cluster) dispatchPlug(p *sim.Proc, sh *shard) {
+	batch := sh.takePlug()
+	c.dispatchBatch(p, sh.stream, batch)
+	sh.putPlugBatch(batch)
 }
 
 // submitHorae runs Horae's control path before the data path. Control
@@ -121,9 +127,7 @@ func (c *Cluster) plugFlush(p *sim.Proc, stream int) {
 func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 	c.useInitCPU(p, c.costs.SubmitBio)
 	st := c.seq.Stream(req.Stream)
-	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, func() {
-		c.deliver(req)
-	})
+	c.attachTicket(req, st)
 	buf := c.horaeBuf(req.Stream)
 	req.HoraeIdx = make(map[int]uint64)
 	targets := map[int]bool{}
@@ -166,7 +170,7 @@ func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 	}
 	// Control metadata persisted: release the group to the data path.
 	for _, r := range buf.reqs {
-		c.streamQs[r.Stream].Push(r)
+		c.shards[r.Stream].q.Push(r)
 	}
 	buf.reqs = nil
 	buf.ctrls = map[int][]*ctrlReq{}
@@ -178,7 +182,7 @@ func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
 	c.useInitCPU(p, c.costs.SubmitBio)
 	c.linuxMu.Acquire(p)
-	wires := c.buildWires(req)
+	wires := c.buildWires(nil, req)
 	c.postByTarget(p, wires, req.Stream)
 	for _, ws := range wires {
 		c.blockingWait(p, ws.hwDone)
@@ -194,8 +198,7 @@ func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
 		if c.targets[ws.target].ssds[ws.ssdIdx].HasPLP() {
 			continue
 		}
-		fw := c.newWire(&blockdev.WireCmd{Dev: ws.wc.Dev, Flush: true}, req.Stream)
-		fw.flushWire = true
+		fw := c.newFlushWire(ws.wc.Dev, req.Stream)
 		fw.sqe = nvmeof.FlushCommand(uint32(ws.ssdIdx))
 		c.useInitCPU(p, c.costs.CmdBuild)
 		flushes = append(flushes, fw)
@@ -205,42 +208,55 @@ func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
 		for _, fw := range flushes {
 			c.blockingWait(p, fw.hwDone)
 		}
+		c.putFlushWires(flushes)
 	}
 	c.linuxMu.Release()
 	c.deliver(req)
 }
 
-// deliver exposes a completion to the application and updates the retire
-// watermarks for the PMR log entries the request touched.
+// deliver exposes a completion to the application, updates the retire
+// watermarks for the PMR log entries the request touched, and recycles
+// the request's wire commands once their last origin request is out.
 func (c *Cluster) deliver(req *blockdev.Request) {
 	req.DeliverAt = c.Eng.Now()
-	for _, ws := range c.reqWires[req] {
-		ws.pendingRq--
-		if ws.pendingRq == 0 && ws.serverIdx > 0 {
-			k := [2]int{ws.stream, ws.target}
-			if ws.serverIdx > c.retireMark[k] {
-				c.retireMark[k] = ws.serverIdx
+	if wl, ok := req.DispatchScratch.(*wireList); ok {
+		sh := c.shards[req.Stream]
+		for _, ws := range wl.ws {
+			ws.pendingRq--
+			if ws.pendingRq != 0 {
+				continue
+			}
+			if ws.serverIdx > 0 {
+				k := [2]int{ws.stream, ws.target}
+				if ws.serverIdx > c.retireMark[k] {
+					c.retireMark[k] = ws.serverIdx
+				}
+			}
+			if ws.epoch == c.epoch && !ws.pinned {
+				c.shards[ws.stream].putWire(c, ws)
 			}
 		}
+		sh.putList(c, wl)
+		req.DispatchScratch = nil
 	}
-	delete(c.reqWires, req)
 	req.Done.Fire()
 }
 
-// dispatchLoop drains one stream's queue with plugging: requests that
+// dispatchLoop drains one shard's queue with plugging: requests that
 // accumulate while the dispatcher works are batched, enabling merging.
-func (c *Cluster) dispatchLoop(p *sim.Proc, stream int, q *sim.Queue[*blockdev.Request]) {
+func (c *Cluster) dispatchLoop(p *sim.Proc, sh *shard) {
 	for {
-		first := q.Pop(p)
-		batch := []*blockdev.Request{first}
+		first := sh.q.Pop(p)
+		batch := append(sh.loopBatch[:0], first)
 		for len(batch) < c.cfg.MaxPlug {
-			r, ok := q.TryPop()
+			r, ok := sh.q.TryPop()
 			if !ok {
 				break
 			}
 			batch = append(batch, r)
 		}
-		c.dispatchBatch(p, stream, batch)
+		sh.loopBatch = batch
+		c.dispatchBatch(p, sh.stream, batch)
 	}
 }
 
@@ -248,10 +264,11 @@ func (c *Cluster) dispatchLoop(p *sim.Proc, stream int, q *sim.Queue[*blockdev.R
 // transfer-limit splitting, scheduler merging, per-server index
 // assignment, command build and posting.
 func (c *Cluster) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Request) {
-	var wires []*wireState
+	sh := c.shards[stream]
+	wires := sh.getBatchBuf()
 	for _, req := range batch {
 		req.DispatchAt = p.Now()
-		wires = append(wires, c.buildWires(req)...)
+		wires = c.buildWires(wires, req)
 	}
 	if c.cfg.MergeEnabled && len(wires) > 1 {
 		wires = c.fuseWires(p, wires)
@@ -259,17 +276,23 @@ func (c *Cluster) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Reque
 	c.assignOrderState(wires)
 	c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(wires)))
 	c.postByTarget(p, wires, stream)
+	sh.putBatchBuf(wires)
+}
+
+// piece is one device-contiguous fragment of a request after striping and
+// transfer-limit splitting.
+type piece struct {
+	ext    blockdev.Extent
+	offset uint32
 }
 
 // buildWires splits one request into per-device wire commands respecting
-// stripe geometry and the SSD transfer limit. For ordered requests the
-// ordering attribute is split alongside (Fig. 8b).
-func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
-	type piece struct {
-		ext    blockdev.Extent
-		offset uint32
-	}
-	var pieces []piece
+// stripe geometry and the SSD transfer limit, appending them to dst. For
+// ordered requests the ordering attribute is split alongside (Fig. 8b).
+// The piece and attribute scratch slices live on the cluster: buildWires
+// never yields, so one scratch set serves every caller.
+func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireState {
+	pieces := c.pieceBuf[:0]
 	maxBlocks := uint32(32)
 	for _, ext := range c.vol.Extents(req.LBA, req.Blocks) {
 		if int(ext.Blocks) > int(maxBlocks) {
@@ -287,6 +310,7 @@ func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
 			pieces = append(pieces, piece{ext, ext.Offset})
 		}
 	}
+	c.pieceBuf = pieces
 	req.InitFragments(len(pieces))
 
 	// Attribute geometry: single piece keeps the ticket attr; multiple
@@ -298,17 +322,19 @@ func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
 			a := base
 			a.LBA = pieces[0].ext.DevLBA
 			a.Blocks = pieces[0].ext.Blocks
-			attrs = []core.Attr{a}
+			attrs = append(c.attrBuf[:0], a)
 		} else {
-			blocks := make([]uint32, len(pieces))
-			for i, pc := range pieces {
-				blocks[i] = pc.ext.Blocks
+			blocks := c.blockBuf[:0]
+			for _, pc := range pieces {
+				blocks = append(blocks, pc.ext.Blocks)
 			}
-			attrs = core.SplitAttr(base, blocks)
+			c.blockBuf = blocks
+			attrs = core.SplitAttrInto(c.attrBuf, base, blocks)
 			for i := range attrs {
 				attrs[i].LBA = pieces[i].ext.DevLBA
 			}
 		}
+		c.attrBuf = attrs
 		for i := range attrs {
 			attrs[i].NS = uint16(c.vol.Dev(pieces[i].ext.Dev).SSD)
 			if c.cfg.Mode == ModeHorae {
@@ -319,18 +345,16 @@ func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
 		}
 	}
 
-	var out []*wireState
 	for i, pc := range pieces {
-		wc := &blockdev.WireCmd{
-			Dev:     pc.ext.Dev,
-			LBA:     pc.ext.DevLBA,
-			Blocks:  pc.ext.Blocks,
-			Ordered: req.Ordered,
-			Reqs:    []*blockdev.Request{req},
-		}
-		wc.Stamps = make([]uint64, pc.ext.Blocks)
-		for j := range wc.Stamps {
-			wc.Stamps[j] = req.Stamp
+		ws := c.newWire(req.Stream)
+		wc := ws.wc
+		wc.Dev = pc.ext.Dev
+		wc.LBA = pc.ext.DevLBA
+		wc.Blocks = pc.ext.Blocks
+		wc.Ordered = req.Ordered
+		wc.Reqs = append(wc.Reqs, req)
+		for j := uint32(0); j < pc.ext.Blocks; j++ {
+			wc.Stamps = append(wc.Stamps, req.Stamp)
 		}
 		if req.Data != nil {
 			wc.Data = make([][]byte, pc.ext.Blocks)
@@ -343,33 +367,37 @@ func (c *Cluster) buildWires(req *blockdev.Request) []*wireState {
 		if attrs != nil {
 			wc.Attr = attrs[i]
 		}
-		ws := c.newWire(wc, req.Stream)
+		c.bindWire(ws)
 		c.trackWires(req, ws)
-		out = append(out, ws)
+		dst = append(dst, ws)
 	}
-	return out
+	return dst
 }
 
 // fuseWires applies the Rio scheduler's merging per device, preserving the
 // ORDER-queue order (no reordering, §4.5 Principle 3). Orderless requests
-// merge on plain contiguity (classic plug merging, Fig. 3).
+// merge on plain contiguity (classic plug merging, Fig. 3). Fused-away
+// commands return to their shard's pool immediately: they were never
+// posted. The compaction is in place — out never outruns the read index.
 func (c *Cluster) fuseWires(p *sim.Proc, wires []*wireState) []*wireState {
-	var out []*wireState
-	// Per-device tails: we only fuse a command into the most recent
-	// command for the same device, so queue order within a device holds.
-	tail := map[int]*wireState{}
+	out := wires[:0]
+	c.fuseGen++
 	var checks int
 	for _, ws := range wires {
-		prev := tail[ws.wc.Dev]
+		var prev *wireState
+		if t := c.fuseTails[ws.wc.Dev]; t.gen == c.fuseGen {
+			prev = t.ws
+		}
 		if prev != nil && !prev.flushWire && !ws.flushWire {
 			checks++
 			if c.tryFuse(prev, ws) {
 				c.stats.FusedCmds++
 				delete(c.outstanding, ws.id)
+				c.shards[ws.stream].putWire(c, ws)
 				continue
 			}
 		}
-		tail[ws.wc.Dev] = ws
+		c.fuseTails[ws.wc.Dev] = fuseTail{gen: c.fuseGen, ws: ws}
 		out = append(out, ws)
 	}
 	if checks > 0 {
@@ -392,18 +420,17 @@ func (c *Cluster) tryFuse(a, b *wireState) bool {
 					a.wc.Attr.Split || b.wc.Attr.Split {
 					return false
 				}
-				aAttrs := a.vecAttrs
-				if aAttrs == nil {
-					aAttrs = []core.Attr{a.wc.Attr}
-				}
-				bAttrs := b.vecAttrs
-				if bAttrs == nil {
-					bAttrs = []core.Attr{b.wc.Attr}
-				}
 				if !contigFuse(a.wc, b.wc, 32) {
 					return false
 				}
-				a.vecAttrs = append(aAttrs, bAttrs...)
+				if len(a.vecAttrs) == 0 {
+					a.vecAttrs = append(a.vecAttrs, a.wc.Attr)
+				}
+				if len(b.vecAttrs) == 0 {
+					a.vecAttrs = append(a.vecAttrs, b.wc.Attr)
+				} else {
+					a.vecAttrs = append(a.vecAttrs, b.vecAttrs...)
+				}
 			}
 		case ModeHorae:
 			// Horae merges data-path requests on contiguity; ordering
@@ -412,7 +439,8 @@ func (c *Cluster) tryFuse(a, b *wireState) bool {
 			if !contigFuse(a.wc, b.wc, 32) {
 				return false
 			}
-			a.horaeAttrs = append(a.horaeAttrs, b.allHoraeAttrs()...)
+			a.horaeAttrs = append(a.horaeAttrs, b.wc.Attr)
+			a.horaeAttrs = append(a.horaeAttrs, b.horaeAttrs...)
 		default:
 			return false
 		}
@@ -430,10 +458,11 @@ func (c *Cluster) tryFuse(a, b *wireState) bool {
 }
 
 func (c *Cluster) replaceWire(req *blockdev.Request, from, to *wireState) {
-	ws := c.reqWires[req]
-	for i, w := range ws {
-		if w == from {
-			ws[i] = to
+	if wl, ok := req.DispatchScratch.(*wireList); ok {
+		for i, w := range wl.ws {
+			if w == from {
+				wl.ws[i] = to
+			}
 		}
 	}
 }
@@ -494,40 +523,52 @@ func (c *Cluster) assignOrderState(wires []*wireState) {
 	}
 }
 
-// postByTarget groups wire commands into per-target capsules (posted lists
-// sharing a doorbell) and sends them.
+// postByTarget coalesces wire commands into one vectored batch per target
+// and doorbell ring: the batch shares a capsule (one fabrics framing, one
+// PostMsg) and each command is vector-marked so the target can verify the
+// batch was split exactly on target boundaries (§4.3 in-order chains).
+//
+// The batch is partitioned into per-target capsules BEFORE the first
+// yield: once a capsule toward an earlier target is posted, its commands
+// can complete, deliver and be recycled — rescanning the shared wires
+// slice after that could pick up a recycled wireState already rebound to
+// a new command. Commands still waiting in a later capsule cannot be
+// recycled (their origin requests count this unposted fragment), so the
+// pre-built lists stay valid across the posting yields.
 func (c *Cluster) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 	c.stats.WireCmds += int64(len(wires))
-	for ti := range c.targets {
-		var list []*wireState
-		inline := 0
-		for _, ws := range wires {
-			if ws.target != ti {
-				continue
-			}
-			list = append(list, ws)
-			if !ws.flushWire {
-				inline += ws.wc.InlineBytes(c.cfg.InlineThreshold)
-			}
+	caps := make([]*capsule, len(c.targets))
+	for _, ws := range wires {
+		cp := caps[ws.target]
+		if cp == nil {
+			cp = &capsule{epoch: c.epoch}
+			caps[ws.target] = cp
 		}
-		if len(list) == 0 {
+		cp.cmds = append(cp.cmds, ws)
+		if !ws.flushWire {
+			cp.inline += ws.wc.InlineBytes(c.cfg.InlineThreshold)
+		}
+	}
+	for ti, cp := range caps {
+		if cp == nil {
 			continue
 		}
-		caps := &capsule{cmds: list, inline: inline, epoch: c.epoch}
 		if c.cfg.Mode == ModeRio {
 			k := [2]int{stream, ti}
 			if mark := c.retireMark[k]; mark > 0 {
-				caps.retires = append(caps.retires, retire{stream: uint16(stream), upTo: mark})
+				cp.retires = append(cp.retires, retire{stream: uint16(stream), upTo: mark})
 			}
 		}
 		qp := c.qpFor(stream)
-		for _, ws := range list {
+		for i, ws := range cp.cmds {
 			ws.qp = qp
+			ws.sqe.MarkVector(i, len(cp.cmds))
 		}
-		size := len(list)*nvmeof.CapsuleHeaderSize + inline
+		size := nvmeof.VectorCapsuleSize(len(cp.cmds), cp.inline)
 		c.useInitCPU(p, c.costs.PostMsg)
-		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: caps})
+		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 		c.stats.WireMessages++
+		c.stats.Batch.Ring(len(cp.cmds))
 	}
 }
 
@@ -551,7 +592,10 @@ func (c *Cluster) completionLoop(p *sim.Proc) {
 			}
 			delete(c.outstanding, id)
 			ws.hwDone.Fire()
-			for _, req := range ws.wc.Reqs {
+			// Snapshot the origin requests: the final delivery below may
+			// recycle ws (and reset its slices) while we iterate.
+			reqs := ws.wc.Reqs
+			for _, req := range reqs {
 				if !req.FragmentDone() {
 					continue
 				}

@@ -20,6 +20,7 @@ type TargetStats struct {
 	PMRToggles int64
 	Responses  int64
 	Flushes    int64
+	Vectors    int64 // vectored command batches validated intact
 }
 
 // tDone is one SSD completion routed to the target's completion context.
@@ -159,6 +160,23 @@ func (t *Target) rxLoop(p *sim.Proc, rxQ *sim.Queue[*capsule]) {
 		if len(cp.ctrl) > 0 {
 			t.handleCtrl(p, cp)
 		}
+		// A command capsule is one vectored batch: verify it arrived
+		// intact and was split exactly on a target boundary (every entry
+		// belongs here and positions run 0..n-1).
+		if len(cp.cmds) > 0 {
+			for i, ws := range cp.cmds {
+				pos, n := ws.sqe.VectorPos()
+				if pos != i || n != len(cp.cmds) {
+					panic(fmt.Sprintf("stack: torn vectored batch at target %d: entry %d carries pos %d/%d of %d",
+						t.id, i, pos, n, len(cp.cmds)))
+				}
+				if ws.target != t.id {
+					panic(fmt.Sprintf("stack: vectored batch crosses target boundary: entry %d is for target %d, arrived at %d",
+						i, ws.target, t.id))
+				}
+			}
+			t.stats.Vectors++
+		}
 		// Fetch any non-inline payload in one shot (one-sided READ: no
 		// initiator CPU).
 		var bulk int
@@ -237,7 +255,7 @@ func (t *Target) appendPMR(p *sim.Proc, a core.Attr) uint64 {
 // almost never parks.
 func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 	attrs := ws.vecAttrs
-	if attrs == nil {
+	if len(attrs) == 0 {
 		attr, err := nvmeof.DecodeAttr(&ws.sqe)
 		if err != nil {
 			panic("stack: rio command without attribute: " + err.Error())
@@ -259,7 +277,7 @@ func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 		}
 		delete(g.parked, g.next)
 		na := next.vecAttrs
-		if na == nil {
+		if len(na) == 0 {
 			a, _ := nvmeof.DecodeAttr(&next.sqe)
 			na = []core.Attr{a}
 		}

@@ -75,6 +75,10 @@ type BlockResult struct {
 	Bytes    int64
 	InitUtil float64
 	TgtUtil  float64
+	Lat      metrics.Histogram
+	// Stats holds the initiator counter deltas over the measurement
+	// window (pool hit rate, batch occupancy, allocs per request).
+	Stats stack.ClusterStats
 }
 
 // KIOPS returns thousands of requests per second.
@@ -171,6 +175,7 @@ func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure s
 	m.started = eng.Now()
 	iu0 := c.InitiatorUtil()
 	tu0 := c.TargetUtil()
+	st0 := c.Stats()
 	eng.RunUntil(eng.Now() + measure)
 	iu1 := c.InitiatorUtil()
 	tu1 := c.TargetUtil()
@@ -180,6 +185,8 @@ func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure s
 		Requests: m.ops,
 		InitUtil: metrics.Utilization(iu0, iu1),
 		TgtUtil:  metrics.Utilization(tu0, tu1),
+		Lat:      m.lat,
+		Stats:    c.Stats().Sub(st0),
 	}
 	return res
 }
