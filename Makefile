@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-gate ci
 
 all: build test
 
@@ -29,6 +29,12 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_1.json
+	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_2.json
 
-ci: fmt-check vet build race bench
+# The CI perf gate: run the scale experiment fresh and fail on >10%
+# regression in the gated metrics vs the committed baseline.
+bench-gate: build
+	$(GO) run ./cmd/riobench -exp scale -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
+
+ci: fmt-check vet build race bench bench-gate

@@ -1,0 +1,182 @@
+// Command benchdiff is the CI perf gate: it compares a fresh riobench
+// -json report against the committed BENCH_*.json baseline and exits
+// non-zero when a gated metric regresses past the threshold. The
+// simulator is deterministic, so any delta is a code change, not machine
+// noise — the threshold only leaves headroom for deliberate trade-offs.
+//
+// Usage:
+//
+//	benchdiff -new /tmp/bench.json                 # baseline auto-detected
+//	benchdiff -baseline BENCH_2.json -new /tmp/bench.json -threshold 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// report mirrors the riobench -json schema.
+type report struct {
+	Schema  int                `json:"schema"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// gate is one metric the CI perf gate enforces.
+type gate struct {
+	key          string
+	higherBetter bool
+}
+
+// gates are the metrics ISSUE acceptance tracks PR-over-PR: throughput at
+// the top of the sweep, hot-path allocations, and tail latency.
+var gates = []gate{
+	{"scale.rio.kiops.s8", true},
+	{"scale.rio.allocs_per_req", false},
+	{"scale.rio.p99_us", false},
+}
+
+// check compares one gated metric. For higher-is-better metrics a
+// regression is fresh < base*(1-threshold); for lower-is-better,
+// fresh > base*(1+threshold). A lower-is-better baseline of zero (e.g.
+// allocs/req fully pooled away) tolerates up to `threshold` absolute
+// before failing, since a relative bound on zero is meaningless.
+func check(g gate, base, fresh, threshold float64) (ok bool, detail string) {
+	var limit float64
+	switch {
+	case g.higherBetter:
+		limit = base * (1 - threshold)
+		ok = fresh >= limit
+		detail = fmt.Sprintf("%-32s base %12.3f  new %12.3f  (min %12.3f)", g.key, base, fresh, limit)
+	case base == 0:
+		limit = threshold
+		ok = fresh <= limit
+		detail = fmt.Sprintf("%-32s base %12.3f  new %12.3f  (max %12.3f abs)", g.key, base, fresh, limit)
+	default:
+		limit = base * (1 + threshold)
+		ok = fresh <= limit
+		detail = fmt.Sprintf("%-32s base %12.3f  new %12.3f  (max %12.3f)", g.key, base, fresh, limit)
+	}
+	return ok, detail
+}
+
+// compare runs every gate and returns the failures (empty = gate passes).
+// A gated metric missing from either report is a failure: the gate must
+// never silently pass because a key was renamed or an experiment dropped.
+func compare(base, fresh map[string]float64, threshold float64) (lines []string, failures []string) {
+	for _, g := range gates {
+		b, bok := base[g.key]
+		f, fok := fresh[g.key]
+		if !bok || !fok {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s report", g.key, missingSide(bok, fok)))
+			continue
+		}
+		ok, detail := check(g, b, f, threshold)
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failures = append(failures, detail)
+		}
+		lines = append(lines, status+" "+detail)
+	}
+	return lines, failures
+}
+
+func missingSide(bok, fok bool) string {
+	switch {
+	case !bok && !fok:
+		return "both"
+	case !bok:
+		return "baseline"
+	default:
+		return "new"
+	}
+}
+
+// latestBaseline picks the highest-numbered BENCH_<N>.json in dir.
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, m := range matches {
+		sub := re.FindStringSubmatch(m)
+		if sub == nil {
+			continue
+		}
+		n, err := strconv.Atoi(sub[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = m, n
+	}
+	if best == "" {
+		return "", fmt.Errorf("benchdiff: no BENCH_<N>.json baseline in %s", dir)
+	}
+	return best, nil
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("%s: no metrics", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline BENCH_*.json (default: highest-numbered in .)")
+		newPath      = flag.String("new", "", "fresh riobench -json report to gate")
+		threshold    = flag.Float64("threshold", 0.10, "allowed relative regression per gated metric")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new required")
+		os.Exit(2)
+	}
+	if *baselinePath == "" {
+		p, err := latestBaseline(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		*baselinePath = p
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", *newPath, *baselinePath, 100**threshold)
+	lines, failures := compare(base.Metrics, fresh.Metrics, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) regressed >%.0f%%:\n", len(failures), 100**threshold)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: perf gate passed")
+}

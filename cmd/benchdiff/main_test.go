@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseMetrics() map[string]float64 {
+	return map[string]float64{
+		"scale.rio.kiops.s8":       1200,
+		"scale.rio.allocs_per_req": 0,
+		"scale.rio.p99_us":         90,
+	}
+}
+
+func TestGateIdenticalPasses(t *testing.T) {
+	_, failures := compare(baseMetrics(), baseMetrics(), 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("identical reports failed the gate: %v", failures)
+	}
+}
+
+func TestGateSmallDriftPasses(t *testing.T) {
+	fresh := baseMetrics()
+	fresh["scale.rio.kiops.s8"] = 1150 // -4%
+	fresh["scale.rio.p99_us"] = 95     // +5.6%
+	_, failures := compare(baseMetrics(), fresh, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("within-threshold drift failed the gate: %v", failures)
+	}
+}
+
+// TestGateFailsOnInjectedRegression is the ISSUE acceptance check: an
+// injected >10% regression in each gated dimension must fail the gate.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	cases := []struct {
+		name string
+		key  string
+		val  float64
+	}{
+		{"throughput -11%", "scale.rio.kiops.s8", 1200 * 0.89},
+		{"p99 +12%", "scale.rio.p99_us", 90 * 1.12},
+		{"allocs reappear", "scale.rio.allocs_per_req", 0.5},
+	}
+	for _, tc := range cases {
+		fresh := baseMetrics()
+		fresh[tc.key] = tc.val
+		if _, failures := compare(baseMetrics(), fresh, 0.10); len(failures) == 0 {
+			t.Errorf("%s: injected regression passed the gate", tc.name)
+		}
+	}
+}
+
+func TestGateFailsOnMissingMetric(t *testing.T) {
+	fresh := baseMetrics()
+	delete(fresh, "scale.rio.p99_us")
+	if _, failures := compare(baseMetrics(), fresh, 0.10); len(failures) == 0 {
+		t.Error("missing gated metric passed the gate")
+	}
+	base := baseMetrics()
+	delete(base, "scale.rio.kiops.s8")
+	if _, failures := compare(base, baseMetrics(), 0.10); len(failures) == 0 {
+		t.Error("missing baseline metric passed the gate")
+	}
+}
+
+func TestNonZeroLowerBetterRelative(t *testing.T) {
+	base := map[string]float64{"scale.rio.kiops.s8": 100, "scale.rio.allocs_per_req": 2, "scale.rio.p99_us": 50}
+	fresh := map[string]float64{"scale.rio.kiops.s8": 100, "scale.rio.allocs_per_req": 2.1, "scale.rio.p99_us": 50}
+	if _, failures := compare(base, fresh, 0.10); len(failures) != 0 {
+		t.Fatalf("+5%% allocs on nonzero base failed: %v", failures)
+	}
+	fresh["scale.rio.allocs_per_req"] = 2.5
+	if _, failures := compare(base, fresh, 0.10); len(failures) == 0 {
+		t.Fatal("+25% allocs on nonzero base passed")
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Fatalf("latest baseline = %s, want BENCH_10.json", got)
+	}
+	if _, err := latestBaseline(t.TempDir()); err == nil {
+		t.Fatal("empty dir should error")
+	}
+}

@@ -96,4 +96,16 @@ func TestScaleSweep(t *testing.T) {
 	if occ := r.Metrics["scale.rio.batch_occupancy"]; occ <= 1 {
 		t.Fatalf("batch occupancy = %.2f, want > 1 (doorbell coalescing)", occ)
 	}
+	// Completion-path acceptance bars: coalescing must pack >1 CQE per
+	// response capsule (so <1 completion message per op), while the
+	// ablation stays at exactly one capsule per command.
+	if occ := r.Metrics["scale.rio.cqe_batch_occupancy"]; occ <= 1 {
+		t.Fatalf("cqe batch occupancy = %.2f, want > 1 (completion coalescing)", occ)
+	}
+	if mpo := r.Metrics["scale.rio.completion_msgs_per_op"]; mpo <= 0 || mpo >= 1 {
+		t.Fatalf("completion msgs/op = %.2f, want in (0, 1)", mpo)
+	}
+	if mpo := r.Metrics["scale.rio_nocqe.completion_msgs_per_op"]; mpo < 1 {
+		t.Fatalf("nocqe completion msgs/op = %.2f, want >= 1 (per-CQE ablation)", mpo)
+	}
 }

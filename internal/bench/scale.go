@@ -1,9 +1,11 @@
 // Scale experiment: not a paper figure but this repo's production-scaling
 // probe. It sweeps streams × target servers over the sharded multi-queue
 // dispatch path and reports, per system, throughput scaling plus the
-// hot-path efficiency counters the shard refactor is about: allocations
-// per request (with the unpooled ablation as baseline), shard pool hit
-// rate, and doorbell batch occupancy.
+// hot-path efficiency counters the shard refactor and the vectored
+// completion path are about: allocations per request (with the unpooled
+// ablation as baseline), shard pool hit rate, doorbell batch occupancy,
+// and on the reverse path CQE batch occupancy and completion messages
+// per op (with the uncoalesced per-CQE ablation as baseline).
 package bench
 
 import (
@@ -31,13 +33,15 @@ type scaleSystem struct {
 	mode    stack.Mode
 	ordered bool
 	noPool  bool
+	noCQE   bool // CQECoalesce off: one bare response capsule per command
 }
 
 var scaleSystems = []scaleSystem{
-	{"rio", stack.ModeRio, true, false},
-	{"rio-nopool", stack.ModeRio, true, true},
-	{"horae", stack.ModeHorae, true, false},
-	{"orderless", stack.ModeOrderless, false, false},
+	{"rio", stack.ModeRio, true, false, false},
+	{"rio-nopool", stack.ModeRio, true, true, false},
+	{"rio-nocqe", stack.ModeRio, true, false, true},
+	{"horae", stack.ModeHorae, true, false, false},
+	{"orderless", stack.ModeOrderless, false, false, false},
 }
 
 // runScalePoint measures one (system, streams, targets) point. Streams,
@@ -50,6 +54,7 @@ func runScalePoint(o Options, sys scaleSystem, streams, targets int) workload.Bl
 	cfg.QPs = streams
 	cfg.Fabric.NumQPs = streams
 	cfg.Pooling = !sys.noPool
+	cfg.CQECoalesce = !sys.noCQE
 	c := stack.New(eng, cfg)
 	warm, meas := o.windows()
 	r := workload.RunBlock(eng, c, workload.BlockJob{
@@ -72,17 +77,19 @@ func ScaleSweep(o Options) *Result {
 
 	for _, tc := range targetCounts {
 		var tput []metrics.Series
-		var rioPts, nopoolPts []workload.BlockResult
+		var rioPts, nopoolPts, nocqePts []workload.BlockResult
 		for _, sys := range scaleSystems {
 			s := metrics.Series{Label: sys.label}
 			for _, st := range streams {
 				r := runScalePoint(o, sys, st, tc)
 				s.Add(float64(st), r.KIOPS())
-				if sys.label == "rio" {
+				switch sys.label {
+				case "rio":
 					rioPts = append(rioPts, r)
-				}
-				if sys.label == "rio-nopool" {
+				case "rio-nopool":
 					nopoolPts = append(nopoolPts, r)
+				case "rio-nocqe":
+					nocqePts = append(nocqePts, r)
 				}
 			}
 			tput = append(tput, s)
@@ -104,6 +111,19 @@ func ScaleSweep(o Options) *Result {
 			fmt.Sprintf("rio hot path, %d target server(s)", tc), "streams",
 			allocs, allocsNP, hit, occ))
 
+		// Completion-path counters: CQE coalescing vs the per-CQE ablation.
+		var cqeOcc, cplOp, cplOpNC metrics.Series
+		cqeOcc.Label = "cqe occupancy"
+		cplOp.Label, cplOpNC.Label = "cpl msgs/op rio", "cpl msgs/op nocqe"
+		for i, st := range streams {
+			cqeOcc.Add(float64(st), rioPts[i].Stats.CplBatch.Occupancy())
+			cplOp.Add(float64(st), rioPts[i].Stats.CompletionMsgsPerOp())
+			cplOpNC.Add(float64(st), nocqePts[i].Stats.CompletionMsgsPerOp())
+		}
+		res.Tables = append(res.Tables, metrics.Table(
+			fmt.Sprintf("rio completion path, %d target server(s)", tc), "streams",
+			cqeOcc, cplOp, cplOpNC))
+
 		rio := seriesByLabel(tput, "rio")
 		mono := true
 		for i := 1; i < len(rio.Y); i++ {
@@ -117,7 +137,7 @@ func ScaleSweep(o Options) *Result {
 
 		if tc == maxT {
 			last := len(streams) - 1
-			r, np := rioPts[last], nopoolPts[last]
+			r, np, nc := rioPts[last], nopoolPts[last], nocqePts[last]
 			res.Metric("scale.rio.ops_per_sec", r.KIOPS()*1e3)
 			res.Metric("scale.rio.p99_us", float64(r.Lat.P99())/1000)
 			res.Metric("scale.rio.init_cpu_util", r.InitUtil)
@@ -128,12 +148,20 @@ func ScaleSweep(o Options) *Result {
 			}
 			res.Metric("scale.rio.pool_hit_rate", r.Stats.Pool.HitRate())
 			res.Metric("scale.rio.batch_occupancy", r.Stats.Batch.Occupancy())
+			res.Metric("scale.rio.cqe_batch_occupancy", r.Stats.CplBatch.Occupancy())
+			res.Metric("scale.rio.completion_msgs_per_op", r.Stats.CompletionMsgsPerOp())
+			res.Metric("scale.rio_nocqe.completion_msgs_per_op", nc.Stats.CompletionMsgsPerOp())
+			if r.Stats.Completed > 0 {
+				res.Metric("scale.rio.reap_cpu_per_op_ns",
+					float64(r.Stats.ReapCPU)/float64(r.Stats.Completed))
+			}
 			for i, st := range streams {
 				res.Metric(fmt.Sprintf("scale.rio.kiops.s%d", st), rio.Y[i])
 			}
 		}
 	}
 	res.Notes = append(res.Notes,
-		"allocs/req counts hot-path object allocations (tickets, wire commands, tracking lists); the nopool ablation allocates per call as the seed dispatch did")
+		"allocs/req counts hot-path object allocations (tickets, wire commands, tracking lists); the nopool ablation allocates per call as the seed dispatch did",
+		"cpl msgs/op counts completion capsules per completed request; the nocqe ablation ships one bare 16-byte CQE capsule per command, as the seed target did")
 	return res
 }

@@ -250,14 +250,22 @@ func (b BatchStats) Sub(old BatchStats) BatchStats {
 	return BatchStats{Rings: b.Rings - old.Rings, Items: b.Items - old.Items}
 }
 
-// AllocsPerOp returns allocations per operation, the hot-path efficiency
-// number the scale experiment tracks PR-over-PR.
-func AllocsPerOp(allocs, ops int64) float64 {
+// perOp is the shared per-operation ratio: 0 when no operations ran.
+func perOp(n, ops int64) float64 {
 	if ops <= 0 {
 		return 0
 	}
-	return float64(allocs) / float64(ops)
+	return float64(n) / float64(ops)
 }
+
+// AllocsPerOp returns allocations per operation, the hot-path efficiency
+// number the scale experiment tracks PR-over-PR.
+func AllocsPerOp(allocs, ops int64) float64 { return perOp(allocs, ops) }
+
+// MsgsPerOp returns wire messages per operation — below 1 on a direction
+// of the wire whose messages are coalesced (vectored submission batches,
+// coalesced completion capsules).
+func MsgsPerOp(msgs, ops int64) float64 { return perOp(msgs, ops) }
 
 // UtilSnapshot captures a resource busy-time integral at a point in time.
 type UtilSnapshot struct {

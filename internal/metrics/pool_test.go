@@ -47,3 +47,12 @@ func TestAllocsPerOp(t *testing.T) {
 		t.Fatalf("allocs/op with 0 ops = %g, want 0", got)
 	}
 }
+
+func TestMsgsPerOp(t *testing.T) {
+	if got := MsgsPerOp(50, 100); got != 0.5 {
+		t.Fatalf("msgs/op = %g, want 0.5 (coalesced direction)", got)
+	}
+	if got := MsgsPerOp(5, 0); got != 0 {
+		t.Fatalf("msgs/op with 0 ops = %g, want 0", got)
+	}
+}

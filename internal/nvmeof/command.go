@@ -240,3 +240,84 @@ func VectorCapsuleSize(n, inline int) int {
 	}
 	return CapsuleHeaderSize + (n-1)*SQESize + inline
 }
+
+// Vectored completions mirror the submission path on the reverse
+// direction of the wire: all completions a target accumulates toward one
+// queue pair in one coalescing window travel as a single response
+// capsule. The fabrics framing is paid once for the whole batch; each
+// additional completion adds only its 16-byte CQE, and — more important
+// for the paper's CPU-efficiency claim — both endpoints pay one
+// PostMsg/CplHandle per capsule instead of one per command.
+
+// CQE is a 16-byte NVMe completion queue entry as 4 little-endian
+// dwords: the command identifier the simulation routes on in dwords 0-1
+// (widened to 64 bits; real NVMe uses a 16-bit CID plus SQ head state in
+// the same footprint), status in dword 2, and the vector marking in
+// dword 3.
+type CQE [4]uint32
+
+// NewCQE builds a completion entry for the given wire command id.
+func NewCQE(id uint64) CQE {
+	var c CQE
+	c.SetID(id)
+	return c
+}
+
+// SetID stores the 64-bit wire command identifier (dwords 0-1).
+func (c *CQE) SetID(id uint64) {
+	c[0] = uint32(id)
+	c[1] = uint32(id >> 32)
+}
+
+// ID returns the wire command identifier.
+func (c *CQE) ID() uint64 { return uint64(c[0]) | uint64(c[1])<<32 }
+
+// MarkCQEVector stamps position i of n into a CQE's vector dword, the
+// completion-side analog of SQE.MarkVector.
+func (c *CQE) MarkCQEVector(i, n int) {
+	c[3] = uint32(i) | uint32(n)<<16
+}
+
+// CQEVectorPos returns a CQE's position within its coalesced capsule and
+// the capsule length (1-based n; 0 means the CQE was never vector-marked).
+func (c *CQE) CQEVectorPos() (i, n int) {
+	return int(c[3] & 0xffff), int(c[3] >> 16)
+}
+
+// EncodeCQEVector marks a batch of CQEs as one coalesced response capsule
+// toward a single queue pair.
+func EncodeCQEVector(cqes []CQE) {
+	for i := range cqes {
+		cqes[i].MarkCQEVector(i, len(cqes))
+	}
+}
+
+// CheckCQEVector verifies that a received batch is a complete, in-order
+// coalesced response: every entry carries the same capsule length and the
+// positions run 0..n-1. A violation means the target mixed coalescing
+// windows within one capsule or the capsule was torn in transit.
+func CheckCQEVector(cqes []CQE) error {
+	for i := range cqes {
+		pos, n := cqes[i].CQEVectorPos()
+		if n != len(cqes) {
+			return fmt.Errorf("nvmeof: cqe vector entry %d claims capsule length %d, capsule has %d", i, n, len(cqes))
+		}
+		if pos != i {
+			return fmt.Errorf("nvmeof: cqe vector entry %d carries position %d", i, pos)
+		}
+	}
+	return nil
+}
+
+// CQEVectorCapsuleSize returns the wire size of a coalesced response
+// capsule carrying n CQEs: one shared fabrics framing (the same 72-byte
+// capsule header the submission path pays, whose first slot holds the
+// first entry) plus one 16-byte CQE per additional completion. The
+// uncoalesced path does not use this — it sends bare ResponseSize
+// capsules, exactly as the seed target did.
+func CQEVectorCapsuleSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return CapsuleHeaderSize + (n-1)*ResponseSize
+}

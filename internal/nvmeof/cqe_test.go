@@ -1,0 +1,83 @@
+package nvmeof
+
+import "testing"
+
+func TestCQEIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 0xffff, 1 << 32, 0xdeadbeefcafe} {
+		c := NewCQE(id)
+		if got := c.ID(); got != id {
+			t.Errorf("ID round trip: got %d, want %d", got, id)
+		}
+	}
+}
+
+func TestCQEVectorGeometryRoundTrip(t *testing.T) {
+	cqes := make([]CQE, 5)
+	for i := range cqes {
+		cqes[i] = NewCQE(uint64(100 + i))
+	}
+	EncodeCQEVector(cqes)
+	for i := range cqes {
+		pos, n := cqes[i].CQEVectorPos()
+		if pos != i || n != len(cqes) {
+			t.Fatalf("entry %d: pos/n = %d/%d, want %d/%d", i, pos, n, i, len(cqes))
+		}
+		if cqes[i].ID() != uint64(100+i) {
+			t.Fatalf("entry %d: marking clobbered id (%d)", i, cqes[i].ID())
+		}
+	}
+	if err := CheckCQEVector(cqes); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+}
+
+func TestCQEVectorUnmarked(t *testing.T) {
+	c := NewCQE(7)
+	if pos, n := c.CQEVectorPos(); pos != 0 || n != 0 {
+		t.Fatalf("unmarked CQE claims pos %d of %d", pos, n)
+	}
+}
+
+func TestCheckCQEVectorTorn(t *testing.T) {
+	// Truncated capsule: every entry claims length 4, only 3 arrived.
+	cqes := make([]CQE, 4)
+	EncodeCQEVector(cqes)
+	if err := CheckCQEVector(cqes[:3]); err == nil {
+		t.Error("truncated cqe vector not detected")
+	}
+	// Out-of-order / spliced capsule.
+	cqes2 := make([]CQE, 4)
+	EncodeCQEVector(cqes2)
+	cqes2[1], cqes2[2] = cqes2[2], cqes2[1]
+	if err := CheckCQEVector(cqes2); err == nil {
+		t.Error("reordered cqe vector not detected")
+	}
+	// Entry from a different coalescing window.
+	cqes3 := make([]CQE, 3)
+	EncodeCQEVector(cqes3)
+	cqes3[2].MarkCQEVector(2, 9)
+	if err := CheckCQEVector(cqes3); err == nil {
+		t.Error("cross-window cqe vector not detected")
+	}
+}
+
+func TestCQEVectorCapsuleSize(t *testing.T) {
+	if got := CQEVectorCapsuleSize(0); got != 0 {
+		t.Errorf("size(0) = %d", got)
+	}
+	if got := CQEVectorCapsuleSize(1); got != CapsuleHeaderSize {
+		t.Errorf("size(1) = %d, want %d (one shared framing)", got, CapsuleHeaderSize)
+	}
+	if got := CQEVectorCapsuleSize(4); got != CapsuleHeaderSize+3*ResponseSize {
+		t.Errorf("size(4) = %d, want %d", got, CapsuleHeaderSize+3*ResponseSize)
+	}
+	// Each additional CQE costs exactly ResponseSize: the framing is paid
+	// once. (The capsule carries more bytes than n bare 16-byte responses
+	// — the win is one PostMsg/CplHandle per capsule, not fewer bytes;
+	// the stack ships single-CQE flushes bare for exactly that reason.)
+	for n := 2; n <= 32; n++ {
+		if d := CQEVectorCapsuleSize(n) - CQEVectorCapsuleSize(n-1); d != ResponseSize {
+			t.Fatalf("n=%d: marginal capsule cost %d, want %d", n, d, ResponseSize)
+		}
+	}
+}

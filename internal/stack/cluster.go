@@ -89,10 +89,14 @@ type capsule struct {
 	epoch   int
 }
 
-// completionMsg is the payload of one SEND back to the initiator.
+// completionMsg is the payload of one SEND back to the initiator: a
+// coalesced response capsule of vector-marked CQEs (one with CQECoalesce
+// off), or a batch of Horae control-path acks. qp routes the capsule to
+// the shard that owns the queue pair's completion reaping.
 type completionMsg struct {
-	ids      []uint64
+	cqes     []nvmeof.CQE
 	ctrlAcks []*ctrlReq
+	qp       int
 	epoch    int
 }
 
@@ -118,11 +122,26 @@ type ClusterStats struct {
 	Pool metrics.PoolStats
 	// Batch tracks doorbell coalescing: commands per vectored capsule.
 	Batch metrics.BatchStats
+	// CplBatch tracks completion coalescing on the reverse path: response
+	// capsules received and the CQEs they carried, so
+	// CplBatch.Occupancy() is the cqe batch occupancy and
+	// CplBatch.Rings/Completed the completion messages per op.
+	CplBatch metrics.BatchStats
+	// ReapCPU is the initiator CPU spent in the per-shard completion reap
+	// loops (the softirq-context cost the coalesced path amortizes).
+	ReapCPU sim.Time
 }
 
 // AllocsPerReq returns hot-path allocations per submitted request.
 func (s ClusterStats) AllocsPerReq() float64 {
 	return metrics.AllocsPerOp(s.Pool.Misses, s.Submitted)
+}
+
+// CompletionMsgsPerOp returns completion capsules received per completed
+// request — below 1 when target-side CQE coalescing amortizes the
+// response path, exactly 1/occupancy when fusion is idle.
+func (s ClusterStats) CompletionMsgsPerOp() float64 {
+	return metrics.MsgsPerOp(s.CplBatch.Rings, s.Completed)
 }
 
 // Sub returns the counter deltas s - old (for measurement windows).
@@ -136,6 +155,8 @@ func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
 		Holdbacks:    s.Holdbacks - old.Holdbacks,
 		Pool:         s.Pool.Sub(old.Pool),
 		Batch:        s.Batch.Sub(old.Batch),
+		CplBatch:     s.CplBatch.Sub(old.CplBatch),
+		ReapCPU:      s.ReapCPU - old.ReapCPU,
 	}
 }
 
@@ -155,7 +176,6 @@ type Cluster struct {
 	outstanding map[uint64]*wireState
 	nextCmdID   uint64
 	linuxMu     *sim.Resource
-	cplQ        *sim.Queue[*completionMsg]
 	retireMark  map[[2]int]uint64 // {stream, target} -> watermark
 	epoch       int
 
@@ -195,8 +215,10 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		seq:         core.NewSequencer(cfg.Streams),
 		outstanding: make(map[uint64]*wireState),
 		linuxMu:     sim.NewResource(eng, 1),
-		cplQ:        sim.NewQueue[*completionMsg](eng),
 		retireMark:  make(map[[2]int]uint64),
+	}
+	if c.cfg.CQECoalesce && c.cfg.CQEBatch <= 0 {
+		c.cfg.CQEBatch = 16
 	}
 	var devs []blockdev.DevRef
 	for ti, tc := range cfg.Targets {
@@ -214,12 +236,25 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		eng.Go(fmt.Sprintf("init/dispatch%d", s), func(p *sim.Proc) {
 			c.dispatchLoop(p, sh)
 		})
-	}
-	// Initiator completion workers (softirq context).
-	for i := 0; i < max(2, cfg.InitiatorCores/4); i++ {
-		eng.Go(fmt.Sprintf("init/cpl%d", i), func(p *sim.Proc) { c.completionLoop(p) })
+		// Per-shard completion reaping (softirq context): the shard owns
+		// the completion queue for its QP affinity set, so a stream's
+		// completions recycle through the pools of the shard that filled
+		// them — no cross-shard pool traffic, no shared global queue.
+		eng.Go(fmt.Sprintf("init/reap%d", s), func(p *sim.Proc) {
+			c.reapLoop(p, sh)
+		})
 	}
 	return c
+}
+
+// reapShard routes a completion capsule arriving on a queue pair to the
+// shard that owns that QP's reaping. With stream affinity, shard s rings
+// doorbells on QP s%QPs, so QP q's completions belong to shards
+// {q, q+QPs, ...} — shard q (the affinity set's owner) reaps them all
+// and objects still recycle to the shard of the stream that created
+// them, which is local whenever Streams == QPs.
+func (c *Cluster) reapShard(qp int) *shard {
+	return c.shards[qp%len(c.shards)]
 }
 
 // Config returns the cluster configuration.
@@ -460,11 +495,4 @@ func (c *Cluster) qpFor(stream int) int {
 		return stream % c.cfg.QPs
 	}
 	return c.Eng.Rand().Intn(c.cfg.QPs)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -125,6 +125,8 @@ type Config struct {
 	MergeEnabled    bool // Rio I/O scheduler merging (and orderless plug merging)
 	StreamAffinity  bool // Principle 2: pin each stream to one QP
 	Pooling         bool // shard free-list pooling of hot-path objects (off = allocate per call, as the seed dispatch did)
+	CQECoalesce     bool // target-side completion coalescing into vectored response capsules (off = one bare 16-byte CQE capsule per command, as the seed target did)
+	CQEBatch        int  // max CQEs per coalesced response capsule (flush threshold)
 	InlineThreshold int  // max bytes of in-capsule data per command
 	MaxPlug         int  // dispatch batch size
 	DeviceBlocks    uint64
@@ -150,6 +152,8 @@ func DefaultConfig(mode Mode, targets ...TargetConfig) Config {
 		MergeEnabled:    true,
 		StreamAffinity:  true,
 		Pooling:         true,
+		CQECoalesce:     true,
+		CQEBatch:        16,
 		InlineThreshold: 8192,
 		MaxPlug:         32,
 		DeviceBlocks:    1 << 22, // 16 GiB per SSD

@@ -52,6 +52,17 @@ func (c *Cluster) PowerCutTarget(i int) {
 		q.Drain()
 	}
 	t.doneQ.Drain()
+	// Pending (unflushed) completion capsules die with the NIC: their
+	// CQEs belong to the dead epoch and must never be flushed into the
+	// next incarnation. The armed flags reset too, so a completion of
+	// the next incarnation can arm a fresh timer immediately (a flag
+	// left set would strand a sub-threshold batch with no timer; stale
+	// timers that fire later clear the flag again, which is benign).
+	for i := range t.cqePend {
+		t.cqePend[i] = nil
+		t.cqeArmed[i] = false
+		t.cqeInflight[i] = 0
+	}
 }
 
 // PowerCutAll models a full power outage: every target crashes and the
@@ -65,13 +76,13 @@ func (c *Cluster) PowerCutAll() {
 	c.seq = core.NewSequencer(c.cfg.Streams)
 	c.outstanding = make(map[uint64]*wireState)
 	c.retireMark = make(map[[2]int]uint64)
-	// Drop every shard's staged work and pools: pooled objects of the dead
-	// epoch may still be referenced by in-flight capsules and must not be
-	// reissued.
+	// Drop every shard's staged work, pools and queued completion
+	// capsules: pooled objects of the dead epoch may still be referenced
+	// by in-flight capsules and must not be reissued, and a queued
+	// response capsule's CQEs reference dead wireStates.
 	for _, sh := range c.shards {
 		sh.crashReset()
 	}
-	c.cplQ.Drain()
 }
 
 // scanViews reads every target's PMR region, transfers the ordering

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
+	"repro/internal/nvmeof"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -262,6 +263,75 @@ func TestErasedBlocksReportedInStats(t *testing.T) {
 	t.Logf("discarded %d entries, data recovery %v", tm.Discarded, tm.DataRecovery)
 	if tm.Discarded > 0 && tm.DataRecovery == 0 {
 		t.Fatal("discards must cost data-recovery time")
+	}
+	eng.Shutdown()
+}
+
+// TestDeadEpochCoalescedCapsuleDroppedWhole is the regression test for
+// completion-path epoch handling: a coalesced response capsule minted
+// before a power cut but arriving after recovery must be dropped WHOLE —
+// no partial delivery, no wireState resurrection, no retire-watermark
+// advance from a dead incarnation, and no accounting as a live
+// completion message.
+func TestDeadEpochCoalescedCapsuleDroppedWhole(t *testing.T) {
+	eng := sim.New(83)
+	cfg := smallConfig(ModeRio, optane1()...)
+	c := New(eng, cfg)
+	eng.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			c.OrderedWrite(p, 0, uint64(i*3), 1, 0, nil, true, false, false)
+		}
+	})
+	// Snapshot the outstanding ids AT the cut: these are the genuine
+	// dead-epoch commands a late capsule would ack. (PowerCutAll replaces
+	// the outstanding map, so they must be read before it runs.)
+	var deadIDs []uint64
+	var deadEpoch int
+	eng.At(30*sim.Microsecond, func() {
+		deadEpoch = c.epoch
+		for id := range c.outstanding {
+			deadIDs = append(deadIDs, id)
+		}
+		c.PowerCutAll()
+	})
+	eng.RunUntil(200 * sim.Microsecond)
+	if len(deadIDs) == 0 {
+		t.Fatal("cut landed with nothing in flight; adjust timing")
+	}
+	eng.Go("recovery", func(p *sim.Proc) { c.RecoverFull(p) })
+	eng.Run()
+
+	// Forge the late arrival: a well-formed coalesced capsule of the dead
+	// epoch (as the fabric would deliver had the cut raced the flush).
+	cqes := make([]nvmeof.CQE, 0, len(deadIDs))
+	for _, id := range deadIDs {
+		cqes = append(cqes, nvmeof.NewCQE(id))
+	}
+	nvmeof.EncodeCQEVector(cqes)
+	before := c.Stats()
+	retireBefore := len(c.retireMark)
+	c.shards[0].cplQ.Push(&completionMsg{cqes: cqes, qp: 0, epoch: deadEpoch})
+	eng.Run()
+	after := c.Stats()
+	if d := after.Completed - before.Completed; d != 0 {
+		t.Fatalf("dead-epoch capsule delivered %d completions", d)
+	}
+	if after.CplBatch.Rings != before.CplBatch.Rings {
+		t.Fatal("dead-epoch capsule counted as a live completion message")
+	}
+	if len(c.retireMark) != retireBefore {
+		t.Fatal("dead-epoch capsule advanced a retire watermark")
+	}
+	// The cluster must remain fully usable after swallowing it.
+	done := false
+	eng.Go("app2", func(p *sim.Proc) {
+		r := c.OrderedWrite(p, 0, 900, 1, 0, nil, true, true, false)
+		c.Wait(p, r)
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("cluster wedged after dead-epoch capsule")
 	}
 	eng.Shutdown()
 }

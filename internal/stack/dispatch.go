@@ -572,20 +572,39 @@ func (c *Cluster) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 	}
 }
 
-// completionLoop is the initiator-side interrupt context: it consumes
-// completion capsules, fans fragments back to requests, and runs the
-// mode-appropriate delivery protocol.
-func (c *Cluster) completionLoop(p *sim.Proc) {
+// reapLoop is one shard's completion-reaping context (the initiator-side
+// interrupt context): it consumes the response capsules of the shard's QP
+// affinity set, validates coalesced-capsule geometry, fans fragments back
+// to requests, and runs the mode-appropriate delivery protocol. Because
+// the reaping shard and the submitting shard coincide under stream
+// affinity, the wireStates and tracking lists a capsule releases return
+// to local pools.
+func (c *Cluster) reapLoop(p *sim.Proc, sh *shard) {
 	for {
-		msg := c.cplQ.Pop(p)
+		msg := sh.cplQ.Pop(p)
+		// A capsule of a dead epoch is dropped WHOLE, before any
+		// per-entry side effect: its CQEs reference wireStates (and
+		// retire watermarks) of the previous incarnation, and a
+		// coalesced capsule that straddled a power cut must not deliver
+		// a partial batch.
 		if msg.epoch != c.epoch {
 			continue
 		}
+		// Mirror the target's submission-vector check on the reverse
+		// path: a coalesced capsule must arrive intact and in order.
+		if err := nvmeof.CheckCQEVector(msg.cqes); err != nil {
+			panic("stack: torn coalesced completion capsule: " + err.Error())
+		}
 		c.useInitCPU(p, c.costs.CplHandle)
+		c.stats.ReapCPU += c.costs.CplHandle
+		if len(msg.cqes) > 0 {
+			c.stats.CplBatch.Ring(len(msg.cqes))
+		}
 		for _, cr := range msg.ctrlAcks {
 			cr.ack.Fire()
 		}
-		for _, id := range msg.ids {
+		for i := range msg.cqes {
+			id := msg.cqes[i].ID()
 			ws := c.outstanding[id]
 			if ws == nil || ws.epoch != c.epoch {
 				continue

@@ -19,6 +19,10 @@ type shard struct {
 	qp     int // cached stream→QP affinity for doorbell rings
 	q      *sim.Queue[*blockdev.Request]
 
+	// cplQ receives the completion capsules of this shard's QP affinity
+	// set; the shard's reap loop drains it (no global completion queue).
+	cplQ *sim.Queue[*completionMsg]
+
 	// Plug list (blk_start_plug semantics). plugSpare recycles the backing
 	// array of the previously dispatched batch; loopBatch is the dispatch
 	// loop's private accumulation buffer (one loop proc per shard).
@@ -53,6 +57,7 @@ func newShard(c *Cluster, stream int) *shard {
 		stream: stream,
 		qp:     stream % c.cfg.QPs,
 		q:      sim.NewQueue[*blockdev.Request](c.Eng),
+		cplQ:   sim.NewQueue[*completionMsg](c.Eng),
 	}
 }
 
@@ -135,4 +140,5 @@ func (sh *shard) crashReset() {
 	sh.listFree = nil
 	sh.batchFree = nil
 	sh.q.Drain()
+	sh.cplQ.Drain()
 }

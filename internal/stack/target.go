@@ -18,7 +18,8 @@ type TargetStats struct {
 	Holdbacks  int64 // in-order submission stalls (§4.3.1)
 	PMRAppends int64
 	PMRToggles int64
-	Responses  int64
+	Responses  int64 // response capsules sent (coalescing lowers this)
+	CQEs       int64 // completion entries those capsules carried
 	Flushes    int64
 	Vectors    int64 // vectored command batches validated intact
 }
@@ -31,7 +32,12 @@ type tDone struct {
 	// of a flush-carrying ordered write (ws is that write).
 	isFlush    bool
 	flushSlots []uint64 // additional slots this flush certifies (Horae)
-	epoch      int
+	// flushQP, when > 0, is a CQE hold-timer expiry for QP flushQP-1: no
+	// SSD completion, just "flush that queue pair's pending responses".
+	// Routed through doneQ so the flush runs in completion-context (the
+	// timer itself fires in engine context, where no CPU can be charged).
+	flushQP int
+	epoch   int
 }
 
 type tgate struct {
@@ -59,6 +65,20 @@ type Target struct {
 	rxQs  []*sim.Queue[*capsule] // one per QP: per-QP arrivals process serially
 	doneQ *sim.Queue[*tDone]
 
+	// Completion coalescing state, per QP: CQEs awaiting flush, the
+	// cluster epoch they were minted under, when the oldest pending CQE
+	// arrived (the hold timer flushes a batch only once it is cqeHold
+	// old — a younger batch left behind by a threshold flush re-arms for
+	// its remainder), and whether a timer event is outstanding. A power
+	// cut clears buffers AND armed flags (dead-epoch CQEs must never be
+	// flushed into a fresh incarnation, and a fresh incarnation must be
+	// able to arm its own timers).
+	cqePend     [][]nvmeof.CQE
+	cqeEpoch    []int
+	cqeFirst    []sim.Time
+	cqeArmed    []bool
+	cqeInflight []int // per QP: submitted-not-yet-responded commands
+
 	alive bool
 	epoch int
 	stats TargetStats
@@ -75,6 +95,11 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	for i := 0; i < c.cfg.QPs; i++ {
 		t.rxQs = append(t.rxQs, sim.NewQueue[*capsule](c.Eng))
 	}
+	t.cqePend = make([][]nvmeof.CQE, c.cfg.QPs)
+	t.cqeEpoch = make([]int, c.cfg.QPs)
+	t.cqeFirst = make([]sim.Time, c.cfg.QPs)
+	t.cqeArmed = make([]bool, c.cfg.QPs)
+	t.cqeInflight = make([]int, c.cfg.QPs)
 	for _, sc := range tc.SSDs {
 		sc.KeepHistory = c.cfg.KeepHistory
 		t.ssds = append(t.ssds, ssd.New(c.Eng, sc))
@@ -96,7 +121,7 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	})
 	t.conn.SetHandler(fabric.Initiator, func(m fabric.Message) {
 		if cm, ok := m.Payload.(*completionMsg); ok {
-			c.cplQ.Push(cm)
+			c.reapShard(cm.qp).cplQ.Push(cm)
 		}
 	})
 	// One receive context per QP: arrivals on a queue pair are handled
@@ -104,8 +129,8 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	// queue), which is what makes stream→QP affinity deliver commands to
 	// the in-order gate without holdbacks (§4.5 Principle 2).
 	for i := 0; i < c.cfg.QPs; i++ {
-		q := t.rxQs[i]
-		c.Eng.Go(fmt.Sprintf("tgt%d/rx%d", id, i), func(p *sim.Proc) { t.rxLoop(p, q) })
+		i := i
+		c.Eng.Go(fmt.Sprintf("tgt%d/rx%d", id, i), func(p *sim.Proc) { t.rxLoop(p, i) })
 	}
 	for i := 0; i < 2; i++ {
 		c.Eng.Go(fmt.Sprintf("tgt%d/cpl%d", id, i), func(p *sim.Proc) { t.doneLoop(p) })
@@ -149,7 +174,8 @@ func (t *Target) gate(stream uint16) *tgate {
 // target CPU — the asymmetry Lesson 3 is about), fetches non-inline data
 // with one-sided READs, and routes commands through the mode-specific
 // submission path.
-func (t *Target) rxLoop(p *sim.Proc, rxQ *sim.Queue[*capsule]) {
+func (t *Target) rxLoop(p *sim.Proc, qp int) {
+	rxQ := t.rxQs[qp]
 	for {
 		cp := rxQ.Pop(p)
 		if cp.epoch != t.c.epoch || !t.alive {
@@ -158,7 +184,7 @@ func (t *Target) rxLoop(p *sim.Proc, rxQ *sim.Queue[*capsule]) {
 		t.stats.Capsules++
 		t.cores.Use(p, t.c.costs.RecvMsg)
 		if len(cp.ctrl) > 0 {
-			t.handleCtrl(p, cp)
+			t.handleCtrl(p, cp, qp)
 		}
 		// A command capsule is one vectored batch: verify it arrived
 		// intact and was split exactly on a target boundary (every entry
@@ -211,8 +237,10 @@ func (t *Target) rxLoop(p *sim.Proc, rxQ *sim.Queue[*capsule]) {
 
 // handleCtrl persists Horae control-path ordering metadata to PMR and
 // acks. This happens before the corresponding data is even dispatched at
-// the initiator — the control path is synchronous.
-func (t *Target) handleCtrl(p *sim.Proc, cp *capsule) {
+// the initiator — the control path is synchronous. The ack returns on
+// the queue pair the control capsule arrived on, so it is reaped by the
+// same shard that posted it rather than funnelling through shard 0.
+func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, qp int) {
 	acks := make([]*ctrlReq, 0, len(cp.ctrl))
 	for _, cr := range cp.ctrl {
 		t.stats.CtrlOps++
@@ -222,8 +250,8 @@ func (t *Target) handleCtrl(p *sim.Proc, cp *capsule) {
 	t.cores.Use(p, t.c.costs.PostMsg)
 	t.stats.Responses++
 	t.conn.Send(fabric.Target, fabric.Message{
-		QP: 0, Size: nvmeof.ResponseSize,
-		Payload: &completionMsg{ctrlAcks: acks, epoch: cp.epoch},
+		QP: qp, Size: nvmeof.ResponseSize,
+		Payload: &completionMsg{ctrlAcks: acks, qp: qp, epoch: cp.epoch},
 	})
 }
 
@@ -313,6 +341,7 @@ func (t *Target) horaeSlot(ws *wireState) []uint64 {
 func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 	sd := t.ssds[ws.ssdIdx]
 	epoch := t.c.epoch
+	t.cqeInflight[ws.qp]++
 	stamps := ws.wc.Stamps
 	if ws.wc.Ordered && (t.c.cfg.Mode == ModeRio || t.c.cfg.Mode == ModeHorae) {
 		stamps = make([]uint64, ws.wc.Blocks)
@@ -348,6 +377,7 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 func (t *Target) submitFlushCmd(ws *wireState) {
 	sd := t.ssds[ws.ssdIdx]
 	epoch := t.c.epoch
+	t.cqeInflight[ws.qp]++
 	t.stats.Flushes++
 	sd.Submit(&ssd.Command{
 		Op: ssd.OpFlush,
@@ -362,68 +392,77 @@ func (t *Target) submitFlushCmd(ws *wireState) {
 // completion responses back to the initiator.
 func (t *Target) doneLoop(p *sim.Proc) {
 	for {
-		d := t.doneQ.Pop(p)
-		if d.epoch != t.c.epoch || !t.alive {
-			continue
-		}
-		t.cores.Use(p, t.c.costs.CplHandle)
-		mode := t.c.cfg.Mode
-		ordered := d.ws.wc.Ordered && (mode == ModeRio || mode == ModeHorae)
-		plp := t.ssds[d.ws.ssdIdx].HasPLP()
+		t.doneOne(p, t.doneQ.Pop(p))
+	}
+}
 
-		if d.isFlush {
-			// FLUSH on behalf of a flush-carrying ordered write: mark the
-			// carrier (and, for Horae, everything it certifies) persistent.
-			for _, s := range d.slots {
-				t.markPersist(p, s)
-			}
-			for _, s := range d.flushSlots {
-				t.markPersist(p, s)
-			}
-			t.respond(p, d.ws)
-			continue
-		}
+// doneOne handles one completion-context event.
+func (t *Target) doneOne(p *sim.Proc, d *tDone) {
+	if d.epoch != t.c.epoch || !t.alive {
+		return
+	}
+	if d.flushQP > 0 {
+		// CQE hold-timer expiry: flush the pending response capsule.
+		t.flushCQEs(p, d.flushQP-1)
+		return
+	}
+	t.cores.Use(p, t.c.costs.CplHandle)
+	mode := t.c.cfg.Mode
+	ordered := d.ws.wc.Ordered && (mode == ModeRio || mode == ModeHorae)
+	plp := t.ssds[d.ws.ssdIdx].HasPLP()
 
-		if !ordered || d.ws.flushWire {
-			t.respond(p, d.ws)
-			continue
+	if d.isFlush {
+		// FLUSH on behalf of a flush-carrying ordered write: mark the
+		// carrier (and, for Horae, everything it certifies) persistent.
+		for _, s := range d.slots {
+			t.markPersist(p, s)
 		}
+		for _, s := range d.flushSlots {
+			t.markPersist(p, s)
+		}
+		t.respond(p, d.ws)
+		return
+	}
 
-		attrFlush := t.orderedFlushWanted(d.ws)
-		switch {
-		case plp:
-			// Completion implies durability: toggle persist now.
-			for _, s := range d.slots {
-				t.markPersist(p, s)
-			}
-			if mode == ModeHorae {
-				for _, a := range d.ws.horaeAttrs {
-					if s, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
-						t.markPersist(p, s)
-					}
+	if !ordered || d.ws.flushWire {
+		t.respond(p, d.ws)
+		return
+	}
+
+	attrFlush := t.orderedFlushWanted(d.ws)
+	switch {
+	case plp:
+		// Completion implies durability: toggle persist now.
+		for _, s := range d.slots {
+			t.markPersist(p, s)
+		}
+		if mode == ModeHorae {
+			for _, a := range d.ws.horaeAttrs {
+				if s, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
+					t.markPersist(p, s)
 				}
 			}
-			t.respond(p, d.ws)
-		case attrFlush:
-			// The group's durability barrier: drain the device, then mark.
-			fd := &tDone{ws: d.ws, slots: d.slots, isFlush: true, epoch: d.epoch}
-			if mode == ModeHorae {
-				fd.flushSlots = t.unflushed[d.ws.ssdIdx]
-				t.unflushed[d.ws.ssdIdx] = nil
-			}
-			t.stats.Flushes++
-			t.ssds[d.ws.ssdIdx].Submit(&ssd.Command{
-				Op:   ssd.OpFlush,
-				Done: func(*ssd.Command) { t.doneQ.Push(fd) },
-			})
-		default:
-			// Non-PLP, no flush: leave persist=0 (a later FLUSH-carrying
-			// entry certifies it during recovery, §4.3.2).
-			if mode == ModeHorae {
-				t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], d.slots...)
-			}
-			t.respond(p, d.ws)
 		}
+		t.respond(p, d.ws)
+	case attrFlush:
+		// The group's durability barrier: drain the device, then mark.
+		fd := &tDone{ws: d.ws, slots: d.slots, isFlush: true, epoch: d.epoch}
+		if mode == ModeHorae {
+			fd.flushSlots = t.unflushed[d.ws.ssdIdx]
+			t.unflushed[d.ws.ssdIdx] = nil
+		}
+		t.stats.Flushes++
+		t.ssds[d.ws.ssdIdx].Submit(&ssd.Command{
+			Op:   ssd.OpFlush,
+			Done: func(*ssd.Command) { t.doneQ.Push(fd) },
+		})
+	default:
+		// Non-PLP, no flush: leave persist=0 (a later FLUSH-carrying
+		// entry certifies it during recovery, §4.3.2).
+		if mode == ModeHorae {
+			t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], d.slots...)
+		}
+		t.respond(p, d.ws)
 	}
 }
 
@@ -452,12 +491,119 @@ func (t *Target) markPersist(p *sim.Proc, slot uint64) {
 	t.stats.PMRToggles++
 }
 
+// cqeHold is how long a lone completion may wait for companions before
+// the coalescing buffer is flushed anyway (the reverse-path analog of the
+// submission plug's hold timer).
+const cqeHold = 2 * sim.Microsecond
+
+// respond queues one completion toward the initiator. With CQECoalesce
+// the CQE joins its queue pair's pending response capsule, flushed when
+// CQEBatch entries accumulate or the hold timer expires; without it, each
+// CQE ships immediately in its own bare 16-byte capsule, exactly as the
+// seed target did.
 func (t *Target) respond(p *sim.Proc, ws *wireState) {
+	if !t.alive {
+		// A completion context that was mid-iteration when the power cut
+		// hit must not touch coalescing state crash cleanup just cleared:
+		// the response dies with the NIC, and acking a wiped write to the
+		// next incarnation would be wrong anyway (recovery replays it).
+		return
+	}
+	if t.cqeInflight[ws.qp] > 0 {
+		t.cqeInflight[ws.qp]--
+	}
+	cqe := nvmeof.NewCQE(ws.id)
+	if !t.c.cfg.CQECoalesce {
+		cqe.MarkCQEVector(0, 1)
+		t.cores.Use(p, t.c.costs.PostMsg)
+		t.stats.Responses++
+		t.stats.CQEs++
+		t.conn.Send(fabric.Target, fabric.Message{
+			QP: ws.qp, Size: nvmeof.ResponseSize,
+			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: ws.qp, epoch: ws.epoch},
+		})
+		return
+	}
+	qp := ws.qp
+	if len(t.cqePend[qp]) == 0 {
+		t.cqeEpoch[qp] = ws.epoch
+		t.cqeFirst[qp] = t.c.Eng.Now()
+	}
+	t.cqePend[qp] = append(t.cqePend[qp], cqe)
+	// Flush when the capsule is full — or when the queue pair has no
+	// command left in flight, so a CQE only ever waits while more
+	// completions are coming to amortize against and an idle QP responds
+	// immediately (no hold-timer latency on the application's critical
+	// path). The timer is the backstop for commands that stay in flight
+	// longer than the hold.
+	if len(t.cqePend[qp]) >= t.c.cfg.CQEBatch || t.cqeInflight[qp] == 0 {
+		t.flushCQEs(p, qp)
+		return
+	}
+	if !t.cqeArmed[qp] {
+		t.armCQETimer(qp, cqeHold)
+	}
+}
+
+// armCQETimer schedules a hold-timer check for one queue pair's pending
+// response capsule. Eng.At events cannot be cancelled, so the timer
+// checks batch age when it fires: a batch younger than cqeHold (the one
+// this timer was armed for was consumed by a threshold flush) re-arms
+// for the remainder instead of shipping early, keeping occupancy honest.
+func (t *Target) armCQETimer(qp int, d sim.Time) {
+	t.cqeArmed[qp] = true
+	epoch := t.epoch
+	t.c.Eng.At(d, func() {
+		// This timer event is spent, whatever happens next: the armed
+		// flag must never be true without a live timer behind it, or a
+		// sub-threshold batch strands forever (the deadlock is real — a
+		// replayed command's hwDone would never fire). A stale timer
+		// clearing the flag while a younger chain is live only costs a
+		// redundant re-arm on the next completion.
+		t.cqeArmed[qp] = false
+		if epoch != t.epoch || !t.alive || len(t.cqePend[qp]) == 0 {
+			return
+		}
+		if wait := t.cqeFirst[qp] + cqeHold - t.c.Eng.Now(); wait > 0 {
+			// The batch this timer was armed for was consumed by a
+			// threshold flush; re-arm for the younger one now pending.
+			t.armCQETimer(qp, wait)
+			return
+		}
+		// Flush in completion context (the engine context here cannot be
+		// charged CPU).
+		t.doneQ.Push(&tDone{flushQP: qp + 1, epoch: t.c.epoch})
+	})
+}
+
+// flushCQEs ships one queue pair's pending completions as a single
+// vectored response capsule: one shared framing, one PostMsg, entries
+// vector-marked so the initiator can verify the capsule arrived whole. A
+// batch of one needs no vector framing and ships as a bare 16-byte
+// capsule, exactly like the uncoalesced path.
+func (t *Target) flushCQEs(p *sim.Proc, qp int) {
+	batch := t.cqePend[qp]
+	if len(batch) == 0 {
+		return
+	}
+	// Detach before charging CPU: Use yields, and the other completion
+	// context may append (or flush) concurrently.
+	t.cqePend[qp] = nil
+	epoch := t.cqeEpoch[qp]
+	nvmeof.EncodeCQEVector(batch)
+	size := nvmeof.ResponseSize
+	if len(batch) > 1 {
+		size = nvmeof.CQEVectorCapsuleSize(len(batch))
+	}
 	t.cores.Use(p, t.c.costs.PostMsg)
+	if !t.alive {
+		return // power cut while posting: the capsule dies with the NIC
+	}
 	t.stats.Responses++
+	t.stats.CQEs += int64(len(batch))
 	t.conn.Send(fabric.Target, fabric.Message{
-		QP: ws.qp, Size: nvmeof.ResponseSize,
-		Payload: &completionMsg{ids: []uint64{ws.id}, epoch: ws.epoch},
+		QP: qp, Size: size,
+		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch},
 	})
 }
 
