@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-gate ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-gate examples ci
 
 all: build test
 
@@ -29,7 +29,13 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_2.json
+	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_3.json
+
+# Run every example with its built-in tiny config (CI smoke: example
+# drift fails the build).
+examples: build
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; $(GO) run ./$$d; done
 
 # The CI perf gate: run the scale experiment fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
@@ -37,4 +43,4 @@ bench-gate: build
 	$(GO) run ./cmd/riobench -exp scale -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
-ci: fmt-check vet build race bench bench-gate
+ci: fmt-check vet build race bench bench-gate examples

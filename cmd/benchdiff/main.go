@@ -33,11 +33,14 @@ type gate struct {
 }
 
 // gates are the metrics ISSUE acceptance tracks PR-over-PR: throughput at
-// the top of the sweep, hot-path allocations, and tail latency.
+// the top of the sweep, hot-path allocations, tail latency, and the
+// completion-path coalescing headline (capsules per op must not creep
+// back toward one-per-command).
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
 	{"scale.rio.p99_us", false},
+	{"scale.rio.completion_msgs_per_op", false},
 }
 
 // check compares one gated metric. For higher-is-better metrics a

@@ -8,9 +8,10 @@ import (
 
 func baseMetrics() map[string]float64 {
 	return map[string]float64{
-		"scale.rio.kiops.s8":       1200,
-		"scale.rio.allocs_per_req": 0,
-		"scale.rio.p99_us":         90,
+		"scale.rio.kiops.s8":               1200,
+		"scale.rio.allocs_per_req":         0,
+		"scale.rio.p99_us":                 90,
+		"scale.rio.completion_msgs_per_op": 0.8,
 	}
 }
 
@@ -42,6 +43,7 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"throughput -11%", "scale.rio.kiops.s8", 1200 * 0.89},
 		{"p99 +12%", "scale.rio.p99_us", 90 * 1.12},
 		{"allocs reappear", "scale.rio.allocs_per_req", 0.5},
+		{"cpl msgs/op +15% (coalescing decays)", "scale.rio.completion_msgs_per_op", 0.8 * 1.15},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()
@@ -66,8 +68,10 @@ func TestGateFailsOnMissingMetric(t *testing.T) {
 }
 
 func TestNonZeroLowerBetterRelative(t *testing.T) {
-	base := map[string]float64{"scale.rio.kiops.s8": 100, "scale.rio.allocs_per_req": 2, "scale.rio.p99_us": 50}
-	fresh := map[string]float64{"scale.rio.kiops.s8": 100, "scale.rio.allocs_per_req": 2.1, "scale.rio.p99_us": 50}
+	base := baseMetrics()
+	base["scale.rio.allocs_per_req"] = 2
+	fresh := baseMetrics()
+	fresh["scale.rio.allocs_per_req"] = 2.1
 	if _, failures := compare(base, fresh, 0.10); len(failures) != 0 {
 		t.Fatalf("+5%% allocs on nonzero base failed: %v", failures)
 	}

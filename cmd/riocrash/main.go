@@ -3,15 +3,20 @@
 // runs the §4.4 recovery algorithm, and verifies the §4.8 prefix invariant
 // against the durable media state, printing what survived.
 //
+// Without -seed each run draws a fresh seed (randomized
+// crash-consistency probing); the chosen seed is always printed, and a
+// failing run ends with the exact command line that reproduces it.
+//
 // Usage:
 //
-//	riocrash [-streams 4] [-groups 200] [-cut 300] [-seed 7] [-target]
+//	riocrash [-streams 4] [-groups 200] [-cut 300] [-seed N] [-target]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
@@ -25,10 +30,25 @@ func main() {
 		streams = flag.Int("streams", 4, "independent ordered streams")
 		groups  = flag.Int("groups", 200, "groups submitted per stream")
 		cutUS   = flag.Int64("cut", 300, "power cut time (simulated µs)")
-		seed    = flag.Int64("seed", 7, "RNG seed")
+		seed    = flag.Int64("seed", 0, "RNG seed (0 = randomize and print)")
 		target  = flag.Bool("target", false, "crash one target instead of the whole cluster")
 	)
 	flag.Parse()
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()%1_000_000_000 + 1
+	}
+	fmt.Printf("seed %d\n", *seed)
+	fail := func(format string, args ...interface{}) {
+		fmt.Printf(format, args...)
+		fmt.Printf("reproduce with: riocrash -streams %d -groups %d -cut %d -seed %d",
+			*streams, *groups, *cutUS, *seed)
+		if *target {
+			fmt.Print(" -target")
+		}
+		fmt.Println()
+		os.Exit(1)
+	}
 
 	eng := sim.New(*seed)
 	cfg := stack.DefaultConfig(stack.ModeRio,
@@ -93,7 +113,7 @@ func main() {
 		fmt.Printf("target recovery: %d/%d requests delivered after replay\n",
 			len(reqs)-undelivered, len(reqs))
 		if undelivered > 0 {
-			os.Exit(1)
+			fail("%d requests lost by target recovery\n", undelivered)
 		}
 		return
 	}
@@ -122,7 +142,6 @@ func main() {
 	if violations == 0 {
 		fmt.Println("prefix invariant holds: every stream recovered to an ordered state")
 	} else {
-		fmt.Printf("%d violations\n", violations)
-		os.Exit(1)
+		fail("%d violations\n", violations)
 	}
 }

@@ -108,4 +108,24 @@ func TestScaleSweep(t *testing.T) {
 	if mpo := r.Metrics["scale.rio_nocqe.completion_msgs_per_op"]; mpo < 1 {
 		t.Fatalf("nocqe completion msgs/op = %.2f, want >= 1 (per-CQE ablation)", mpo)
 	}
+	// Initiator-axis acceptance bars: aggregate Rio throughput must rise
+	// monotonically 1→4 initiators at fixed targets, with zero
+	// per-initiator ordering-invariant violations (sequencer group order,
+	// dense ServerIdx chains via the gate audit, PMR retire watermarks).
+	is := []float64{
+		r.Metrics["scale.rio.kiops.i1"],
+		r.Metrics["scale.rio.kiops.i2"],
+		r.Metrics["scale.rio.kiops.i4"],
+	}
+	for i := 1; i < len(is); i++ {
+		if is[i] <= is[i-1] {
+			t.Fatalf("rio aggregate throughput not monotonic over initiators: %v", is)
+		}
+	}
+	if v := r.Metrics["scale.multi.order_violations"]; v != 0 {
+		t.Fatalf("per-initiator ordering invariant violations = %.0f, want 0", v)
+	}
+	if sc := r.Metrics["scale.rio.init_scaling"]; sc <= 1.5 {
+		t.Fatalf("1→4 initiator scaling = %.2fx, want > 1.5x at fixed targets", sc)
+	}
 }

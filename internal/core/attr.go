@@ -18,7 +18,13 @@ import "fmt"
 // NVMe-oF command fields across the network (Table 1), persisted to PMR by
 // the target driver, and used to reconstruct storage order at any time.
 type Attr struct {
-	Stream uint16 // independent ordering domain (§4.5)
+	// Initiator is the ordering-domain namespace of a multi-initiator
+	// cluster: streams (and their sequence numbers, per-server chains and
+	// PMR log entries) are independent per initiator, so two initiator
+	// servers sharing a target fleet never coordinate on the data path.
+	Initiator uint16
+
+	Stream uint16 // independent ordering domain (§4.5), scoped per initiator
 	ReqID  uint32 // request identity within the stream (fragments share it)
 
 	// Global order: the group sequence number(s) this request belongs to.
@@ -60,6 +66,9 @@ func (a Attr) String() string {
 	if a.Merged() {
 		s = fmt.Sprintf("st%d seq%d-%d", a.Stream, a.SeqStart, a.SeqEnd)
 	}
+	if a.Initiator != 0 {
+		s = fmt.Sprintf("in%d ", a.Initiator) + s
+	}
 	if a.Split {
 		s += fmt.Sprintf(" frag%d/%d", a.SplitIdx, a.SplitCnt)
 	}
@@ -73,6 +82,8 @@ func (a Attr) String() string {
 // group — and split requests never merge.
 func CanMerge(a, b Attr) bool {
 	switch {
+	case a.Initiator != b.Initiator:
+		return false // ordering domains never merge across initiators
 	case a.Stream != b.Stream:
 		return false
 	case a.Split || b.Split:
@@ -117,7 +128,7 @@ func Merge(a, b Attr) Attr {
 // deliberately excludes ServerIdx so a replayed request converges to the
 // same identity.
 func AttrStamp(a Attr) uint64 {
-	return uint64(a.Stream)<<48 ^ a.SeqStart<<16 ^ a.SeqEnd<<4 ^ uint64(a.ReqID)<<28 ^ 0xA77
+	return uint64(a.Initiator)<<40 ^ uint64(a.Stream)<<48 ^ a.SeqStart<<16 ^ a.SeqEnd<<4 ^ uint64(a.ReqID)<<28 ^ 0xA77
 }
 
 // SplitAttr divides a request's attribute into cnt fragments with the given

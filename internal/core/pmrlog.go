@@ -37,7 +37,8 @@ type Entry struct {
 //	off 32: lba     u64      off 40: blocks   u32
 //	off 44: num     u16      off 46: flags    u16
 //	off 48: splitIdx u16     off 50: splitCnt u16
-//	off 52: pad     u64      off 60: checksum u32
+//	off 52: ns      u16      off 54: initiator u16
+//	off 56: pad     u32      off 60: checksum u32
 func encodeEntry(buf []byte, e Entry) {
 	if len(buf) < EntrySize {
 		panic("core: short buffer for PMR entry")
@@ -72,7 +73,8 @@ func encodeEntry(buf []byte, e Entry) {
 	le.PutUint16(buf[48:], e.SplitIdx)
 	le.PutUint16(buf[50:], e.SplitCnt)
 	le.PutUint16(buf[52:], e.NS)
-	for i := 54; i < 60; i++ {
+	le.PutUint16(buf[54:], e.Initiator)
+	for i := 56; i < 60; i++ {
 		buf[i] = 0
 	}
 	le.PutUint32(buf[60:], checksum(buf[:60]))
@@ -106,6 +108,7 @@ func decodeEntry(buf []byte) (Entry, bool) {
 	e.SplitIdx = le.Uint16(buf[48:])
 	e.SplitCnt = le.Uint16(buf[50:])
 	e.NS = le.Uint16(buf[52:])
+	e.Initiator = le.Uint16(buf[54:])
 	return e, true
 }
 

@@ -36,15 +36,19 @@ func DurableSet(v ServerView) (durable, uncertain []Entry) {
 		}
 		return durable, uncertain
 	}
-	// Non-PLP: compute, per stream, the highest persisted FLUSH ServerIdx.
-	flushIdx := map[uint16]uint64{}
+	// Non-PLP: compute, per (initiator, stream), the highest persisted
+	// FLUSH ServerIdx. ServerIdx chains are per-initiator, so a FLUSH of
+	// one initiator certifies only entries of its own chain.
+	flushIdx := map[StreamKey]uint64{}
 	for _, e := range v.Entries {
-		if e.Flush && e.Persist && e.ServerIdx > flushIdx[e.Stream] {
-			flushIdx[e.Stream] = e.ServerIdx
+		k := StreamKey{e.Initiator, e.Stream}
+		if e.Flush && e.Persist && e.ServerIdx > flushIdx[k] {
+			flushIdx[k] = e.ServerIdx
 		}
 	}
 	for _, e := range v.Entries {
-		if e.Persist || (flushIdx[e.Stream] > 0 && e.ServerIdx <= flushIdx[e.Stream]) {
+		k := StreamKey{e.Initiator, e.Stream}
+		if e.Persist || (flushIdx[k] > 0 && e.ServerIdx <= flushIdx[k]) {
 			durable = append(durable, e)
 		} else {
 			uncertain = append(uncertain, e)
@@ -53,9 +57,19 @@ func DurableSet(v ServerView) (durable, uncertain []Entry) {
 	return durable, uncertain
 }
 
-// StreamReport is the per-stream outcome of global recovery analysis.
+// StreamKey identifies one ordering domain of a multi-initiator cluster:
+// stream ids are scoped per initiator, so recovery analysis, reports and
+// prefixes are all keyed by the pair.
+type StreamKey struct {
+	Initiator uint16
+	Stream    uint16
+}
+
+// StreamReport is the per-(initiator, stream) outcome of global recovery
+// analysis.
 type StreamReport struct {
-	Stream uint16
+	Initiator uint16
+	Stream    uint16
 
 	// DurablePrefix is the largest k such that groups 1..k are all
 	// durable: the valid post-crash state of §4.8 (prefix semantics).
@@ -75,18 +89,31 @@ type StreamReport struct {
 	IPU []Entry
 }
 
-// Report is the global recovery decision built by the initiator after
-// collecting every server's view (§4.4).
+// Report is the global recovery decision built after collecting every
+// server's view (§4.4). Each initiator's ordering domains are rebuilt
+// independently: the map is keyed by (initiator, stream).
 type Report struct {
-	Streams map[uint16]*StreamReport
+	Streams map[StreamKey]*StreamReport
 }
 
-// Prefix returns the durable prefix for a stream (0 if unknown stream).
+// Prefix returns the durable prefix for a stream of initiator 0 (the
+// single-initiator case; 0 if unknown stream).
 func (r *Report) Prefix(stream uint16) uint64 {
-	if sr := r.Streams[stream]; sr != nil {
+	return r.PrefixFor(0, stream)
+}
+
+// PrefixFor returns the durable prefix for one initiator's stream (0 if
+// unknown).
+func (r *Report) PrefixFor(initiator, stream uint16) uint64 {
+	if sr := r.Streams[StreamKey{initiator, stream}]; sr != nil {
 		return sr.DurablePrefix
 	}
 	return 0
+}
+
+// Stream returns the report for one initiator's stream (nil if unknown).
+func (r *Report) Stream(initiator, stream uint16) *StreamReport {
+	return r.Streams[StreamKey{initiator, stream}]
 }
 
 // evidence accumulates per-group durability facts across servers.
@@ -119,8 +146,8 @@ func Analyze(views []ServerView) *Report {
 		any     bool
 		beyond  []Entry // every entry, for discard classification
 	}
-	streams := map[uint16]*streamState{}
-	state := func(id uint16) *streamState {
+	streams := map[StreamKey]*streamState{}
+	state := func(id StreamKey) *streamState {
 		ss := streams[id]
 		if ss == nil {
 			ss = &streamState{groups: map[uint64]*evidence{}}
@@ -130,7 +157,7 @@ func Analyze(views []ServerView) *Report {
 	}
 	note := func(e Entry, server int, durable bool) {
 		e.Server = server
-		ss := state(e.Stream)
+		ss := state(StreamKey{e.Initiator, e.Stream})
 		ss.beyond = append(ss.beyond, e)
 		if !ss.any || e.SeqStart < ss.minSeen {
 			ss.minSeen = e.SeqStart
@@ -187,9 +214,9 @@ func Analyze(views []ServerView) *Report {
 		}
 	}
 
-	rep := &Report{Streams: map[uint16]*StreamReport{}}
+	rep := &Report{Streams: map[StreamKey]*StreamReport{}}
 	for id, ss := range streams {
-		sr := &StreamReport{Stream: id, MaxSeen: ss.maxSeen}
+		sr := &StreamReport{Initiator: id.Initiator, Stream: id.Stream, MaxSeen: ss.maxSeen}
 		// Groups below the minimum present seq were retired after in-order
 		// completion: they are durable by construction.
 		prefix := uint64(0)

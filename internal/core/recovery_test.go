@@ -86,7 +86,7 @@ func TestAnalyzePaperFigure6(t *testing.T) {
 		w71, w72,
 	}}
 	rep := Analyze([]ServerView{s1, s2})
-	sr := rep.Streams[0]
+	sr := rep.Stream(0, 0)
 	if sr == nil {
 		t.Fatal("no report for stream 0")
 	}
@@ -154,8 +154,8 @@ func TestAnalyzeMergedEntryAtomicity(t *testing.T) {
 	if got := rep.Prefix(0); got != 1 {
 		t.Fatalf("prefix = %d, want 1 (atomic merged range dropped)", got)
 	}
-	if len(rep.Streams[0].Discard) != 2 {
-		t.Fatalf("discard = %v", rep.Streams[0].Discard)
+	if len(rep.Stream(0, 0).Discard) != 2 {
+		t.Fatalf("discard = %v", rep.Stream(0, 0).Discard)
 	}
 }
 
@@ -192,7 +192,7 @@ func TestAnalyzeIPUSeparation(t *testing.T) {
 		ipu,
 	}}
 	rep := Analyze([]ServerView{v})
-	sr := rep.Streams[0]
+	sr := rep.Stream(0, 0)
 	if sr.DurablePrefix != 1 {
 		t.Fatalf("prefix = %d, want 1", sr.DurablePrefix)
 	}
@@ -235,6 +235,35 @@ func TestAnalyzeMultiStreamIndependence(t *testing.T) {
 	}
 }
 
+// TestAnalyzeMultiInitiatorIndependence: two initiators using the SAME
+// stream id are separate ordering domains — one initiator's missing
+// group must not cap the other's prefix, and roll-back lists never mix.
+func TestAnalyzeMultiInitiatorIndependence(t *testing.T) {
+	in1 := func(e Entry) Entry {
+		e.Initiator = 1
+		return e
+	}
+	v := ServerView{PLP: true, Entries: []Entry{
+		entry(0, 1, 1, 1, 1, true),
+		entry(0, 2, 2, 2, 1, false), // initiator 0 stalls at 1
+		in1(entry(0, 1, 1, 1, 1, true)),
+		in1(entry(0, 2, 2, 2, 1, true)), // initiator 1 reaches 2
+	}}
+	rep := Analyze([]ServerView{v})
+	if got := rep.PrefixFor(0, 0); got != 1 {
+		t.Fatalf("initiator 0 prefix = %d, want 1", got)
+	}
+	if got := rep.PrefixFor(1, 0); got != 2 {
+		t.Fatalf("initiator 1 prefix = %d, want 2", got)
+	}
+	if sr := rep.Stream(1, 0); sr == nil || len(sr.Discard) != 0 {
+		t.Fatalf("initiator 1 must have nothing to roll back: %+v", sr)
+	}
+	if sr := rep.Stream(0, 0); len(sr.Discard) != 1 || sr.Discard[0].Initiator != 0 {
+		t.Fatalf("initiator 0 discard list polluted: %+v", sr.Discard)
+	}
+}
+
 // Property (§4.8): for any crash pattern over n single-request groups, the
 // durable prefix k satisfies: groups 1..k all durable, and group k+1 (if
 // seen) not durable. This is the prefix-semantics invariant.
@@ -263,7 +292,7 @@ func TestPrefixInvariantProperty(t *testing.T) {
 			return false // prefix stopped early despite durable next group
 		}
 		// All discard entries must be beyond the prefix.
-		if sr := rep.Streams[0]; sr != nil {
+		if sr := rep.Stream(0, 0); sr != nil {
 			for _, e := range sr.Discard {
 				if e.SeqEnd <= k {
 					return false

@@ -14,11 +14,20 @@ type Sequencer struct {
 	streams []*StreamSeq
 }
 
-// NewSequencer creates n independent streams (rio_setup).
+// NewSequencer creates n independent streams (rio_setup) in initiator
+// namespace 0 (the single-initiator case).
 func NewSequencer(n int) *Sequencer {
+	return NewSequencerFor(0, n)
+}
+
+// NewSequencerFor creates n independent streams namespaced to one
+// initiator: every attribute the sequencer mints carries the initiator
+// id, so targets and recovery can keep the ordering domains of a
+// multi-initiator cluster apart.
+func NewSequencerFor(initiator uint16, n int) *Sequencer {
 	s := &Sequencer{}
 	for i := 0; i < n; i++ {
-		s.streams = append(s.streams, newStreamSeq(uint16(i)))
+		s.streams = append(s.streams, newStreamSeq(initiator, uint16(i)))
 	}
 	return s
 }
@@ -57,6 +66,7 @@ func (g *groupTrack) reset() {
 // StreamSeq is the per-stream state: global order on the submission side,
 // per-server chains for the targets, and the in-order completion gate.
 type StreamSeq struct {
+	initiator uint16 // ordering-domain namespace (multi-initiator clusters)
 	id        uint16
 	nextSeq   uint64 // seq assigned to the currently open group
 	openCount uint16
@@ -70,8 +80,9 @@ type StreamSeq struct {
 	groupFree []*groupTrack // free list of retired group trackers
 }
 
-func newStreamSeq(id uint16) *StreamSeq {
+func newStreamSeq(initiator, id uint16) *StreamSeq {
 	return &StreamSeq{
+		initiator: initiator,
 		id:        id,
 		nextSeq:   1,
 		serverIdx: make(map[int]uint64),
@@ -82,6 +93,9 @@ func newStreamSeq(id uint16) *StreamSeq {
 
 // ID returns the stream id.
 func (st *StreamSeq) ID() uint16 { return st.id }
+
+// Initiator returns the stream's initiator namespace.
+func (st *StreamSeq) Initiator() uint16 { return st.initiator }
 
 // Submit creates the ordering attribute for one ordered write request
 // (rio_submit). boundary marks the end of the current group; flush tags
@@ -101,15 +115,16 @@ func (st *StreamSeq) SubmitInto(t *Ticket, lba uint64, blocks uint32, boundary, 
 		panic("core: SubmitInto would resurrect a live ticket")
 	}
 	a := Attr{
-		Stream:   st.id,
-		ReqID:    st.nextReqID,
-		SeqStart: st.nextSeq,
-		SeqEnd:   st.nextSeq,
-		LBA:      lba,
-		Blocks:   blocks,
-		Boundary: boundary,
-		Flush:    flush,
-		IPU:      ipu,
+		Initiator: st.initiator,
+		Stream:    st.id,
+		ReqID:     st.nextReqID,
+		SeqStart:  st.nextSeq,
+		SeqEnd:    st.nextSeq,
+		LBA:       lba,
+		Blocks:    blocks,
+		Boundary:  boundary,
+		Flush:     flush,
+		IPU:       ipu,
 	}
 	st.nextReqID++
 	st.openCount++

@@ -6,7 +6,7 @@ import "testing"
 // later submission, and the old submission's deliver callback is not
 // re-fired by the new lifetime.
 func TestSubmitIntoReusesStorage(t *testing.T) {
-	st := newStreamSeq(0)
+	st := newStreamSeq(0, 0)
 	var slot Ticket
 	firstDelivers, secondDelivers := 0, 0
 
@@ -35,7 +35,7 @@ func TestSubmitIntoReusesStorage(t *testing.T) {
 // TestSubmitIntoRejectsLiveTicket: reusing storage whose lifetime has not
 // ended in delivery would corrupt the inflight set, so it must panic.
 func TestSubmitIntoRejectsLiveTicket(t *testing.T) {
-	st := newStreamSeq(0)
+	st := newStreamSeq(0, 0)
 	var slot Ticket
 	st.SubmitInto(&slot, 0, 1, true, false, false, nil)
 	defer func() {
@@ -49,7 +49,7 @@ func TestSubmitIntoRejectsLiveTicket(t *testing.T) {
 // TestGroupTrackRecycling: retired group trackers are recycled without
 // corrupting in-order delivery across many groups.
 func TestGroupTrackRecycling(t *testing.T) {
-	st := newStreamSeq(0)
+	st := newStreamSeq(0, 0)
 	var order []uint32
 	const groups = 64
 	var tickets []*Ticket

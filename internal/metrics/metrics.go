@@ -224,6 +224,11 @@ func (p PoolStats) Sub(old PoolStats) PoolStats {
 	return PoolStats{Hits: p.Hits - old.Hits, Misses: p.Misses - old.Misses}
 }
 
+// Add returns the sum p + o (aggregation across initiators).
+func (p PoolStats) Add(o PoolStats) PoolStats {
+	return PoolStats{Hits: p.Hits + o.Hits, Misses: p.Misses + o.Misses}
+}
+
 // BatchStats tracks doorbell batching: Rings counts doorbell rings
 // (capsules sent), Items the commands they carried.
 type BatchStats struct {
@@ -248,6 +253,11 @@ func (b BatchStats) Occupancy() float64 {
 // Sub returns the delta b - old.
 func (b BatchStats) Sub(old BatchStats) BatchStats {
 	return BatchStats{Rings: b.Rings - old.Rings, Items: b.Items - old.Items}
+}
+
+// Add returns the sum b + o (aggregation across initiators).
+func (b BatchStats) Add(o BatchStats) BatchStats {
+	return BatchStats{Rings: b.Rings + o.Rings, Items: b.Items + o.Items}
 }
 
 // perOp is the shared per-operation ratio: 0 when no operations ran.

@@ -106,6 +106,10 @@ func EncodeAttr(c *SQE, a core.Attr) {
 	c[3] = uint32(a.SeqEnd)
 	c[4] = uint32(a.ServerIdx - 1) // the paper's "previous group" pointer
 	c[5] = uint32(a.Num) | uint32(a.Stream)<<16
+	// The initiator id namespaces the (stream, seq, serverIdx) ordering
+	// domain in a multi-initiator cluster. It rides in dword 6, which the
+	// simulation leaves free (PRP/SGL pointers are not modeled).
+	c[6] = uint32(a.Initiator)
 	var flags uint32
 	if a.Boundary {
 		flags |= FlagBoundary
@@ -135,6 +139,7 @@ func DecodeAttr(c *SQE) (core.Attr, error) {
 	}
 	flags := (c[12] >> 16) & 0xf
 	a := core.Attr{
+		Initiator: uint16(c[6]),
 		Stream:    uint16(c[5] >> 16),
 		ReqID:     c[13],
 		SeqStart:  uint64(c[2]),

@@ -1,8 +1,6 @@
 package stack
 
 import (
-	"fmt"
-
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -20,6 +18,7 @@ type wireState struct {
 	wc        *blockdev.WireCmd
 	wcs       blockdev.WireCmd
 	sqe       nvmeof.SQE
+	init      int // owning initiator (pools, epochs, target-side state)
 	target    int
 	ssdIdx    int
 	stream    int
@@ -66,7 +65,8 @@ func (ws *wireState) reset() {
 }
 
 // retire is a piggybacked watermark: all PMR entries of stream with
-// ServerIdx <= upTo may be recycled.
+// ServerIdx <= upTo may be recycled. The initiator it belongs to is
+// implied by the connection the capsule arrived on.
 type retire struct {
 	stream uint16
 	upTo   uint64
@@ -80,7 +80,8 @@ type ctrlReq struct {
 }
 
 // capsule is the payload of one RDMA SEND toward a target: a posted list
-// of commands (and/or control entries) sharing one doorbell.
+// of commands (and/or control entries) sharing one doorbell. epoch is
+// the sending initiator's incarnation.
 type capsule struct {
 	cmds    []*wireState
 	ctrl    []*ctrlReq
@@ -89,10 +90,11 @@ type capsule struct {
 	epoch   int
 }
 
-// completionMsg is the payload of one SEND back to the initiator: a
+// completionMsg is the payload of one SEND back to an initiator: a
 // coalesced response capsule of vector-marked CQEs (one with CQECoalesce
 // off), or a batch of Horae control-path acks. qp routes the capsule to
-// the shard that owns the queue pair's completion reaping.
+// the shard that owns the queue pair's completion reaping; the initiator
+// is implied by the connection.
 type completionMsg struct {
 	cqes     []nvmeof.CQE
 	ctrlAcks []*ctrlReq
@@ -107,7 +109,8 @@ type horaeStage struct {
 	ctrls map[int][]*ctrlReq
 }
 
-// ClusterStats aggregates initiator-side counters.
+// ClusterStats aggregates initiator-side counters (per initiator; the
+// cluster-level Stats sums or selects, see Stats/StatsAll).
 type ClusterStats struct {
 	Submitted    int64
 	Completed    int64
@@ -160,38 +163,36 @@ func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
 	}
 }
 
-// Cluster is one initiator server plus its target servers.
+// Add returns the counter sums s + o (for cluster-wide aggregation).
+func (s ClusterStats) Add(o ClusterStats) ClusterStats {
+	return ClusterStats{
+		Submitted:    s.Submitted + o.Submitted,
+		Completed:    s.Completed + o.Completed,
+		WireCmds:     s.WireCmds + o.WireCmds,
+		WireMessages: s.WireMessages + o.WireMessages,
+		FusedCmds:    s.FusedCmds + o.FusedCmds,
+		Holdbacks:    s.Holdbacks + o.Holdbacks,
+		Pool:         s.Pool.Add(o.Pool),
+		Batch:        s.Batch.Add(o.Batch),
+		CplBatch:     s.CplBatch.Add(o.CplBatch),
+		ReapCPU:      s.ReapCPU + o.ReapCPU,
+	}
+}
+
+// Cluster is a deployment: one or more initiator servers sharing a fleet
+// of target servers over the fabric. Each initiator is an independent
+// ordering domain end to end — its own sequencer namespace, submission
+// shards, queue-pair sets, pools and crash epoch — while targets enforce
+// in-order submission per (initiator, stream) and keep per-initiator PMR
+// log partitions.
 type Cluster struct {
 	Eng   *sim.Engine
 	cfg   Config
 	costs CostModel
 
-	vol       *blockdev.Volume
-	initCores *sim.Resource
-	targets   []*Target
-
-	seq    *core.Sequencer
-	shards []*shard // one submission shard per stream
-
-	outstanding map[uint64]*wireState
-	nextCmdID   uint64
-	linuxMu     *sim.Resource
-	retireMark  map[[2]int]uint64 // {stream, target} -> watermark
-	epoch       int
-
-	// fuseWires scratch: per-device batch tails, generation-stamped so a
-	// dispatch never reads a previous batch's tail (the slice is only
-	// touched between yields, so sharing it across shards is safe).
-	fuseTails []fuseTail
-	fuseGen   uint64
-
-	// buildWires scratch, shared by all shards: buildWires never yields,
-	// so one set serves every caller without handoff bookkeeping.
-	pieceBuf []piece
-	attrBuf  []core.Attr
-	blockBuf []uint32
-
-	stats ClusterStats
+	vol     *blockdev.Volume
+	targets []*Target
+	inits   []*Initiator
 }
 
 type fuseTail struct {
@@ -207,78 +208,45 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.Streams <= 0 || cfg.QPs <= 0 {
 		panic("stack: invalid streams/QPs")
 	}
-	c := &Cluster{
-		Eng:         eng,
-		cfg:         cfg,
-		costs:       cfg.Costs,
-		initCores:   sim.NewResource(eng, cfg.InitiatorCores),
-		seq:         core.NewSequencer(cfg.Streams),
-		outstanding: make(map[uint64]*wireState),
-		linuxMu:     sim.NewResource(eng, 1),
-		retireMark:  make(map[[2]int]uint64),
+	if cfg.Initiators <= 0 {
+		cfg.Initiators = 1
 	}
+	c := &Cluster{Eng: eng, cfg: cfg, costs: cfg.Costs}
 	if c.cfg.CQECoalesce && c.cfg.CQEBatch <= 0 {
 		c.cfg.CQEBatch = 16
 	}
 	var devs []blockdev.DevRef
-	for ti, tc := range cfg.Targets {
+	for ti, tc := range c.cfg.Targets {
 		t := newTarget(c, ti, tc)
 		c.targets = append(c.targets, t)
 		for si := range t.ssds {
-			devs = append(devs, blockdev.DevRef{Server: ti, SSD: si, Blocks: cfg.DeviceBlocks})
+			devs = append(devs, blockdev.DevRef{Server: ti, SSD: si, Blocks: c.cfg.DeviceBlocks})
 		}
 	}
-	c.vol = blockdev.NewVolume(devs, cfg.ChunkBlocks)
-	c.fuseTails = make([]fuseTail, c.vol.Devices())
-	for s := 0; s < cfg.Streams; s++ {
-		sh := newShard(c, s)
-		c.shards = append(c.shards, sh)
-		eng.Go(fmt.Sprintf("init/dispatch%d", s), func(p *sim.Proc) {
-			c.dispatchLoop(p, sh)
-		})
-		// Per-shard completion reaping (softirq context): the shard owns
-		// the completion queue for its QP affinity set, so a stream's
-		// completions recycle through the pools of the shard that filled
-		// them — no cross-shard pool traffic, no shared global queue.
-		eng.Go(fmt.Sprintf("init/reap%d", s), func(p *sim.Proc) {
-			c.reapLoop(p, sh)
-		})
+	c.vol = blockdev.NewVolume(devs, c.cfg.ChunkBlocks)
+	for i := 0; i < c.cfg.Initiators; i++ {
+		c.inits = append(c.inits, newInitiator(c, i))
 	}
 	return c
-}
-
-// reapShard routes a completion capsule arriving on a queue pair to the
-// shard that owns that QP's reaping. With stream affinity, shard s rings
-// doorbells on QP s%QPs, so QP q's completions belong to shards
-// {q, q+QPs, ...} — shard q (the affinity set's owner) reaps them all
-// and objects still recycle to the shard of the stream that created
-// them, which is local whenever Streams == QPs.
-func (c *Cluster) reapShard(qp int) *shard {
-	return c.shards[qp%len(c.shards)]
 }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Volume returns the logical volume geometry.
+// Volume returns the logical volume geometry (shared by all initiators).
 func (c *Cluster) Volume() *blockdev.Volume { return c.vol }
 
-// Stats returns initiator counters.
-func (c *Cluster) Stats() ClusterStats { return c.stats }
+// Init returns initiator server i.
+func (c *Cluster) Init(i int) *Initiator { return c.inits[i] }
 
-// Sequencer exposes the Rio sequencer (tests, recovery).
-func (c *Cluster) Sequencer() *core.Sequencer { return c.seq }
+// Initiators returns the number of initiator servers.
+func (c *Cluster) Initiators() int { return len(c.inits) }
 
 // Target returns target server i.
 func (c *Cluster) Target(i int) *Target { return c.targets[i] }
 
 // Targets returns the number of target servers.
 func (c *Cluster) Targets() int { return len(c.targets) }
-
-// InitiatorUtil snapshots initiator CPU for utilization windows.
-func (c *Cluster) InitiatorUtil() metrics.UtilSnapshot {
-	return metrics.SnapUtil(c.initCores, c.Eng.Now())
-}
 
 // TargetUtil snapshots the combined CPU of all target servers.
 func (c *Cluster) TargetUtil() metrics.UtilSnapshot {
@@ -291,208 +259,69 @@ func (c *Cluster) TargetUtil() metrics.UtilSnapshot {
 	return s
 }
 
-// useInitCPU charges d of CPU on the initiator cores from proc context.
-func (c *Cluster) useInitCPU(p *sim.Proc, d sim.Time) {
-	if d > 0 {
-		c.initCores.Use(p, d)
+// InitiatorUtil snapshots the combined CPU of all initiator servers (for
+// a single-initiator cluster this is that initiator's utilization).
+func (c *Cluster) InitiatorUtil() metrics.UtilSnapshot {
+	var s metrics.UtilSnapshot
+	s.At = c.Eng.Now()
+	for _, in := range c.inits {
+		s.Busy += in.cores.BusyTime()
+		s.Capacity += in.cores.Capacity()
 	}
+	return s
 }
 
-// UseCPU charges application-level CPU work (file-system logic, key-value
-// indexing, compaction) to the initiator cores.
-func (c *Cluster) UseCPU(p *sim.Proc, d sim.Time) { c.useInitCPU(p, d) }
+// Stats returns initiator 0's counters (the single-initiator surface;
+// use StatsAll or Init(i).Stats for multi-initiator clusters).
+func (c *Cluster) Stats() ClusterStats { return c.inits[0].stats }
 
-// blockingWait models a thread sleeping on an I/O completion: context
-// switch out, completion interrupt, scheduler wakeup latency.
-func (c *Cluster) blockingWait(p *sim.Proc, sig *sim.Signal) {
-	if sig.Fired() {
-		return
+// StatsAll returns the sum of every initiator's counters.
+func (c *Cluster) StatsAll() ClusterStats {
+	var s ClusterStats
+	for _, in := range c.inits {
+		s = s.Add(in.stats)
 	}
-	c.useInitCPU(p, c.costs.BlockCPU)
-	sig.Wait(p)
-	p.Sleep(c.costs.WakeLat)
-	c.useInitCPU(p, c.costs.WakeCPU)
+	return s
 }
 
-// Wait blocks until req's completion has been delivered (rio_wait). About
-// to block, the thread first flushes its plug list (as Linux does on
-// schedule()), so staged requests of this stream reach the wire.
-func (c *Cluster) Wait(p *sim.Proc, req *blockdev.Request) {
-	if !req.Done.Fired() {
-		c.plugFlush(p, req.Stream)
-	}
-	c.blockingWait(p, req.Done)
-}
+// Sequencer exposes initiator 0's Rio sequencer (tests, recovery).
+func (c *Cluster) Sequencer() *core.Sequencer { return c.inits[0].seq }
 
-// WaitSignal blocks on an arbitrary completion signal with the same
-// context-switch and wakeup costs as an I/O wait (e.g. a JBD2 group-commit
-// join).
-func (c *Cluster) WaitSignal(p *sim.Proc, sig *sim.Signal) {
-	c.blockingWait(p, sig)
-}
+// The single-initiator compatibility surface: every data-path entry
+// point forwards to initiator 0, so code written against the original
+// one-initiator cluster (file systems, workloads, tests) runs unchanged.
 
-// OrderedWrite submits one ordered write request on a stream (rio_submit
-// semantics: asynchronous; boundary closes the group; flush requests
-// durability of the whole group; ipu marks in-place updates). The returned
-// request's Done signal fires when the completion is delivered in storage
-// order. Depending on the cluster mode this maps to the Rio path, the
-// Horae control+data path, or the Linux synchronous path (in which case
-// the call blocks until durable).
+// UseCPU charges application-level CPU work to initiator 0's cores.
+func (c *Cluster) UseCPU(p *sim.Proc, d sim.Time) { c.inits[0].UseCPU(p, d) }
+
+// Wait blocks until req's completion has been delivered (rio_wait).
+func (c *Cluster) Wait(p *sim.Proc, req *blockdev.Request) { c.inits[0].Wait(p, req) }
+
+// WaitSignal blocks on an arbitrary completion signal.
+func (c *Cluster) WaitSignal(p *sim.Proc, sig *sim.Signal) { c.inits[0].WaitSignal(p, sig) }
+
+// OrderedWrite submits one ordered write request on initiator 0.
 func (c *Cluster) OrderedWrite(p *sim.Proc, stream int, lba uint64, blocks uint32,
 	stamp uint64, data [][]byte, boundary, flush, ipu bool) *blockdev.Request {
-
-	req := &blockdev.Request{
-		Op: blockdev.OpWrite, LBA: lba, Blocks: blocks,
-		Stamp: stamp, Data: data, Stream: stream % c.cfg.Streams,
-		Ordered: true, Boundary: boundary, Flush: flush, IPU: ipu,
-		Done: sim.NewSignal(c.Eng), SubmitAt: p.Now(),
-	}
-	c.stats.Submitted++
-	start := p.Now()
-	switch c.cfg.Mode {
-	case ModeRio:
-		c.submitRio(p, req)
-	case ModeHorae:
-		c.submitHorae(p, req)
-	case ModeLinux:
-		c.submitLinux(p, req)
-	default:
-		c.submitOrderless(p, req)
-	}
-	req.SubmitSpent = p.Now() - start
-	return req
+	return c.inits[0].OrderedWrite(p, stream, lba, blocks, stamp, data, boundary, flush, ipu)
 }
 
-// OrderlessWrite submits a plain (no ordering guarantee) write.
+// OrderlessWrite submits a plain write on initiator 0.
 func (c *Cluster) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks uint32,
 	stamp uint64, data [][]byte) *blockdev.Request {
-
-	req := &blockdev.Request{
-		Op: blockdev.OpWrite, LBA: lba, Blocks: blocks,
-		Stamp: stamp, Data: data, Stream: stream % c.cfg.Streams,
-		Done: sim.NewSignal(c.Eng), SubmitAt: p.Now(),
-	}
-	c.stats.Submitted++
-	c.submitOrderless(p, req)
-	return req
+	return c.inits[0].OrderlessWrite(p, stream, lba, blocks, stamp, data)
 }
 
-// Read performs a synchronous read of [lba, lba+blocks) and returns the
-// observed records.
+// Read performs a synchronous read through initiator 0.
 func (c *Cluster) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
-	c.useInitCPU(p, c.costs.SubmitBio)
-	out := make([]ssd.Rec, blocks)
-	done := sim.NewWaitGroup(c.Eng)
-	for _, ext := range c.vol.Extents(lba, blocks) {
-		ext := ext
-		ref := c.vol.Dev(ext.Dev)
-		t := c.targets[ref.Server]
-		if !t.alive {
-			continue
-		}
-		done.Add(1)
-		cmd := &ssd.Command{
-			Op: ssd.OpRead, LBA: ext.DevLBA, Blocks: ext.Blocks,
-			Done: func(sc *ssd.Command) {
-				copy(out[ext.Offset:ext.Offset+ext.Blocks], sc.Out)
-				done.Done()
-			},
-		}
-		// Reads bypass the ordered machinery: command out, data back via
-		// one-sided RDMA; we charge the round trip and device time via the
-		// SSD path plus a fixed fabric delay.
-		c.Eng.At(c.cfg.Fabric.PropDelay, func() { t.ssds[ref.SSD].Submit(cmd) })
-	}
-	done.Wait(p)
-	p.Sleep(c.cfg.Fabric.PropDelay) // response path
-	return out
+	return c.inits[0].Read(p, lba, blocks)
 }
 
-// FlushDevice issues a standalone FLUSH to every device backing the
-// logical range owner (used by file systems for block reuse, §4.4.2).
-func (c *Cluster) FlushDevice(p *sim.Proc, stream int) {
-	var states []*wireState
-	for d := 0; d < c.vol.Devices(); d++ {
-		ref := c.vol.Dev(d)
-		ws := c.newFlushWire(d, stream)
-		ws.sqe = nvmeof.FlushCommand(uint32(ref.SSD))
-		states = append(states, ws)
-	}
-	c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(states)))
-	c.postByTarget(p, states, stream)
-	for _, ws := range states {
-		c.blockingWait(p, ws.hwDone)
-	}
-	c.putFlushWires(states)
-}
+// FlushDevice issues a standalone FLUSH from initiator 0.
+func (c *Cluster) FlushDevice(p *sim.Proc, stream int) { c.inits[0].FlushDevice(p, stream) }
 
-// newWire checks a wireState (with its embedded WireCmd) out of the
-// stream's shard pool, resets it, and registers it as outstanding. The
-// caller fills ws.wc and then resolves routing with bindWire.
-func (c *Cluster) newWire(stream int) *wireState {
-	sh := c.shards[stream]
-	var ws *wireState
-	if n := len(sh.wireFree); n > 0 && c.cfg.Pooling {
-		ws = sh.wireFree[n-1]
-		sh.wireFree = sh.wireFree[:n-1]
-		ws.hwDone.Reset()
-		c.stats.Pool.Hit()
-	} else {
-		ws = &wireState{hwDone: sim.NewSignal(c.Eng)}
-		c.stats.Pool.Miss()
-	}
-	ws.reset()
-	c.nextCmdID++
-	ws.id = c.nextCmdID
-	ws.stream = stream
-	ws.epoch = c.epoch
-	c.outstanding[ws.id] = ws
-	return ws
-}
+// StartPlug opens an explicit plug window on initiator 0's stream.
+func (c *Cluster) StartPlug(stream int) { c.inits[0].StartPlug(stream) }
 
-// bindWire resolves the wire command's device reference to its target
-// server and SSD, and arms the per-request delivery count.
-func (c *Cluster) bindWire(ws *wireState) {
-	ref := c.vol.Dev(ws.wc.Dev)
-	ws.target = ref.Server
-	ws.ssdIdx = ref.SSD
-	ws.pendingRq = len(ws.wc.Reqs)
-}
-
-// newFlushWire builds a standalone FLUSH command toward device d.
-func (c *Cluster) newFlushWire(d, stream int) *wireState {
-	ws := c.newWire(stream)
-	ws.wc.Dev = d
-	ws.wc.Flush = true
-	ws.flushWire = true
-	c.bindWire(ws)
-	return ws
-}
-
-// putFlushWires recycles standalone flush commands once their waits have
-// returned (they carry no requests, so delivery never recycles them).
-func (c *Cluster) putFlushWires(states []*wireState) {
-	for _, ws := range states {
-		if ws.epoch == c.epoch {
-			c.shards[ws.stream].putWire(c, ws)
-		}
-	}
-}
-
-func (c *Cluster) horaeBuf(stream int) *horaeStage {
-	sh := c.shards[stream]
-	if sh.horae == nil {
-		sh.horae = &horaeStage{ctrls: map[int][]*ctrlReq{}}
-	}
-	return sh.horae
-}
-
-func (c *Cluster) qpFor(stream int) int {
-	if c.cfg.StreamAffinity {
-		if stream < len(c.shards) {
-			return c.shards[stream].qp
-		}
-		return stream % c.cfg.QPs
-	}
-	return c.Eng.Rand().Intn(c.cfg.QPs)
-}
+// FinishPlug closes initiator 0's plug window.
+func (c *Cluster) FinishPlug(p *sim.Proc, stream int) { c.inits[0].FinishPlug(p, stream) }

@@ -112,11 +112,12 @@ type Config struct {
 	Mode Mode
 
 	Targets        []TargetConfig
-	InitiatorCores int
+	Initiators     int // initiator servers sharing the target fleet (0 = 1)
+	InitiatorCores int // CPU cores per initiator server
 	TargetCores    int
 
-	Streams int // rio_setup stream count (also Horae streams)
-	QPs     int // queue pairs per target connection
+	Streams int // rio_setup stream count per initiator (also Horae streams)
+	QPs     int // queue pairs per (initiator, target) connection
 
 	Fabric fabric.Config
 	Costs  CostModel
@@ -142,6 +143,7 @@ func DefaultConfig(mode Mode, targets ...TargetConfig) Config {
 	return Config{
 		Mode:            mode,
 		Targets:         targets,
+		Initiators:      1,
 		InitiatorCores:  18,
 		TargetCores:     18,
 		Streams:         24,

@@ -86,7 +86,7 @@ func TestCQECoalesceOffMatchesSeedTraffic(t *testing.T) {
 	}
 	// Byte-identical to the seed: every message toward the initiator is a
 	// bare ResponseSize capsule (Rio mode sends nothing else that way).
-	fs := c.Target(0).conn.Stats(fabric.Initiator)
+	fs := c.Target(0).conns[0].Stats(fabric.Initiator)
 	if fs.SendBytes != fs.Sends*nvmeof.ResponseSize {
 		t.Fatalf("completion traffic = %d bytes in %d sends, want %d (16 B per CQE)",
 			fs.SendBytes, fs.Sends, fs.Sends*nvmeof.ResponseSize)
@@ -144,7 +144,7 @@ func TestTornCQEVectorPanics(t *testing.T) {
 		cqes[i] = nvmeof.NewCQE(uint64(1000 + i))
 		cqes[i].MarkCQEVector(i, 5) // claims 5, carries 3
 	}
-	c.shards[0].cplQ.Push(&completionMsg{cqes: cqes, qp: 0, epoch: c.epoch})
+	c.inits[0].shards[0].cplQ.Push(&completionMsg{cqes: cqes, qp: 0, epoch: c.inits[0].epoch})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("torn coalesced completion capsule did not panic")

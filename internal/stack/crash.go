@@ -35,8 +35,8 @@ func (c *Cluster) pmrEntryWireSize() int {
 const pmrScanPerByte = 26 // ns per byte
 
 // PowerCutTarget crashes target server i: its SSDs lose volatile state,
-// the connection drops, and all in-flight work toward it is lost. PMR and
-// media survive.
+// every initiator's connection to it drops, and all in-flight work
+// toward it is lost. PMR and media survive.
 func (c *Cluster) PowerCutTarget(i int) {
 	t := c.targets[i]
 	if !t.alive {
@@ -44,12 +44,16 @@ func (c *Cluster) PowerCutTarget(i int) {
 	}
 	t.alive = false
 	t.epoch++
-	t.conn.Disconnect()
+	for _, conn := range t.conns {
+		conn.Disconnect()
+	}
 	for _, sd := range t.ssds {
 		sd.PowerCut()
 	}
-	for _, q := range t.rxQs {
-		q.Drain()
+	for _, qs := range t.rxQs {
+		for _, q := range qs {
+			q.Drain()
+		}
 	}
 	t.doneQ.Drain()
 	// Pending (unflushed) completion capsules die with the NIC: their
@@ -58,50 +62,100 @@ func (c *Cluster) PowerCutTarget(i int) {
 	// the next incarnation can arm a fresh timer immediately (a flag
 	// left set would strand a sub-threshold batch with no timer; stale
 	// timers that fire later clear the flag again, which is benign).
-	for i := range t.cqePend {
-		t.cqePend[i] = nil
-		t.cqeArmed[i] = false
-		t.cqeInflight[i] = 0
+	for init := range t.cqePend {
+		for qp := range t.cqePend[init] {
+			t.cqePend[init][qp] = nil
+			t.cqeArmed[init][qp] = false
+			t.cqeInflight[init][qp] = 0
+		}
 	}
 }
 
-// PowerCutAll models a full power outage: every target crashes and the
-// initiator's volatile state (sequencer, queues, outstanding commands) is
-// lost too.
+// PowerCutInitiator crashes initiator server i: its volatile state
+// (sequencer, shards, pools, outstanding commands, retire watermarks) is
+// lost and its connections drop. Targets, their PMR partitions for this
+// initiator, and EVERY OTHER initiator are untouched — the other
+// initiators' ordering domains keep submitting, completing and retiring
+// as if nothing happened.
+func (c *Cluster) PowerCutInitiator(i int) {
+	in := c.inits[i]
+	if !in.alive {
+		return
+	}
+	in.alive = false
+	for _, t := range c.targets {
+		t.conns[i].Disconnect()
+		for _, q := range t.rxQs[i] {
+			q.Drain()
+		}
+		// This initiator's pending response capsules die with its
+		// connections; in-flight SSD commands it issued complete into a
+		// dead epoch and are dropped in doneOne. Other initiators' state
+		// lives in separate (initiator, QP) slots and is not touched.
+		for qp := range t.cqePend[i] {
+			t.cqePend[i][qp] = nil
+			t.cqeArmed[i][qp] = false
+			t.cqeInflight[i][qp] = 0
+		}
+	}
+	in.crashVolatile()
+}
+
+// PowerCutAll models a full power outage: every target and every
+// initiator crashes.
 func (c *Cluster) PowerCutAll() {
 	for i := range c.targets {
 		c.PowerCutTarget(i)
 	}
-	c.epoch++
-	c.seq = core.NewSequencer(c.cfg.Streams)
-	c.outstanding = make(map[uint64]*wireState)
-	c.retireMark = make(map[[2]int]uint64)
-	// Drop every shard's staged work, pools and queued completion
-	// capsules: pooled objects of the dead epoch may still be referenced
-	// by in-flight capsules and must not be reissued, and a queued
-	// response capsule's CQEs reference dead wireStates.
-	for _, sh := range c.shards {
-		sh.crashReset()
+	// Drop every initiator's volatile state: staged work, pools and
+	// queued completion capsules. Pooled objects of the dead epoch may
+	// still be referenced by in-flight capsules and must not be reissued,
+	// and a queued response capsule's CQEs reference dead wireStates.
+	for _, in := range c.inits {
+		in.crashVolatile()
 	}
 }
 
-// scanViews reads every target's PMR region, transfers the ordering
-// attributes to the initiator, and returns the per-server views. Servers
-// scan in parallel (§4.3.2: "each server persists/validates in parallel").
-func (c *Cluster) scanViews(p *sim.Proc) []core.ServerView {
+// scanViews reads PMR regions, transfers the ordering attributes to the
+// recovering initiator, and returns the per-server views. onlyInit < 0
+// scans every initiator's partition (whole-cluster recovery); otherwise
+// only that initiator's partitions are swept and shipped, so one
+// initiator's recovery cost is independent of its neighbors'. Servers
+// scan in parallel (§4.3.2: "each server persists/validates in
+// parallel").
+func (c *Cluster) scanViews(p *sim.Proc, onlyInit int) []core.ServerView {
 	views := make([]core.ServerView, len(c.targets))
 	wg := sim.NewWaitGroup(c.Eng)
 	for i, t := range c.targets {
 		i, t := i, t
+		if !t.alive {
+			// A target that is ALSO down contributes no evidence: a
+			// single-initiator recovery must not wait for (or wedge on) a
+			// dead server — its partition is cleaned up when that target
+			// itself recovers. Whole-cluster paths revive every target
+			// before scanning, so this only triggers for onlyInit >= 0.
+			views[i] = core.ServerView{Server: i, PLP: t.ssds[0].HasPLP()}
+			continue
+		}
 		wg.Add(1)
 		c.Eng.Go(fmt.Sprintf("recover/scan%d", i), func(sp *sim.Proc) {
 			defer wg.Done()
-			regionBytes := (len(t.ssds[0].PMRBytes()) / core.EntrySize) * c.pmrEntryWireSize()
+			region := t.ssds[0].PMRBytes()
+			if onlyInit >= 0 {
+				region = t.pmrRegion(onlyInit)
+			}
+			regionBytes := (len(region) / core.EntrySize) * c.pmrEntryWireSize()
 			sp.Sleep(sim.Time(regionBytes) * pmrScanPerByte)
-			entries := core.ScanRegion(t.ssds[0].PMRBytes())
-			// Ship the attributes to the initiator over the fabric.
-			if n := len(entries) * c.pmrEntryWireSize(); n > 0 && t.conn.Up() {
-				t.conn.BulkWrite(sp, fabric.Target, n)
+			entries := core.ScanRegion(region)
+			// Ship the attributes to the initiator over the fabric. Use
+			// the recovering initiator's connection when known, else
+			// initiator 0's (whole-cluster recovery is orchestrated once).
+			conn := t.conns[0]
+			if onlyInit >= 0 {
+				conn = t.conns[onlyInit]
+			}
+			if n := len(entries) * c.pmrEntryWireSize(); n > 0 && conn.Up() {
+				conn.BulkWrite(sp, fabric.Target, n)
 			}
 			views[i] = core.ServerView{
 				Server:  i,
@@ -114,10 +168,12 @@ func (c *Cluster) scanViews(p *sim.Proc) []core.ServerView {
 	return views
 }
 
-// RecoverFull performs initiator recovery (§4.4.1) after PowerCutAll:
-// reconnect, rebuild the global order from persistent ordering attributes,
-// and roll back out-of-place blocks beyond each stream's durable prefix.
-// The cluster is reusable afterwards.
+// RecoverFull performs whole-cluster recovery (§4.4.1) after
+// PowerCutAll: reconnect, rebuild each initiator's global order from its
+// persistent ordering attributes (the per-initiator PMR scans are merged
+// into one report keyed by (initiator, stream)), and roll back
+// out-of-place blocks beyond each ordering domain's durable prefix. The
+// cluster is reusable afterwards.
 func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 	var tm RecoveryTiming
 	for _, t := range c.targets {
@@ -125,10 +181,15 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 		for _, sd := range t.ssds {
 			sd.Restart()
 		}
-		t.conn.Reconnect()
+		for _, conn := range t.conns {
+			conn.Reconnect()
+		}
+	}
+	for _, in := range c.inits {
+		in.alive = true
 	}
 	start := p.Now()
-	views := c.scanViews(p)
+	views := c.scanViews(p, -1)
 	report := core.Analyze(views)
 	tm.OrderRebuild = p.Now() - start
 
@@ -144,6 +205,48 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 	return report, tm
 }
 
+// RecoverInitiator performs single-initiator recovery after
+// PowerCutInitiator(i): reconnect initiator i, scan ONLY its PMR
+// partitions across the targets, rebuild its ordering domains, and roll
+// back its beyond-prefix blocks. No other initiator's prefixes, PMR
+// entries, gates or watermarks are read, reset or rolled back — their
+// traffic continues throughout.
+func (c *Cluster) RecoverInitiator(p *sim.Proc, i int) (*core.Report, RecoveryTiming) {
+	var tm RecoveryTiming
+	in := c.inits[i]
+	for _, t := range c.targets {
+		if t.alive {
+			t.conns[i].Reconnect()
+		}
+	}
+
+	start := p.Now()
+	views := c.scanViews(p, i)
+	report := core.Analyze(views)
+	tm.OrderRebuild = p.Now() - start
+
+	start = p.Now()
+	tm.Discarded = c.rollback(p, report, -1)
+	tm.DataRecovery = p.Now() - start
+
+	// Fresh ordering state for initiator i only: format its partitions
+	// and drop its target-side gates, slots and watermarks. A dead
+	// target's partition cannot be formatted (PMR writes need power) —
+	// it is cleaned when that target itself recovers.
+	for _, t := range c.targets {
+		if !t.alive {
+			continue
+		}
+		core.Format(t.pmrRegion(i))
+		t.resetInitiatorState(i)
+	}
+	// Only now may the initiator accept new work: an application loop
+	// gated on Alive() that resumed during the scan would append entries
+	// into a partition the format above is about to wipe.
+	in.alive = true
+	return report, tm
+}
+
 // rollback erases the blocks of every beyond-prefix, non-IPU entry,
 // concurrently per SSD. If onlyServer >= 0 only that server is rolled
 // back. Returns the number of entries erased.
@@ -151,14 +254,26 @@ func (c *Cluster) rollback(p *sim.Proc, report *core.Report, onlyServer int) int
 	type eraseKey struct{ server, ssdIdx int }
 	erases := map[eraseKey][]core.Entry{}
 	var keys []eraseKey
-	streams := make([]uint16, 0, len(report.Streams))
+	streams := make([]core.StreamKey, 0, len(report.Streams))
 	for id := range report.Streams {
 		streams = append(streams, id)
 	}
-	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	sort.Slice(streams, func(i, j int) bool {
+		a, b := streams[i], streams[j]
+		if a.Initiator != b.Initiator {
+			return a.Initiator < b.Initiator
+		}
+		return a.Stream < b.Stream
+	})
 	for _, id := range streams {
 		for _, e := range report.Streams[id].Discard {
 			if onlyServer >= 0 && e.Server != onlyServer {
+				continue
+			}
+			if !c.targets[e.Server].alive {
+				// A powered-off SSD silently drops commands: submitting
+				// an erase there would hang recovery forever. The stale
+				// blocks are cleaned by that target's own recovery.
 				continue
 			}
 			k := eraseKey{e.Server, int(e.NS)}
@@ -197,10 +312,11 @@ func (c *Cluster) rollback(p *sim.Proc, report *core.Report, onlyServer int) int
 }
 
 // RecoverTarget performs target recovery (§4.4.1) after PowerCutTarget(i):
-// reconnect to the restarted server, rebuild the global list (alive
-// servers' attributes are NOT dropped), and repair the broken chain by
-// replaying this initiator's in-flight commands toward the failed target.
-// Replay is idempotent.
+// reconnect every initiator to the restarted server, rebuild the global
+// list (alive servers' attributes are NOT dropped), and repair the broken
+// chains by replaying each surviving initiator's in-flight commands
+// toward the failed target — one initiator at a time, each with its own
+// freshly reset per-server chains. Replay is idempotent.
 func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTiming) {
 	var tm RecoveryTiming
 	t := c.targets[i]
@@ -208,10 +324,12 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 	for _, sd := range t.ssds {
 		sd.Restart()
 	}
-	t.conn.Reconnect()
+	for _, conn := range t.conns {
+		conn.Reconnect()
+	}
 
 	start := p.Now()
-	views := c.scanViews(p)
+	views := c.scanViews(p, -1)
 	report := core.Analyze(views)
 	tm.OrderRebuild = p.Now() - start
 
@@ -221,18 +339,49 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 	// or unknown) are rolled back first so stale data cannot survive.
 	tm.Discarded = c.rollback(p, report, i)
 
-	// Reset the failed target's ordering state and the initiator-side
-	// chains that feed it, then replay outstanding commands in per-stream
-	// ServerIdx order with freshly assigned indices.
-	core.Format(t.ssds[0].PMRBytes())
-	t.resetOrderingState()
-	for s := 0; s < c.cfg.Streams; s++ {
-		delete(c.retireMark, [2]int{s, i})
+	// Reset the failed target's ordering state and EVERY surviving
+	// initiator's chains toward it in one atomic step (prepareReplay
+	// never yields): once the first replay posting yields the CPU,
+	// another initiator's live traffic may dispatch toward the restarted
+	// target, and it must already be minting indices on the fresh chain —
+	// a stale-chain command would park forever in the fresh gate. A DEAD
+	// initiator's partition is left untouched: it is the recovery
+	// evidence its own RecoverInitiator will scan, and formatting it
+	// here would silently shrink that initiator's durable prefix.
+	replays := make([][]*wireState, len(c.inits))
+	for idx, in := range c.inits {
+		if !in.alive {
+			continue // a dead initiator recovers via RecoverInitiator
+		}
+		core.Format(t.pmrRegion(idx))
+		t.resetInitiatorState(idx)
+		replays[idx] = in.prepareReplay(i)
+		tm.Replayed += len(replays[idx])
 	}
+	// Then each initiator repairs its own chain independently.
+	for idx, in := range c.inits {
+		if len(replays[idx]) > 0 {
+			in.postReplay(p, replays[idx])
+		}
+	}
+	tm.DataRecovery = p.Now() - start
+	return report, tm
+}
 
+// prepareReplay collects this initiator's in-flight commands toward the
+// restarted target in per-stream ServerIdx order, restarts the
+// per-server chains, stamps fresh indices onto the replay set and pins
+// it. It performs no simulated work (never yields), so every
+// initiator's chain state can be rebuilt atomically with the target's
+// gate reset before any replay traffic — or any concurrent live
+// traffic — hits the wire.
+func (in *Initiator) prepareReplay(target int) []*wireState {
+	for s := 0; s < in.cfg.Streams; s++ {
+		delete(in.retireMark, [2]int{s, target})
+	}
 	var replay []*wireState
-	for _, ws := range c.outstanding {
-		if ws.target == i && !ws.flushWire {
+	for _, ws := range in.outstanding {
+		if ws.target == target && !ws.flushWire {
 			replay = append(replay, ws)
 		}
 	}
@@ -244,25 +393,31 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 		return x.serverIdx < y.serverIdx
 	})
 	// Fresh per-server chains: rebuild in replay order.
-	if c.cfg.Mode == ModeRio {
-		for _, st := range c.seqStreams() {
-			st.ResetServerChain(i)
+	if in.cfg.Mode == ModeRio {
+		for _, st := range in.seqStreams() {
+			st.ResetServerChain(target)
 		}
 		for _, ws := range replay {
-			st := c.seq.Stream(ws.stream)
-			ws.wc.Attr.ServerIdx = st.NextServerIdx(i)
+			st := in.seq.Stream(ws.stream)
+			ws.wc.Attr.ServerIdx = st.NextServerIdx(target)
 			ws.serverIdx = ws.wc.Attr.ServerIdx
-			ref := c.vol.Dev(ws.wc.Dev)
+			ref := in.vol.Dev(ws.wc.Dev)
 			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
 		}
 	}
-	tm.Replayed = len(replay)
 	// Pin the replay set: a replayed command whose requests all deliver
-	// before the wait loop below reaches it must not be recycled (a new
-	// owner would Reset the very hwDone signal recovery still waits on).
+	// before postReplay's wait loop reaches it must not be recycled (a
+	// new owner would Reset the very hwDone signal recovery still waits
+	// on).
 	for _, ws := range replay {
 		ws.pinned = true
 	}
+	return replay
+}
+
+// postReplay re-sends a prepared replay set toward its target and waits
+// for the completions, releasing delivered commands back to their pools.
+func (in *Initiator) postReplay(p *sim.Proc, replay []*wireState) {
 	// Post per stream to preserve order on the wire.
 	byStream := map[int][]*wireState{}
 	var streamsOrder []int
@@ -274,27 +429,17 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 	}
 	sort.Ints(streamsOrder)
 	for _, s := range streamsOrder {
-		c.postByTarget(p, byStream[s], s)
+		in.postByTarget(p, byStream[s], s)
 	}
 	// Wait until every replayed command completes, then release the ones
 	// whose requests have all been delivered back to their pools.
 	for _, ws := range replay {
-		c.blockingWait(p, ws.hwDone)
+		in.blockingWait(p, ws.hwDone)
 	}
 	for _, ws := range replay {
 		ws.pinned = false
-		if ws.pendingRq == 0 && ws.epoch == c.epoch {
-			c.shards[ws.stream].putWire(c, ws)
+		if ws.pendingRq == 0 && ws.epoch == in.epoch {
+			in.shards[ws.stream].putWire(in, ws)
 		}
 	}
-	tm.DataRecovery = p.Now() - start
-	return report, tm
-}
-
-func (c *Cluster) seqStreams() []*core.StreamSeq {
-	out := make([]*core.StreamSeq, c.seq.Streams())
-	for i := range out {
-		out[i] = c.seq.Stream(i)
-	}
-	return out
 }

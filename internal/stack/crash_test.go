@@ -288,8 +288,8 @@ func TestDeadEpochCoalescedCapsuleDroppedWhole(t *testing.T) {
 	var deadIDs []uint64
 	var deadEpoch int
 	eng.At(30*sim.Microsecond, func() {
-		deadEpoch = c.epoch
-		for id := range c.outstanding {
+		deadEpoch = c.inits[0].epoch
+		for id := range c.inits[0].outstanding {
 			deadIDs = append(deadIDs, id)
 		}
 		c.PowerCutAll()
@@ -309,8 +309,8 @@ func TestDeadEpochCoalescedCapsuleDroppedWhole(t *testing.T) {
 	}
 	nvmeof.EncodeCQEVector(cqes)
 	before := c.Stats()
-	retireBefore := len(c.retireMark)
-	c.shards[0].cplQ.Push(&completionMsg{cqes: cqes, qp: 0, epoch: deadEpoch})
+	retireBefore := len(c.inits[0].retireMark)
+	c.inits[0].shards[0].cplQ.Push(&completionMsg{cqes: cqes, qp: 0, epoch: deadEpoch})
 	eng.Run()
 	after := c.Stats()
 	if d := after.Completed - before.Completed; d != 0 {
@@ -319,7 +319,7 @@ func TestDeadEpochCoalescedCapsuleDroppedWhole(t *testing.T) {
 	if after.CplBatch.Rings != before.CplBatch.Rings {
 		t.Fatal("dead-epoch capsule counted as a live completion message")
 	}
-	if len(c.retireMark) != retireBefore {
+	if len(c.inits[0].retireMark) != retireBefore {
 		t.Fatal("dead-epoch capsule advanced a retire watermark")
 	}
 	// The cluster must remain fully usable after swallowing it.

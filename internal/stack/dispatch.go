@@ -12,10 +12,10 @@ import (
 // retire-watermark protocol. The tracking list lives in the request's
 // dispatch scratch slot and returns to the stream shard's pool at
 // delivery — there is no global request→wires map.
-func (c *Cluster) trackWires(req *blockdev.Request, ws *wireState) {
+func (in *Initiator) trackWires(req *blockdev.Request, ws *wireState) {
 	wl, _ := req.DispatchScratch.(*wireList)
 	if wl == nil {
-		wl = c.shards[req.Stream].getList(c)
+		wl = in.shards[req.Stream].getList(in)
 		req.DispatchScratch = wl
 	}
 	wl.ws = append(wl.ws, ws)
@@ -25,32 +25,32 @@ func (c *Cluster) trackWires(req *blockdev.Request, ws *wireState) {
 // ticket lives in storage embedded in the request itself (no allocation,
 // and the attribute stays readable for the request's whole lifetime);
 // the unpooled ablation allocates per call, as the seed dispatch did.
-func (c *Cluster) attachTicket(req *blockdev.Request, st *core.StreamSeq) {
-	deliver := func() { c.deliver(req) }
-	if c.cfg.Pooling {
+func (in *Initiator) attachTicket(req *blockdev.Request, st *core.StreamSeq) {
+	deliver := func() { in.deliver(req) }
+	if in.cfg.Pooling {
 		req.Ticket = st.SubmitInto(req.TicketSlot(), req.LBA, req.Blocks,
 			req.Boundary, req.Flush, req.IPU, deliver)
-		c.stats.Pool.Hit()
+		in.stats.Pool.Hit()
 		return
 	}
 	req.Ticket = st.Submit(req.LBA, req.Blocks, req.Boundary, req.Flush, req.IPU, deliver)
-	c.stats.Pool.Miss()
+	in.stats.Pool.Miss()
 }
 
 // submitRio is the Rio path (Fig. 4 steps 1-2): attach an ordering
 // attribute and add to the stream's plug list / ORDER queue; everything
 // downstream is asynchronous.
-func (c *Cluster) submitRio(p *sim.Proc, req *blockdev.Request) {
-	c.useInitCPU(p, c.costs.SubmitBio)
-	c.attachTicket(req, c.seq.Stream(req.Stream))
-	c.plugAdd(p, req)
+func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
+	in.useInitCPU(p, in.costs.SubmitBio)
+	in.attachTicket(req, in.seq.Stream(req.Stream))
+	in.plugAdd(p, req)
 }
 
 // submitOrderless adds to the plug list; completion is delivered as soon
 // as the hardware reports it.
-func (c *Cluster) submitOrderless(p *sim.Proc, req *blockdev.Request) {
-	c.useInitCPU(p, c.costs.SubmitBio)
-	c.plugAdd(p, req)
+func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
+	in.useInitCPU(p, in.costs.SubmitBio)
+	in.plugAdd(p, req)
 }
 
 // plugAdd stages a request on the stream shard's plug. Overflow drains
@@ -59,19 +59,19 @@ func (c *Cluster) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 // the shard's dispatcher.
 const plugHold = 2 * sim.Microsecond
 
-func (c *Cluster) plugAdd(p *sim.Proc, req *blockdev.Request) {
-	sh := c.shards[req.Stream]
+func (in *Initiator) plugAdd(p *sim.Proc, req *blockdev.Request) {
+	sh := in.shards[req.Stream]
 	sh.plugged = append(sh.plugged, req)
-	if len(sh.plugged) >= c.cfg.MaxPlug {
-		c.dispatchPlug(p, sh)
+	if len(sh.plugged) >= in.cfg.MaxPlug {
+		in.dispatchPlug(p, sh)
 		return
 	}
 	if !sh.armed && !sh.held {
 		sh.armed = true
-		epoch := c.epoch
-		c.Eng.At(plugHold, func() {
+		epoch := in.epoch
+		in.Eng.At(plugHold, func() {
 			sh.armed = false
-			if epoch != c.epoch || sh.held || len(sh.plugged) == 0 {
+			if epoch != in.epoch || sh.held || len(sh.plugged) == 0 {
 				return
 			}
 			for _, r := range sh.plugged {
@@ -84,36 +84,36 @@ func (c *Cluster) plugAdd(p *sim.Proc, req *blockdev.Request) {
 
 // StartPlug opens an explicit plug window on a stream (blk_start_plug):
 // submissions stage until FinishPlug, maximizing scheduler merging.
-func (c *Cluster) StartPlug(stream int) {
-	c.shards[stream].held = true
+func (in *Initiator) StartPlug(stream int) {
+	in.shards[stream].held = true
 }
 
 // FinishPlug closes the plug window and dispatches the staged batch in the
 // caller's context (blk_finish_plug).
-func (c *Cluster) FinishPlug(p *sim.Proc, stream int) {
-	sh := c.shards[stream]
+func (in *Initiator) FinishPlug(p *sim.Proc, stream int) {
+	sh := in.shards[stream]
 	sh.held = false
-	c.plugFlush(p, stream)
+	in.plugFlush(p, stream)
 }
 
 // plugFlush drains a stream's plug inline (called when the submitter is
 // about to block — Linux's flush-on-schedule).
-func (c *Cluster) plugFlush(p *sim.Proc, stream int) {
-	if stream >= len(c.shards) {
+func (in *Initiator) plugFlush(p *sim.Proc, stream int) {
+	if stream >= len(in.shards) {
 		return
 	}
-	sh := c.shards[stream]
+	sh := in.shards[stream]
 	if len(sh.plugged) == 0 {
 		return
 	}
-	c.dispatchPlug(p, sh)
+	in.dispatchPlug(p, sh)
 }
 
 // dispatchPlug hands the shard's staged batch to dispatch and recycles
 // the batch's backing array afterwards.
-func (c *Cluster) dispatchPlug(p *sim.Proc, sh *shard) {
+func (in *Initiator) dispatchPlug(p *sim.Proc, sh *shard) {
 	batch := sh.takePlug()
-	c.dispatchBatch(p, sh.stream, batch)
+	in.dispatchBatch(p, sh.stream, batch)
 	sh.putPlugBatch(batch)
 }
 
@@ -124,15 +124,15 @@ func (c *Cluster) dispatchPlug(p *sim.Proc, sh *shard) {
 // serialization point, §3.2 lesson 2) and only then releases the whole
 // group to the asynchronous data path. This matches the paper's Fig. 14,
 // where D dispatch is cheap but JM and JC each pay a control round trip.
-func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
-	c.useInitCPU(p, c.costs.SubmitBio)
-	st := c.seq.Stream(req.Stream)
-	c.attachTicket(req, st)
-	buf := c.horaeBuf(req.Stream)
+func (in *Initiator) submitHorae(p *sim.Proc, req *blockdev.Request) {
+	in.useInitCPU(p, in.costs.SubmitBio)
+	st := in.seq.Stream(req.Stream)
+	in.attachTicket(req, st)
+	buf := in.horaeBuf(req.Stream)
 	req.HoraeIdx = make(map[int]uint64)
 	targets := map[int]bool{}
-	for _, ext := range c.vol.Extents(req.LBA, req.Blocks) {
-		ref := c.vol.Dev(ext.Dev)
+	for _, ext := range in.vol.Extents(req.LBA, req.Blocks) {
+		ref := in.vol.Dev(ext.Dev)
 		if targets[ref.Server] {
 			continue
 		}
@@ -143,7 +143,7 @@ func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 		a.NS = uint16(ref.SSD)
 		a.ServerIdx = st.NextServerIdx(ref.Server)
 		req.HoraeIdx[ref.Server] = a.ServerIdx
-		cr := &ctrlReq{attr: a, ack: sim.NewSignal(c.Eng), epoch: c.epoch}
+		cr := &ctrlReq{attr: a, ack: sim.NewSignal(in.Eng), epoch: in.epoch}
 		buf.ctrls[ref.Server] = append(buf.ctrls[ref.Server], cr)
 	}
 	buf.reqs = append(buf.reqs, req)
@@ -151,26 +151,26 @@ func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 		return // staged: the group's boundary request pays the control RTT
 	}
 	var acks []*ctrlReq
-	for ti := range c.targets {
+	for ti := range in.targets {
 		list := buf.ctrls[ti]
 		if len(list) == 0 {
 			continue
 		}
-		c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(list))+c.costs.PostMsg)
-		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{
-			QP:      c.qpFor(req.Stream),
+		in.useInitCPU(p, in.costs.CmdBuild*sim.Time(len(list))+in.costs.PostMsg)
+		in.targets[ti].conns[in.id].Send(fabric.Initiator, fabric.Message{
+			QP:      in.qpFor(req.Stream),
 			Size:    nvmeof.CapsuleSize(32 * len(list)),
-			Payload: &capsule{ctrl: list, epoch: c.epoch},
+			Payload: &capsule{ctrl: list, epoch: in.epoch},
 		})
-		c.stats.WireMessages++
+		in.stats.WireMessages++
 		acks = append(acks, list...)
 	}
 	for _, cr := range acks {
-		c.blockingWait(p, cr.ack)
+		in.blockingWait(p, cr.ack)
 	}
 	// Control metadata persisted: release the group to the data path.
 	for _, r := range buf.reqs {
-		c.shards[r.Stream].q.Push(r)
+		in.shards[r.Stream].q.Push(r)
 	}
 	buf.reqs = nil
 	buf.ctrls = map[int][]*ctrlReq{}
@@ -179,13 +179,13 @@ func (c *Cluster) submitHorae(p *sim.Proc, req *blockdev.Request) {
 // submitLinux is the classic synchronous execution: one in-flight ordered
 // request for the whole device (§6.5), completed and — on devices without
 // PLP — flushed before the next may start.
-func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
-	c.useInitCPU(p, c.costs.SubmitBio)
-	c.linuxMu.Acquire(p)
-	wires := c.buildWires(nil, req)
-	c.postByTarget(p, wires, req.Stream)
+func (in *Initiator) submitLinux(p *sim.Proc, req *blockdev.Request) {
+	in.useInitCPU(p, in.costs.SubmitBio)
+	in.linuxMu.Acquire(p)
+	wires := in.buildWires(nil, req)
+	in.postByTarget(p, wires, req.Stream)
 	for _, ws := range wires {
-		c.blockingWait(p, ws.hwDone)
+		in.blockingWait(p, ws.hwDone)
 	}
 	// FLUSH per ordered request on every touched device without PLP.
 	var flushes []*wireState
@@ -195,32 +195,32 @@ func (c *Cluster) submitLinux(p *sim.Proc, req *blockdev.Request) {
 			continue
 		}
 		seen[ws.wc.Dev] = true
-		if c.targets[ws.target].ssds[ws.ssdIdx].HasPLP() {
+		if in.targets[ws.target].ssds[ws.ssdIdx].HasPLP() {
 			continue
 		}
-		fw := c.newFlushWire(ws.wc.Dev, req.Stream)
+		fw := in.newFlushWire(ws.wc.Dev, req.Stream)
 		fw.sqe = nvmeof.FlushCommand(uint32(ws.ssdIdx))
-		c.useInitCPU(p, c.costs.CmdBuild)
+		in.useInitCPU(p, in.costs.CmdBuild)
 		flushes = append(flushes, fw)
 	}
 	if len(flushes) > 0 {
-		c.postByTarget(p, flushes, req.Stream)
+		in.postByTarget(p, flushes, req.Stream)
 		for _, fw := range flushes {
-			c.blockingWait(p, fw.hwDone)
+			in.blockingWait(p, fw.hwDone)
 		}
-		c.putFlushWires(flushes)
+		in.putFlushWires(flushes)
 	}
-	c.linuxMu.Release()
-	c.deliver(req)
+	in.linuxMu.Release()
+	in.deliver(req)
 }
 
 // deliver exposes a completion to the application, updates the retire
 // watermarks for the PMR log entries the request touched, and recycles
 // the request's wire commands once their last origin request is out.
-func (c *Cluster) deliver(req *blockdev.Request) {
-	req.DeliverAt = c.Eng.Now()
+func (in *Initiator) deliver(req *blockdev.Request) {
+	req.DeliverAt = in.Eng.Now()
 	if wl, ok := req.DispatchScratch.(*wireList); ok {
-		sh := c.shards[req.Stream]
+		sh := in.shards[req.Stream]
 		for _, ws := range wl.ws {
 			ws.pendingRq--
 			if ws.pendingRq != 0 {
@@ -228,15 +228,15 @@ func (c *Cluster) deliver(req *blockdev.Request) {
 			}
 			if ws.serverIdx > 0 {
 				k := [2]int{ws.stream, ws.target}
-				if ws.serverIdx > c.retireMark[k] {
-					c.retireMark[k] = ws.serverIdx
+				if ws.serverIdx > in.retireMark[k] {
+					in.retireMark[k] = ws.serverIdx
 				}
 			}
-			if ws.epoch == c.epoch && !ws.pinned {
-				c.shards[ws.stream].putWire(c, ws)
+			if ws.epoch == in.epoch && !ws.pinned {
+				in.shards[ws.stream].putWire(in, ws)
 			}
 		}
-		sh.putList(c, wl)
+		sh.putList(in, wl)
 		req.DispatchScratch = nil
 	}
 	req.Done.Fire()
@@ -244,11 +244,11 @@ func (c *Cluster) deliver(req *blockdev.Request) {
 
 // dispatchLoop drains one shard's queue with plugging: requests that
 // accumulate while the dispatcher works are batched, enabling merging.
-func (c *Cluster) dispatchLoop(p *sim.Proc, sh *shard) {
+func (in *Initiator) dispatchLoop(p *sim.Proc, sh *shard) {
 	for {
 		first := sh.q.Pop(p)
 		batch := append(sh.loopBatch[:0], first)
-		for len(batch) < c.cfg.MaxPlug {
+		for len(batch) < in.cfg.MaxPlug {
 			r, ok := sh.q.TryPop()
 			if !ok {
 				break
@@ -256,26 +256,26 @@ func (c *Cluster) dispatchLoop(p *sim.Proc, sh *shard) {
 			batch = append(batch, r)
 		}
 		sh.loopBatch = batch
-		c.dispatchBatch(p, sh.stream, batch)
+		in.dispatchBatch(p, sh.stream, batch)
 	}
 }
 
 // dispatchBatch turns requests into wire commands: volume striping and
 // transfer-limit splitting, scheduler merging, per-server index
 // assignment, command build and posting.
-func (c *Cluster) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Request) {
-	sh := c.shards[stream]
+func (in *Initiator) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Request) {
+	sh := in.shards[stream]
 	wires := sh.getBatchBuf()
 	for _, req := range batch {
 		req.DispatchAt = p.Now()
-		wires = c.buildWires(wires, req)
+		wires = in.buildWires(wires, req)
 	}
-	if c.cfg.MergeEnabled && len(wires) > 1 {
-		wires = c.fuseWires(p, wires)
+	if in.cfg.MergeEnabled && len(wires) > 1 {
+		wires = in.fuseWires(p, wires)
 	}
-	c.assignOrderState(wires)
-	c.useInitCPU(p, c.costs.CmdBuild*sim.Time(len(wires)))
-	c.postByTarget(p, wires, stream)
+	in.assignOrderState(wires)
+	in.useInitCPU(p, in.costs.CmdBuild*sim.Time(len(wires)))
+	in.postByTarget(p, wires, stream)
 	sh.putBatchBuf(wires)
 }
 
@@ -291,10 +291,10 @@ type piece struct {
 // ordered requests the ordering attribute is split alongside (Fig. 8b).
 // The piece and attribute scratch slices live on the cluster: buildWires
 // never yields, so one scratch set serves every caller.
-func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireState {
-	pieces := c.pieceBuf[:0]
+func (in *Initiator) buildWires(dst []*wireState, req *blockdev.Request) []*wireState {
+	pieces := in.pieceBuf[:0]
 	maxBlocks := uint32(32)
-	for _, ext := range c.vol.Extents(req.LBA, req.Blocks) {
+	for _, ext := range in.vol.Extents(req.LBA, req.Blocks) {
 		if int(ext.Blocks) > int(maxBlocks) {
 			for off := uint32(0); off < ext.Blocks; off += maxBlocks {
 				n := ext.Blocks - off
@@ -310,7 +310,7 @@ func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireSta
 			pieces = append(pieces, piece{ext, ext.Offset})
 		}
 	}
-	c.pieceBuf = pieces
+	in.pieceBuf = pieces
 	req.InitFragments(len(pieces))
 
 	// Attribute geometry: single piece keeps the ticket attr; multiple
@@ -322,31 +322,31 @@ func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireSta
 			a := base
 			a.LBA = pieces[0].ext.DevLBA
 			a.Blocks = pieces[0].ext.Blocks
-			attrs = append(c.attrBuf[:0], a)
+			attrs = append(in.attrBuf[:0], a)
 		} else {
-			blocks := c.blockBuf[:0]
+			blocks := in.blockBuf[:0]
 			for _, pc := range pieces {
 				blocks = append(blocks, pc.ext.Blocks)
 			}
-			c.blockBuf = blocks
-			attrs = core.SplitAttrInto(c.attrBuf, base, blocks)
+			in.blockBuf = blocks
+			attrs = core.SplitAttrInto(in.attrBuf, base, blocks)
 			for i := range attrs {
 				attrs[i].LBA = pieces[i].ext.DevLBA
 			}
 		}
-		c.attrBuf = attrs
+		in.attrBuf = attrs
 		for i := range attrs {
-			attrs[i].NS = uint16(c.vol.Dev(pieces[i].ext.Dev).SSD)
-			if c.cfg.Mode == ModeHorae {
+			attrs[i].NS = uint16(in.vol.Dev(pieces[i].ext.Dev).SSD)
+			if in.cfg.Mode == ModeHorae {
 				// Correlate data commands to the control-path entries the
 				// submit path already persisted for each server.
-				attrs[i].ServerIdx = req.HoraeIdx[c.vol.Dev(pieces[i].ext.Dev).Server]
+				attrs[i].ServerIdx = req.HoraeIdx[in.vol.Dev(pieces[i].ext.Dev).Server]
 			}
 		}
 	}
 
 	for i, pc := range pieces {
-		ws := c.newWire(req.Stream)
+		ws := in.newWire(req.Stream)
 		wc := ws.wc
 		wc.Dev = pc.ext.Dev
 		wc.LBA = pc.ext.DevLBA
@@ -367,8 +367,8 @@ func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireSta
 		if attrs != nil {
 			wc.Attr = attrs[i]
 		}
-		c.bindWire(ws)
-		c.trackWires(req, ws)
+		in.bindWire(ws)
+		in.trackWires(req, ws)
 		dst = append(dst, ws)
 	}
 	return dst
@@ -379,39 +379,39 @@ func (c *Cluster) buildWires(dst []*wireState, req *blockdev.Request) []*wireSta
 // merge on plain contiguity (classic plug merging, Fig. 3). Fused-away
 // commands return to their shard's pool immediately: they were never
 // posted. The compaction is in place — out never outruns the read index.
-func (c *Cluster) fuseWires(p *sim.Proc, wires []*wireState) []*wireState {
+func (in *Initiator) fuseWires(p *sim.Proc, wires []*wireState) []*wireState {
 	out := wires[:0]
-	c.fuseGen++
+	in.fuseGen++
 	var checks int
 	for _, ws := range wires {
 		var prev *wireState
-		if t := c.fuseTails[ws.wc.Dev]; t.gen == c.fuseGen {
+		if t := in.fuseTails[ws.wc.Dev]; t.gen == in.fuseGen {
 			prev = t.ws
 		}
 		if prev != nil && !prev.flushWire && !ws.flushWire {
 			checks++
-			if c.tryFuse(prev, ws) {
-				c.stats.FusedCmds++
-				delete(c.outstanding, ws.id)
-				c.shards[ws.stream].putWire(c, ws)
+			if in.tryFuse(prev, ws) {
+				in.stats.FusedCmds++
+				delete(in.outstanding, ws.id)
+				in.shards[ws.stream].putWire(in, ws)
 				continue
 			}
 		}
-		c.fuseTails[ws.wc.Dev] = fuseTail{gen: c.fuseGen, ws: ws}
+		in.fuseTails[ws.wc.Dev] = fuseTail{gen: in.fuseGen, ws: ws}
 		out = append(out, ws)
 	}
 	if checks > 0 {
-		c.useInitCPU(p, c.costs.MergeCheck*sim.Time(checks))
+		in.useInitCPU(p, in.costs.MergeCheck*sim.Time(checks))
 	}
 	return out
 }
 
-func (c *Cluster) tryFuse(a, b *wireState) bool {
+func (in *Initiator) tryFuse(a, b *wireState) bool {
 	if a.wc.Ordered != b.wc.Ordered {
 		return false
 	}
 	if a.wc.Ordered {
-		switch c.cfg.Mode {
+		switch in.cfg.Mode {
 		case ModeRio:
 			if !blockdev.TryFuse(a.wc, b.wc, 32) {
 				// Attribute-level merge rejected (e.g. striping broke the
@@ -452,12 +452,12 @@ func (c *Cluster) tryFuse(a, b *wireState) bool {
 	// b's origin requests now complete through a.
 	a.pendingRq = len(a.wc.Reqs)
 	for _, req := range b.wc.Reqs {
-		c.replaceWire(req, b, a)
+		in.replaceWire(req, b, a)
 	}
 	return true
 }
 
-func (c *Cluster) replaceWire(req *blockdev.Request, from, to *wireState) {
+func (in *Initiator) replaceWire(req *blockdev.Request, from, to *wireState) {
 	if wl, ok := req.DispatchScratch.(*wireList); ok {
 		for i, w := range wl.ws {
 			if w == from {
@@ -495,14 +495,14 @@ func contigFuse(a, b *blockdev.WireCmd, maxBlocks int) bool {
 }
 
 // assignOrderState stamps per-server indices (Rio) and encodes the SQEs.
-func (c *Cluster) assignOrderState(wires []*wireState) {
+func (in *Initiator) assignOrderState(wires []*wireState) {
 	for _, ws := range wires {
 		if ws.flushWire {
 			continue
 		}
-		ref := c.vol.Dev(ws.wc.Dev)
-		if ws.wc.Ordered && c.cfg.Mode == ModeRio {
-			st := c.seq.Stream(ws.stream)
+		ref := in.vol.Dev(ws.wc.Dev)
+		if ws.wc.Ordered && in.cfg.Mode == ModeRio {
+			st := in.seq.Stream(ws.stream)
 			if len(ws.vecAttrs) > 1 {
 				for i := range ws.vecAttrs {
 					ws.vecAttrs[i].ServerIdx = st.NextServerIdx(ref.Server)
@@ -514,7 +514,7 @@ func (c *Cluster) assignOrderState(wires []*wireState) {
 				ws.serverIdx = ws.wc.Attr.ServerIdx
 			}
 			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
-		} else if ws.wc.Ordered && c.cfg.Mode == ModeHorae {
+		} else if ws.wc.Ordered && in.cfg.Mode == ModeHorae {
 			ws.serverIdx = ws.wc.Attr.ServerIdx
 			ws.sqe = nvmeof.RioWriteCommand(uint32(ref.SSD), ws.wc.Attr)
 		} else {
@@ -535,40 +535,40 @@ func (c *Cluster) assignOrderState(wires []*wireState) {
 // a new command. Commands still waiting in a later capsule cannot be
 // recycled (their origin requests count this unposted fragment), so the
 // pre-built lists stay valid across the posting yields.
-func (c *Cluster) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
-	c.stats.WireCmds += int64(len(wires))
-	caps := make([]*capsule, len(c.targets))
+func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
+	in.stats.WireCmds += int64(len(wires))
+	caps := make([]*capsule, len(in.targets))
 	for _, ws := range wires {
 		cp := caps[ws.target]
 		if cp == nil {
-			cp = &capsule{epoch: c.epoch}
+			cp = &capsule{epoch: in.epoch}
 			caps[ws.target] = cp
 		}
 		cp.cmds = append(cp.cmds, ws)
 		if !ws.flushWire {
-			cp.inline += ws.wc.InlineBytes(c.cfg.InlineThreshold)
+			cp.inline += ws.wc.InlineBytes(in.cfg.InlineThreshold)
 		}
 	}
 	for ti, cp := range caps {
 		if cp == nil {
 			continue
 		}
-		if c.cfg.Mode == ModeRio {
+		if in.cfg.Mode == ModeRio {
 			k := [2]int{stream, ti}
-			if mark := c.retireMark[k]; mark > 0 {
+			if mark := in.retireMark[k]; mark > 0 {
 				cp.retires = append(cp.retires, retire{stream: uint16(stream), upTo: mark})
 			}
 		}
-		qp := c.qpFor(stream)
+		qp := in.qpFor(stream)
 		for i, ws := range cp.cmds {
 			ws.qp = qp
 			ws.sqe.MarkVector(i, len(cp.cmds))
 		}
 		size := nvmeof.VectorCapsuleSize(len(cp.cmds), cp.inline)
-		c.useInitCPU(p, c.costs.PostMsg)
-		c.targets[ti].conn.Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
-		c.stats.WireMessages++
-		c.stats.Batch.Ring(len(cp.cmds))
+		in.useInitCPU(p, in.costs.PostMsg)
+		in.targets[ti].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
+		in.stats.WireMessages++
+		in.stats.Batch.Ring(len(cp.cmds))
 	}
 }
 
@@ -579,7 +579,7 @@ func (c *Cluster) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 // the reaping shard and the submitting shard coincide under stream
 // affinity, the wireStates and tracking lists a capsule releases return
 // to local pools.
-func (c *Cluster) reapLoop(p *sim.Proc, sh *shard) {
+func (in *Initiator) reapLoop(p *sim.Proc, sh *shard) {
 	for {
 		msg := sh.cplQ.Pop(p)
 		// A capsule of a dead epoch is dropped WHOLE, before any
@@ -587,7 +587,7 @@ func (c *Cluster) reapLoop(p *sim.Proc, sh *shard) {
 		// retire watermarks) of the previous incarnation, and a
 		// coalesced capsule that straddled a power cut must not deliver
 		// a partial batch.
-		if msg.epoch != c.epoch {
+		if msg.epoch != in.epoch {
 			continue
 		}
 		// Mirror the target's submission-vector check on the reverse
@@ -595,21 +595,21 @@ func (c *Cluster) reapLoop(p *sim.Proc, sh *shard) {
 		if err := nvmeof.CheckCQEVector(msg.cqes); err != nil {
 			panic("stack: torn coalesced completion capsule: " + err.Error())
 		}
-		c.useInitCPU(p, c.costs.CplHandle)
-		c.stats.ReapCPU += c.costs.CplHandle
+		in.useInitCPU(p, in.costs.CplHandle)
+		in.stats.ReapCPU += in.costs.CplHandle
 		if len(msg.cqes) > 0 {
-			c.stats.CplBatch.Ring(len(msg.cqes))
+			in.stats.CplBatch.Ring(len(msg.cqes))
 		}
 		for _, cr := range msg.ctrlAcks {
 			cr.ack.Fire()
 		}
 		for i := range msg.cqes {
 			id := msg.cqes[i].ID()
-			ws := c.outstanding[id]
-			if ws == nil || ws.epoch != c.epoch {
+			ws := in.outstanding[id]
+			if ws == nil || ws.epoch != in.epoch {
 				continue
 			}
-			delete(c.outstanding, id)
+			delete(in.outstanding, id)
 			ws.hwDone.Fire()
 			// Snapshot the origin requests: the final delivery below may
 			// recycle ws (and reset its slices) while we iterate.
@@ -619,14 +619,14 @@ func (c *Cluster) reapLoop(p *sim.Proc, sh *shard) {
 					continue
 				}
 				req.CompleteAt = p.Now()
-				c.stats.Completed++
+				in.stats.Completed++
 				switch {
-				case req.Ordered && (c.cfg.Mode == ModeRio || c.cfg.Mode == ModeHorae):
-					c.seq.Stream(req.Stream).Completed(req.Ticket.Attr.ReqID)
-				case req.Ordered && c.cfg.Mode == ModeLinux:
+				case req.Ordered && (in.cfg.Mode == ModeRio || in.cfg.Mode == ModeHorae):
+					in.seq.Stream(req.Stream).Completed(req.Ticket.Attr.ReqID)
+				case req.Ordered && in.cfg.Mode == ModeLinux:
 					// submitLinux fires Done itself after the flush.
 				default:
-					c.deliver(req)
+					in.deliver(req)
 				}
 			}
 		}

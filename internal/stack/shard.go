@@ -52,12 +52,12 @@ type wireList struct {
 	ws []*wireState
 }
 
-func newShard(c *Cluster, stream int) *shard {
+func newShard(in *Initiator, stream int) *shard {
 	return &shard{
 		stream: stream,
-		qp:     stream % c.cfg.QPs,
-		q:      sim.NewQueue[*blockdev.Request](c.Eng),
-		cplQ:   sim.NewQueue[*completionMsg](c.Eng),
+		qp:     stream % in.cfg.QPs,
+		q:      sim.NewQueue[*blockdev.Request](in.Eng),
+		cplQ:   sim.NewQueue[*completionMsg](in.Eng),
 	}
 }
 
@@ -79,20 +79,20 @@ func (sh *shard) putPlugBatch(b []*blockdev.Request) {
 }
 
 // getList checks a wire tracking list out of the pool.
-func (sh *shard) getList(c *Cluster) *wireList {
-	if n := len(sh.listFree); n > 0 && c.cfg.Pooling {
+func (sh *shard) getList(in *Initiator) *wireList {
+	if n := len(sh.listFree); n > 0 && in.cfg.Pooling {
 		wl := sh.listFree[n-1]
 		sh.listFree = sh.listFree[:n-1]
-		c.stats.Pool.Hit()
+		in.stats.Pool.Hit()
 		return wl
 	}
-	c.stats.Pool.Miss()
+	in.stats.Pool.Miss()
 	return &wireList{}
 }
 
 // putList recycles a delivered request's tracking list.
-func (sh *shard) putList(c *Cluster, wl *wireList) {
-	if !c.cfg.Pooling {
+func (sh *shard) putList(in *Initiator, wl *wireList) {
+	if !in.cfg.Pooling {
 		return
 	}
 	wl.ws = wl.ws[:0]
@@ -102,8 +102,8 @@ func (sh *shard) putList(c *Cluster, wl *wireList) {
 // putWire recycles a wire command whose every origin request has been
 // delivered (or that was fused away before posting / completed as a
 // standalone flush). The embedded WireCmd keeps its slice capacity.
-func (sh *shard) putWire(c *Cluster, ws *wireState) {
-	if !c.cfg.Pooling {
+func (sh *shard) putWire(in *Initiator, ws *wireState) {
+	if !in.cfg.Pooling {
 		return
 	}
 	sh.wireFree = append(sh.wireFree, ws)

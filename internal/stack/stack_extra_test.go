@@ -189,7 +189,7 @@ func TestIPURequestsSkipRollback(t *testing.T) {
 	var rep *core.Report
 	eng.Go("rec", func(p *sim.Proc) { rep, _ = c.RecoverFull(p) })
 	eng.Run()
-	sr := rep.Streams[0]
+	sr := rep.Stream(0, 0)
 	if sr == nil {
 		t.Fatal("no stream report")
 	}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/ssd"
 )
 
-// TargetStats counts target-side events.
+// TargetStats counts target-side events (aggregated over all initiators).
 type TargetStats struct {
 	Capsules   int64
 	Commands   int64
@@ -24,6 +24,31 @@ type TargetStats struct {
 	Vectors    int64 // vectored command batches validated intact
 }
 
+// domainKey identifies one ordering domain at the target: stream ids are
+// scoped per initiator, so gates and retire watermarks key on the pair.
+type domainKey struct {
+	init   int
+	stream uint16
+}
+
+// slotKey locates one PMR entry by its ordering identity.
+type slotKey struct {
+	init      int
+	stream    uint16
+	serverIdx uint64
+}
+
+// slotRef names one PMR slot together with the initiator partition it
+// lives in and that initiator's epoch when the slot was recorded
+// (Horae's unflushed lists mix initiators per SSD, and a captured ref
+// may sit behind a device FLUSH while its owner crash-recovers — the
+// epoch check keeps a stale ref from touching a freshly formatted log).
+type slotRef struct {
+	init  int
+	slot  uint64
+	epoch int
+}
+
 // tDone is one SSD completion routed to the target's completion context.
 type tDone struct {
 	ws    *wireState
@@ -31,53 +56,57 @@ type tDone struct {
 	// isFlush marks the completion of a FLUSH the target issued on behalf
 	// of a flush-carrying ordered write (ws is that write).
 	isFlush    bool
-	flushSlots []uint64 // additional slots this flush certifies (Horae)
-	// flushQP, when > 0, is a CQE hold-timer expiry for QP flushQP-1: no
-	// SSD completion, just "flush that queue pair's pending responses".
-	// Routed through doneQ so the flush runs in completion-context (the
-	// timer itself fires in engine context, where no CPU can be charged).
-	flushQP int
-	epoch   int
+	flushSlots []slotRef // additional slots this flush certifies (Horae)
+	// flushQP, when > 0, is a CQE hold-timer expiry for QP flushQP-1 of
+	// initiator flushInit: no SSD completion, just "flush that queue
+	// pair's pending responses". Routed through doneQ so the flush runs
+	// in completion-context (the timer itself fires in engine context,
+	// where no CPU can be charged).
+	flushQP   int
+	flushInit int
+	epoch     int
 }
 
 type tgate struct {
-	next   uint64 // next expected ServerIdx for this stream
+	next   uint64 // next expected ServerIdx for this (initiator, stream)
 	parked map[uint64]*wireState
 }
 
-// Target is one target server: CPU cores, an RDMA connection to the
+// Target is one target server: CPU cores, an RDMA connection per
 // initiator, SSDs, and (for Rio/Horae) the PMR ordering-attribute log on
-// its first SSD.
+// its first SSD, partitioned into one region per initiator so each
+// initiator's ordering domain appends, retires and recovers
+// independently.
 type Target struct {
 	c     *Cluster
 	id    int
 	cores *sim.Resource
-	conn  *fabric.Conn
+	conns []*fabric.Conn // one per initiator
 	ssds  []*ssd.SSD
 
-	log       *core.Log
-	logSpace  *sim.Cond
-	slotBy    map[[2]uint64]uint64 // {stream, serverIdx} -> slot
-	retiredTo map[uint16]uint64    // per stream: retired watermark
-	gates     map[uint16]*tgate
-	unflushed map[int][]uint64 // per SSD: completed-but-unflushed slots (Horae, non-PLP)
+	logs      []*core.Log // per-initiator PMR partitions
+	logSpace  []*sim.Cond // per-initiator append backpressure
+	slotBy    map[slotKey]uint64
+	retiredTo map[domainKey]uint64 // retired watermark per ordering domain
+	gates     map[domainKey]*tgate
+	unflushed map[int][]slotRef // per SSD: completed-but-unflushed slots (Horae, non-PLP)
 
-	rxQs  []*sim.Queue[*capsule] // one per QP: per-QP arrivals process serially
+	rxQs  [][]*sim.Queue[*capsule] // [initiator][qp]: per-QP arrivals process serially
 	doneQ *sim.Queue[*tDone]
 
-	// Completion coalescing state, per QP: CQEs awaiting flush, the
-	// cluster epoch they were minted under, when the oldest pending CQE
-	// arrived (the hold timer flushes a batch only once it is cqeHold
-	// old — a younger batch left behind by a threshold flush re-arms for
-	// its remainder), and whether a timer event is outstanding. A power
-	// cut clears buffers AND armed flags (dead-epoch CQEs must never be
-	// flushed into a fresh incarnation, and a fresh incarnation must be
-	// able to arm its own timers).
-	cqePend     [][]nvmeof.CQE
-	cqeEpoch    []int
-	cqeFirst    []sim.Time
-	cqeArmed    []bool
-	cqeInflight []int // per QP: submitted-not-yet-responded commands
+	// Completion coalescing state, per (initiator, QP): CQEs awaiting
+	// flush, the initiator epoch they were minted under, when the oldest
+	// pending CQE arrived (the hold timer flushes a batch only once it is
+	// cqeHold old — a younger batch left behind by a threshold flush
+	// re-arms for its remainder), and whether a timer event is
+	// outstanding. A power cut clears buffers AND armed flags (dead-epoch
+	// CQEs must never be flushed into a fresh incarnation, and a fresh
+	// incarnation must be able to arm its own timers).
+	cqePend     [][][]nvmeof.CQE
+	cqeEpoch    [][]int
+	cqeFirst    [][]sim.Time
+	cqeArmed    [][]bool
+	cqeInflight [][]int // per (initiator, QP): submitted-not-yet-responded commands
 
 	alive bool
 	epoch int
@@ -92,45 +121,60 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 		alive: true,
 		doneQ: sim.NewQueue[*tDone](c.Eng),
 	}
-	for i := 0; i < c.cfg.QPs; i++ {
-		t.rxQs = append(t.rxQs, sim.NewQueue[*capsule](c.Eng))
+	nInit := c.cfg.Initiators
+	t.rxQs = make([][]*sim.Queue[*capsule], nInit)
+	t.cqePend = make([][][]nvmeof.CQE, nInit)
+	t.cqeEpoch = make([][]int, nInit)
+	t.cqeFirst = make([][]sim.Time, nInit)
+	t.cqeArmed = make([][]bool, nInit)
+	t.cqeInflight = make([][]int, nInit)
+	for i := 0; i < nInit; i++ {
+		t.rxQs[i] = make([]*sim.Queue[*capsule], c.cfg.QPs)
+		for qp := 0; qp < c.cfg.QPs; qp++ {
+			t.rxQs[i][qp] = sim.NewQueue[*capsule](c.Eng)
+		}
+		t.cqePend[i] = make([][]nvmeof.CQE, c.cfg.QPs)
+		t.cqeEpoch[i] = make([]int, c.cfg.QPs)
+		t.cqeFirst[i] = make([]sim.Time, c.cfg.QPs)
+		t.cqeArmed[i] = make([]bool, c.cfg.QPs)
+		t.cqeInflight[i] = make([]int, c.cfg.QPs)
 	}
-	t.cqePend = make([][]nvmeof.CQE, c.cfg.QPs)
-	t.cqeEpoch = make([]int, c.cfg.QPs)
-	t.cqeFirst = make([]sim.Time, c.cfg.QPs)
-	t.cqeArmed = make([]bool, c.cfg.QPs)
-	t.cqeInflight = make([]int, c.cfg.QPs)
 	for _, sc := range tc.SSDs {
 		sc.KeepHistory = c.cfg.KeepHistory
 		t.ssds = append(t.ssds, ssd.New(c.Eng, sc))
 	}
 	t.resetOrderingState()
-	t.conn = fabric.NewConn(c.Eng, c.cfg.Fabric)
-	t.conn.SetHandler(fabric.Target, func(m fabric.Message) {
-		if cp, ok := m.Payload.(*capsule); ok {
-			// Retire watermarks are processed immediately in interrupt
-			// context: they free PMR log space and must not queue behind
-			// commands that may be blocked waiting for that very space.
-			if t.alive && cp.epoch == t.c.epoch {
-				for _, r := range cp.retires {
-					t.retireUpTo(r.stream, r.upTo)
-				}
-			}
-			t.rxQs[m.QP].Push(cp)
-		}
-	})
-	t.conn.SetHandler(fabric.Initiator, func(m fabric.Message) {
-		if cm, ok := m.Payload.(*completionMsg); ok {
-			c.reapShard(cm.qp).cplQ.Push(cm)
-		}
-	})
-	// One receive context per QP: arrivals on a queue pair are handled
-	// serially (as on real hardware, where a QP maps to one completion
-	// queue), which is what makes stream→QP affinity deliver commands to
-	// the in-order gate without holdbacks (§4.5 Principle 2).
-	for i := 0; i < c.cfg.QPs; i++ {
+	// One connection (with its own QP set) per initiator, and one receive
+	// context per QP: arrivals on a queue pair are handled serially (as on
+	// real hardware, where a QP maps to one completion queue), which is
+	// what makes stream→QP affinity deliver commands to the in-order gate
+	// without holdbacks (§4.5 Principle 2).
+	for i := 0; i < nInit; i++ {
 		i := i
-		c.Eng.Go(fmt.Sprintf("tgt%d/rx%d", id, i), func(p *sim.Proc) { t.rxLoop(p, i) })
+		conn := fabric.NewConn(c.Eng, c.cfg.Fabric)
+		conn.SetHandler(fabric.Target, func(m fabric.Message) {
+			if cp, ok := m.Payload.(*capsule); ok {
+				// Retire watermarks are processed immediately in interrupt
+				// context: they free PMR log space and must not queue behind
+				// commands that may be blocked waiting for that very space.
+				if t.alive && cp.epoch == t.c.inits[i].epoch {
+					for _, r := range cp.retires {
+						t.retireUpTo(i, r.stream, r.upTo)
+					}
+				}
+				t.rxQs[i][m.QP].Push(cp)
+			}
+		})
+		conn.SetHandler(fabric.Initiator, func(m fabric.Message) {
+			if cm, ok := m.Payload.(*completionMsg); ok {
+				c.inits[i].reapShard(cm.qp).cplQ.Push(cm)
+			}
+		})
+		t.conns = append(t.conns, conn)
+		for qp := 0; qp < c.cfg.QPs; qp++ {
+			qp := qp
+			c.Eng.Go(fmt.Sprintf("tgt%d/rx%d.%d", id, i, qp), func(p *sim.Proc) { t.rxLoop(p, i, qp) })
+		}
 	}
 	for i := 0; i < 2; i++ {
 		c.Eng.Go(fmt.Sprintf("tgt%d/cpl%d", id, i), func(p *sim.Proc) { t.doneLoop(p) })
@@ -138,19 +182,100 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	return t
 }
 
-// resetOrderingState reinitializes the PMR log wrapper, gates and slot
-// maps; called at construction and after a restart+recovery.
+// pmrRegion returns initiator init's partition of this target's PMR
+// region: the region is divided into equal, entry-aligned slices so each
+// initiator's circular log (and its recovery scan and post-recovery
+// format) is independent of every other initiator's.
+func (t *Target) pmrRegion(init int) []byte {
+	region := t.ssds[0].PMRBytes()
+	per := (len(region) / t.c.cfg.Initiators / core.EntrySize) * core.EntrySize
+	if per == 0 {
+		panic("stack: PMR region too small for the initiator count")
+	}
+	return region[init*per : (init+1)*per]
+}
+
+// resetOrderingState reinitializes every initiator's PMR log partition,
+// the gates and the slot maps; called at construction and after a
+// restart+recovery of the whole target.
 func (t *Target) resetOrderingState() {
-	t.log = core.NewLog(t.ssds[0].PMRBytes())
-	t.logSpace = sim.NewCond(t.c.Eng)
-	t.slotBy = make(map[[2]uint64]uint64)
-	t.retiredTo = make(map[uint16]uint64)
-	t.gates = make(map[uint16]*tgate)
-	t.unflushed = make(map[int][]uint64)
+	n := t.c.cfg.Initiators
+	t.logs = make([]*core.Log, n)
+	t.logSpace = make([]*sim.Cond, n)
+	for i := 0; i < n; i++ {
+		t.logs[i] = core.NewLog(t.pmrRegion(i))
+		t.logSpace[i] = sim.NewCond(t.c.Eng)
+	}
+	t.slotBy = make(map[slotKey]uint64)
+	t.retiredTo = make(map[domainKey]uint64)
+	t.gates = make(map[domainKey]*tgate)
+	t.unflushed = make(map[int][]slotRef)
+}
+
+// resetInitiatorState reinitializes ONE initiator's ordering state — its
+// PMR log partition, gates, slots and watermarks — leaving every other
+// initiator's untouched. Used by single-initiator crash recovery.
+func (t *Target) resetInitiatorState(init int) {
+	t.logs[init] = core.NewLog(t.pmrRegion(init))
+	t.logSpace[init].Broadcast() // anyone waiting on the dead log's space
+	t.logSpace[init] = sim.NewCond(t.c.Eng)
+	for k := range t.slotBy {
+		if k.init == init {
+			delete(t.slotBy, k)
+		}
+	}
+	for k := range t.retiredTo {
+		if k.init == init {
+			delete(t.retiredTo, k)
+		}
+	}
+	for k := range t.gates {
+		if k.init == init {
+			delete(t.gates, k)
+		}
+	}
+	for ssdIdx, refs := range t.unflushed {
+		kept := refs[:0]
+		for _, r := range refs {
+			if r.init != init {
+				kept = append(kept, r)
+			}
+		}
+		t.unflushed[ssdIdx] = kept
+	}
 }
 
 // Stats returns the target counters.
 func (t *Target) Stats() TargetStats { return t.stats }
+
+// RetiredTo returns the retire watermark of one (initiator, stream)
+// ordering domain at this target (0 if it never advanced) — exposed so
+// benches and tests can verify per-initiator PMR recycling.
+func (t *Target) RetiredTo(init int, stream uint16) uint64 {
+	return t.retiredTo[domainKey{init, stream}]
+}
+
+// GateAudit verifies the dense-ServerIdx-chain invariant of every
+// in-order submission gate: a parked command always waits for a genuine
+// predecessor (its index is strictly beyond the gate's next expected
+// one). A parked index at or below the frontier means the chain skipped
+// or duplicated an entry — exactly the corruption that colliding
+// ordering domains (e.g. two initiators sharing a gate) would produce.
+// Returns the number of violations (0 on a healthy target).
+func (t *Target) GateAudit() int {
+	bad := 0
+	for _, g := range t.gates {
+		for idx := range g.parked {
+			// An arrival AT the frontier always processes inline and the
+			// drain loop consumes parked[next] before yielding, so a
+			// parked index == next means the unpark machinery failed.
+			if idx <= g.next {
+				bad++
+			}
+		}
+	}
+	return bad
+}
 
 // SSD returns device i of this target.
 func (t *Target) SSD(i int) *ssd.SSD { return t.ssds[i] }
@@ -161,30 +286,35 @@ func (t *Target) Cores() *sim.Resource { return t.cores }
 // Alive reports whether the server is powered.
 func (t *Target) Alive() bool { return t.alive }
 
-func (t *Target) gate(stream uint16) *tgate {
-	g := t.gates[stream]
+func (t *Target) gate(init int, stream uint16) *tgate {
+	k := domainKey{init, stream}
+	g := t.gates[k]
 	if g == nil {
 		g = &tgate{next: 1, parked: make(map[uint64]*wireState)}
-		t.gates[stream] = g
+		t.gates[k] = g
 	}
 	return g
 }
 
-// rxLoop is one receive worker: it consumes capsules (two-sided SENDs cost
-// target CPU — the asymmetry Lesson 3 is about), fetches non-inline data
-// with one-sided READs, and routes commands through the mode-specific
-// submission path.
-func (t *Target) rxLoop(p *sim.Proc, qp int) {
-	rxQ := t.rxQs[qp]
+// initEpoch returns the current epoch of initiator init (the incarnation
+// counter in-flight work is validated against).
+func (t *Target) initEpoch(init int) int { return t.c.inits[init].epoch }
+
+// rxLoop is one receive worker for one (initiator, QP): it consumes
+// capsules (two-sided SENDs cost target CPU — the asymmetry Lesson 3 is
+// about), fetches non-inline data with one-sided READs, and routes
+// commands through the mode-specific submission path.
+func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
+	rxQ := t.rxQs[init][qp]
 	for {
 		cp := rxQ.Pop(p)
-		if cp.epoch != t.c.epoch || !t.alive {
+		if cp.epoch != t.initEpoch(init) || !t.alive {
 			continue
 		}
 		t.stats.Capsules++
 		t.cores.Use(p, t.c.costs.RecvMsg)
 		if len(cp.ctrl) > 0 {
-			t.handleCtrl(p, cp, qp)
+			t.handleCtrl(p, cp, init, qp)
 		}
 		// A command capsule is one vectored batch: verify it arrived
 		// intact and was split exactly on a target boundary (every entry
@@ -212,12 +342,12 @@ func (t *Target) rxLoop(p *sim.Proc, qp int) {
 			}
 		}
 		if bulk > 0 {
-			if !t.conn.BulkRead(p, fabric.Target, bulk) {
+			if !t.conns[init].BulkRead(p, fabric.Target, bulk) {
 				continue // connection died mid-read
 			}
 		}
 		for _, ws := range cp.cmds {
-			if !t.alive || ws.epoch != t.c.epoch {
+			if !t.alive || ws.epoch != t.initEpoch(init) {
 				break
 			}
 			t.stats.Commands++
@@ -238,9 +368,9 @@ func (t *Target) rxLoop(p *sim.Proc, qp int) {
 // handleCtrl persists Horae control-path ordering metadata to PMR and
 // acks. This happens before the corresponding data is even dispatched at
 // the initiator — the control path is synchronous. The ack returns on
-// the queue pair the control capsule arrived on, so it is reaped by the
-// same shard that posted it rather than funnelling through shard 0.
-func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, qp int) {
+// the queue pair (and connection) the control capsule arrived on, so it
+// is reaped by the same shard of the same initiator that posted it.
+func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, init, qp int) {
 	acks := make([]*ctrlReq, 0, len(cp.ctrl))
 	for _, cr := range cp.ctrl {
 		t.stats.CtrlOps++
@@ -249,38 +379,41 @@ func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, qp int) {
 	}
 	t.cores.Use(p, t.c.costs.PostMsg)
 	t.stats.Responses++
-	t.conn.Send(fabric.Target, fabric.Message{
+	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: nvmeof.ResponseSize,
 		Payload: &completionMsg{ctrlAcks: acks, qp: qp, epoch: cp.epoch},
 	})
 }
 
-// appendPMR persists one ordering attribute (step 5 of Fig. 4): the CPU is
-// held for the MMIO issue plus the persistence latency (write + read-back)
-// and blocks if the circular log is full.
+// appendPMR persists one ordering attribute (step 5 of Fig. 4) into the
+// owning initiator's log partition: the CPU is held for the MMIO issue
+// plus the persistence latency (write + read-back) and blocks if that
+// partition's circular log is full — backpressure on one initiator's log
+// never stalls another initiator's appends.
 func (t *Target) appendPMR(p *sim.Proc, a core.Attr) uint64 {
+	init := int(a.Initiator)
 	t.cores.Acquire(p)
 	p.Sleep(t.c.costs.PMRAppendCPU)
 	for {
-		slot, ok := t.log.Append(a)
+		slot, ok := t.logs[init].Append(a)
 		if ok {
 			p.Sleep(t.ssds[0].PMRWriteLat())
 			t.cores.Release()
-			t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}] = slot
+			t.slotBy[slotKey{init, a.Stream, a.ServerIdx}] = slot
 			t.stats.PMRAppends++
 			return slot
 		}
 		// Log full: wait for retirement (backpressure).
 		t.cores.Release()
-		t.logSpace.Wait(p)
+		t.logSpace[init].Wait(p)
 		t.cores.Acquire(p)
 	}
 }
 
-// rioSubmit enforces per-server in-order submission (§4.3.1): a request
-// may only go to the SSD after every smaller ServerIdx of its stream has.
-// With stream→QP affinity the network delivers in order and this gate
-// almost never parks.
+// rioSubmit enforces per-(initiator, stream) in-order submission
+// (§4.3.1): a request may only go to the SSD after every smaller
+// ServerIdx of its ordering domain has. With stream→QP affinity the
+// network delivers in order and this gate almost never parks.
 func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 	attrs := ws.vecAttrs
 	if len(attrs) == 0 {
@@ -290,7 +423,7 @@ func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 		}
 		attrs = []core.Attr{attr}
 	}
-	g := t.gate(attrs[0].Stream)
+	g := t.gate(int(attrs[0].Initiator), attrs[0].Stream)
 	if attrs[0].ServerIdx != g.next {
 		t.stats.Holdbacks++
 		g.parked[attrs[0].ServerIdx] = ws
@@ -328,7 +461,7 @@ func (t *Target) horaeSlot(ws *wireState) []uint64 {
 		return nil
 	}
 	a := ws.wc.Attr
-	if slot, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
+	if slot, ok := t.slotBy[slotKey{int(a.Initiator), a.Stream, a.ServerIdx}]; ok {
 		return []uint64{slot}
 	}
 	return nil
@@ -340,8 +473,8 @@ func (t *Target) horaeSlot(ws *wireState) []uint64 {
 // commands carry per-constituent stamps.
 func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 	sd := t.ssds[ws.ssdIdx]
-	epoch := t.c.epoch
-	t.cqeInflight[ws.qp]++
+	epoch := t.initEpoch(ws.init)
+	t.cqeInflight[ws.init][ws.qp]++
 	stamps := ws.wc.Stamps
 	if ws.wc.Ordered && (t.c.cfg.Mode == ModeRio || t.c.cfg.Mode == ModeHorae) {
 		stamps = make([]uint64, ws.wc.Blocks)
@@ -376,8 +509,8 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 
 func (t *Target) submitFlushCmd(ws *wireState) {
 	sd := t.ssds[ws.ssdIdx]
-	epoch := t.c.epoch
-	t.cqeInflight[ws.qp]++
+	epoch := t.initEpoch(ws.init)
+	t.cqeInflight[ws.init][ws.qp]++
 	t.stats.Flushes++
 	sd.Submit(&ssd.Command{
 		Op: ssd.OpFlush,
@@ -389,7 +522,7 @@ func (t *Target) submitFlushCmd(ws *wireState) {
 
 // doneLoop is the target completion context: persist-bit maintenance
 // (step 7), durability barriers for flush-carrying ordered writes, and
-// completion responses back to the initiator.
+// completion responses back to the initiators.
 func (t *Target) doneLoop(p *sim.Proc) {
 	for {
 		t.doneOne(p, t.doneQ.Pop(p))
@@ -398,27 +531,38 @@ func (t *Target) doneLoop(p *sim.Proc) {
 
 // doneOne handles one completion-context event.
 func (t *Target) doneOne(p *sim.Proc, d *tDone) {
-	if d.epoch != t.c.epoch || !t.alive {
+	if !t.alive {
 		return
 	}
 	if d.flushQP > 0 {
 		// CQE hold-timer expiry: flush the pending response capsule.
-		t.flushCQEs(p, d.flushQP-1)
+		if d.epoch == t.initEpoch(d.flushInit) {
+			t.flushCQEs(p, d.flushInit, d.flushQP-1)
+		}
+		return
+	}
+	if d.epoch != t.initEpoch(d.ws.init) {
 		return
 	}
 	t.cores.Use(p, t.c.costs.CplHandle)
 	mode := t.c.cfg.Mode
 	ordered := d.ws.wc.Ordered && (mode == ModeRio || mode == ModeHorae)
 	plp := t.ssds[d.ws.ssdIdx].HasPLP()
+	init := d.ws.init
 
 	if d.isFlush {
 		// FLUSH on behalf of a flush-carrying ordered write: mark the
 		// carrier (and, for Horae, everything it certifies) persistent.
 		for _, s := range d.slots {
-			t.markPersist(p, s)
+			t.markPersist(p, init, s)
 		}
 		for _, s := range d.flushSlots {
-			t.markPersist(p, s)
+			// A certified slot may belong to ANOTHER initiator; skip it
+			// if that initiator crashed (and possibly recovered,
+			// reformatting its partition) while this FLUSH was in flight.
+			if s.epoch == t.initEpoch(s.init) {
+				t.markPersist(p, s.init, s.slot)
+			}
 		}
 		t.respond(p, d.ws)
 		return
@@ -434,12 +578,12 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 	case plp:
 		// Completion implies durability: toggle persist now.
 		for _, s := range d.slots {
-			t.markPersist(p, s)
+			t.markPersist(p, init, s)
 		}
 		if mode == ModeHorae {
 			for _, a := range d.ws.horaeAttrs {
-				if s, ok := t.slotBy[[2]uint64{uint64(a.Stream), a.ServerIdx}]; ok {
-					t.markPersist(p, s)
+				if s, ok := t.slotBy[slotKey{int(a.Initiator), a.Stream, a.ServerIdx}]; ok {
+					t.markPersist(p, int(a.Initiator), s)
 				}
 			}
 		}
@@ -448,6 +592,8 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 		// The group's durability barrier: drain the device, then mark.
 		fd := &tDone{ws: d.ws, slots: d.slots, isFlush: true, epoch: d.epoch}
 		if mode == ModeHorae {
+			// A device FLUSH drains every write on the device, so it
+			// certifies unflushed slots of every initiator.
 			fd.flushSlots = t.unflushed[d.ws.ssdIdx]
 			t.unflushed[d.ws.ssdIdx] = nil
 		}
@@ -460,7 +606,9 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 		// Non-PLP, no flush: leave persist=0 (a later FLUSH-carrying
 		// entry certifies it during recovery, §4.3.2).
 		if mode == ModeHorae {
-			t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], d.slots...)
+			for _, s := range d.slots {
+				t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], slotRef{init, s, d.epoch})
+			}
 		}
 		t.respond(p, d.ws)
 	}
@@ -485,9 +633,9 @@ func (t *Target) orderedFlushWanted(ws *wireState) bool {
 	return false
 }
 
-func (t *Target) markPersist(p *sim.Proc, slot uint64) {
+func (t *Target) markPersist(p *sim.Proc, init int, slot uint64) {
 	t.cores.Use(p, t.c.costs.PMRToggleCPU)
-	t.log.MarkPersist(slot)
+	t.logs[init].MarkPersist(slot)
 	t.stats.PMRToggles++
 }
 
@@ -496,11 +644,11 @@ func (t *Target) markPersist(p *sim.Proc, slot uint64) {
 // submission plug's hold timer).
 const cqeHold = 2 * sim.Microsecond
 
-// respond queues one completion toward the initiator. With CQECoalesce
-// the CQE joins its queue pair's pending response capsule, flushed when
-// CQEBatch entries accumulate or the hold timer expires; without it, each
-// CQE ships immediately in its own bare 16-byte capsule, exactly as the
-// seed target did.
+// respond queues one completion toward the owning initiator. With
+// CQECoalesce the CQE joins its (initiator, queue pair) pending response
+// capsule, flushed when CQEBatch entries accumulate or the hold timer
+// expires; without it, each CQE ships immediately in its own bare
+// 16-byte capsule, exactly as the seed target did.
 func (t *Target) respond(p *sim.Proc, ws *wireState) {
 	if !t.alive {
 		// A completion context that was mid-iteration when the power cut
@@ -509,8 +657,9 @@ func (t *Target) respond(p *sim.Proc, ws *wireState) {
 		// next incarnation would be wrong anyway (recovery replays it).
 		return
 	}
-	if t.cqeInflight[ws.qp] > 0 {
-		t.cqeInflight[ws.qp]--
+	init, qp := ws.init, ws.qp
+	if t.cqeInflight[init][qp] > 0 {
+		t.cqeInflight[init][qp]--
 	}
 	cqe := nvmeof.NewCQE(ws.id)
 	if !t.c.cfg.CQECoalesce {
@@ -518,40 +667,40 @@ func (t *Target) respond(p *sim.Proc, ws *wireState) {
 		t.cores.Use(p, t.c.costs.PostMsg)
 		t.stats.Responses++
 		t.stats.CQEs++
-		t.conn.Send(fabric.Target, fabric.Message{
-			QP: ws.qp, Size: nvmeof.ResponseSize,
-			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: ws.qp, epoch: ws.epoch},
+		t.conns[init].Send(fabric.Target, fabric.Message{
+			QP: qp, Size: nvmeof.ResponseSize,
+			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: qp, epoch: ws.epoch},
 		})
 		return
 	}
-	qp := ws.qp
-	if len(t.cqePend[qp]) == 0 {
-		t.cqeEpoch[qp] = ws.epoch
-		t.cqeFirst[qp] = t.c.Eng.Now()
+	if len(t.cqePend[init][qp]) == 0 {
+		t.cqeEpoch[init][qp] = ws.epoch
+		t.cqeFirst[init][qp] = t.c.Eng.Now()
 	}
-	t.cqePend[qp] = append(t.cqePend[qp], cqe)
+	t.cqePend[init][qp] = append(t.cqePend[init][qp], cqe)
 	// Flush when the capsule is full — or when the queue pair has no
 	// command left in flight, so a CQE only ever waits while more
 	// completions are coming to amortize against and an idle QP responds
 	// immediately (no hold-timer latency on the application's critical
 	// path). The timer is the backstop for commands that stay in flight
 	// longer than the hold.
-	if len(t.cqePend[qp]) >= t.c.cfg.CQEBatch || t.cqeInflight[qp] == 0 {
-		t.flushCQEs(p, qp)
+	if len(t.cqePend[init][qp]) >= t.c.cfg.CQEBatch || t.cqeInflight[init][qp] == 0 {
+		t.flushCQEs(p, init, qp)
 		return
 	}
-	if !t.cqeArmed[qp] {
-		t.armCQETimer(qp, cqeHold)
+	if !t.cqeArmed[init][qp] {
+		t.armCQETimer(init, qp, cqeHold)
 	}
 }
 
-// armCQETimer schedules a hold-timer check for one queue pair's pending
-// response capsule. Eng.At events cannot be cancelled, so the timer
-// checks batch age when it fires: a batch younger than cqeHold (the one
-// this timer was armed for was consumed by a threshold flush) re-arms
-// for the remainder instead of shipping early, keeping occupancy honest.
-func (t *Target) armCQETimer(qp int, d sim.Time) {
-	t.cqeArmed[qp] = true
+// armCQETimer schedules a hold-timer check for one (initiator, queue
+// pair) pending response capsule. Eng.At events cannot be cancelled, so
+// the timer checks batch age when it fires: a batch younger than cqeHold
+// (the one this timer was armed for was consumed by a threshold flush)
+// re-arms for the remainder instead of shipping early, keeping occupancy
+// honest.
+func (t *Target) armCQETimer(init, qp int, d sim.Time) {
+	t.cqeArmed[init][qp] = true
 	epoch := t.epoch
 	t.c.Eng.At(d, func() {
 		// This timer event is spent, whatever happens next: the armed
@@ -560,36 +709,36 @@ func (t *Target) armCQETimer(qp int, d sim.Time) {
 		// replayed command's hwDone would never fire). A stale timer
 		// clearing the flag while a younger chain is live only costs a
 		// redundant re-arm on the next completion.
-		t.cqeArmed[qp] = false
-		if epoch != t.epoch || !t.alive || len(t.cqePend[qp]) == 0 {
+		t.cqeArmed[init][qp] = false
+		if epoch != t.epoch || !t.alive || len(t.cqePend[init][qp]) == 0 {
 			return
 		}
-		if wait := t.cqeFirst[qp] + cqeHold - t.c.Eng.Now(); wait > 0 {
+		if wait := t.cqeFirst[init][qp] + cqeHold - t.c.Eng.Now(); wait > 0 {
 			// The batch this timer was armed for was consumed by a
 			// threshold flush; re-arm for the younger one now pending.
-			t.armCQETimer(qp, wait)
+			t.armCQETimer(init, qp, wait)
 			return
 		}
 		// Flush in completion context (the engine context here cannot be
 		// charged CPU).
-		t.doneQ.Push(&tDone{flushQP: qp + 1, epoch: t.c.epoch})
+		t.doneQ.Push(&tDone{flushQP: qp + 1, flushInit: init, epoch: t.initEpoch(init)})
 	})
 }
 
-// flushCQEs ships one queue pair's pending completions as a single
-// vectored response capsule: one shared framing, one PostMsg, entries
-// vector-marked so the initiator can verify the capsule arrived whole. A
-// batch of one needs no vector framing and ships as a bare 16-byte
-// capsule, exactly like the uncoalesced path.
-func (t *Target) flushCQEs(p *sim.Proc, qp int) {
-	batch := t.cqePend[qp]
+// flushCQEs ships one (initiator, queue pair) pending completions as a
+// single vectored response capsule: one shared framing, one PostMsg,
+// entries vector-marked so the initiator can verify the capsule arrived
+// whole. A batch of one needs no vector framing and ships as a bare
+// 16-byte capsule, exactly like the uncoalesced path.
+func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
+	batch := t.cqePend[init][qp]
 	if len(batch) == 0 {
 		return
 	}
 	// Detach before charging CPU: Use yields, and the other completion
 	// context may append (or flush) concurrently.
-	t.cqePend[qp] = nil
-	epoch := t.cqeEpoch[qp]
+	t.cqePend[init][qp] = nil
+	epoch := t.cqeEpoch[init][qp]
 	nvmeof.EncodeCQEVector(batch)
 	size := nvmeof.ResponseSize
 	if len(batch) > 1 {
@@ -601,25 +750,28 @@ func (t *Target) flushCQEs(p *sim.Proc, qp int) {
 	}
 	t.stats.Responses++
 	t.stats.CQEs += int64(len(batch))
-	t.conn.Send(fabric.Target, fabric.Message{
+	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: size,
 		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch},
 	})
 }
 
-// retireUpTo recycles PMR entries whose completions the initiator has
-// delivered (head-pointer advance of §4.3.2).
-func (t *Target) retireUpTo(stream uint16, upTo uint64) {
-	last := t.retiredTo[stream]
+// retireUpTo recycles PMR entries whose completions the owning initiator
+// has delivered (head-pointer advance of §4.3.2). Watermarks are per
+// ordering domain: one initiator retiring entries frees space only in
+// its own log partition.
+func (t *Target) retireUpTo(init int, stream uint16, upTo uint64) {
+	dk := domainKey{init, stream}
+	last := t.retiredTo[dk]
 	for idx := last + 1; idx <= upTo; idx++ {
-		k := [2]uint64{uint64(stream), idx}
+		k := slotKey{init, stream, idx}
 		if slot, ok := t.slotBy[k]; ok {
-			t.log.Retire(slot)
+			t.logs[init].Retire(slot)
 			delete(t.slotBy, k)
 		}
 	}
 	if upTo > last {
-		t.retiredTo[stream] = upTo
-		t.logSpace.Broadcast()
+		t.retiredTo[dk] = upTo
+		t.logSpace[init].Broadcast()
 	}
 }

@@ -59,7 +59,8 @@ const (
 
 // BlockJob configures a block-device benchmark.
 type BlockJob struct {
-	Threads     int
+	Threads     int // application threads per initiator
+	Initiators  int // initiator servers to drive (0 = 1)
 	Pattern     Pattern
 	Ordered     bool // false: orderless baseline
 	WriteBlocks uint32
@@ -102,80 +103,90 @@ func (r BlockResult) Efficiency(util float64) float64 {
 	return metrics.Efficiency(r.KIOPS(), util)
 }
 
-// RunBlock executes a block benchmark on c for warmup+measure.
+// RunBlock executes a block benchmark on c for warmup+measure. With
+// job.Initiators > 1, every initiator runs its own set of job.Threads
+// threads against a private LBA area, and the result aggregates the
+// whole cluster (throughput sums; utilization averages over the combined
+// initiator cores).
 func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure sim.Time) BlockResult {
 	if job.Window <= 0 {
 		job.Window = 8
 	}
+	if job.Initiators <= 0 {
+		job.Initiators = 1
+	}
 	m := &Meter{}
 	const region = uint64(1 << 20) // private 4 GB area per thread (blocks)
-	for th := 0; th < job.Threads; th++ {
-		th := th
-		eng.Go(fmt.Sprintf("wl/blk%d", th), func(p *sim.Proc) {
-			rng := eng.Rand()
-			base := uint64(th) * region
-			var next uint64
-			var pending []*blockdev.Request
-			stamp := uint64(th) << 32
-			write := func(lba uint64, blocks uint32, boundary, flush bool) *blockdev.Request {
-				stamp++
-				if job.Ordered {
-					return c.OrderedWrite(p, th, lba, blocks, stamp, nil, boundary, flush, false)
-				}
-				return c.OrderlessWrite(p, th, lba, blocks, stamp, nil)
-			}
-			reap := func(force bool) {
-				// Count everything already delivered, then block only when
-				// the outstanding window is exceeded.
-				for len(pending) > 0 &&
-					(force || pending[0].Done.Fired() || len(pending) >= job.Window) {
-					r := pending[0]
-					pending = pending[1:]
-					c.Wait(p, r)
-					blocks := int64(r.Blocks)
-					m.Op(blocks*4096, r.DeliverAt-r.SubmitAt)
-				}
-			}
-			for {
-				switch job.Pattern {
-				case PatternJournal:
-					lba := base + next
-					next = (next + 3) % region
-					pending = append(pending, write(lba, 2, true, false))
-					pending = append(pending, write(lba+2, 1, true, false))
-				case PatternRandom4K:
-					lba := base + uint64(rng.Int63n(int64(region)))
-					pending = append(pending, write(lba, 1, true, false))
-				case PatternSize:
-					var lba uint64
-					if job.Sequential {
-						lba = base + next
-						next = (next + uint64(job.WriteBlocks)) % region
-					} else {
-						lba = base + uint64(rng.Int63n(int64(region-uint64(job.WriteBlocks))))
+	for ii := 0; ii < job.Initiators; ii++ {
+		in := c.Init(ii)
+		for th := 0; th < job.Threads; th++ {
+			ii, th := ii, th
+			eng.Go(fmt.Sprintf("wl/blk%d.%d", ii, th), func(p *sim.Proc) {
+				rng := eng.Rand()
+				base := uint64(ii*job.Threads+th) * region
+				var next uint64
+				var pending []*blockdev.Request
+				stamp := uint64(ii*job.Threads+th) << 32
+				write := func(lba uint64, blocks uint32, boundary, flush bool) *blockdev.Request {
+					stamp++
+					if job.Ordered {
+						return in.OrderedWrite(p, th, lba, blocks, stamp, nil, boundary, flush, false)
 					}
-					pending = append(pending, write(lba, job.WriteBlocks, true, false))
-				case PatternBatch:
-					// The paper controls mergeable batches with
-					// blk_start_plug / blk_finish_plug (Fig. 3).
-					lba := base + next
-					next = (next + uint64(job.Batch)) % region
-					c.StartPlug(th)
-					for b := 0; b < job.Batch; b++ {
-						pending = append(pending, write(lba+uint64(b), 1, true, false))
-					}
-					c.FinishPlug(p, th)
+					return in.OrderlessWrite(p, th, lba, blocks, stamp, nil)
 				}
-				reap(false)
-			}
-		})
+				reap := func(force bool) {
+					// Count everything already delivered, then block only when
+					// the outstanding window is exceeded.
+					for len(pending) > 0 &&
+						(force || pending[0].Done.Fired() || len(pending) >= job.Window) {
+						r := pending[0]
+						pending = pending[1:]
+						in.Wait(p, r)
+						blocks := int64(r.Blocks)
+						m.Op(blocks*4096, r.DeliverAt-r.SubmitAt)
+					}
+				}
+				for {
+					switch job.Pattern {
+					case PatternJournal:
+						lba := base + next
+						next = (next + 3) % region
+						pending = append(pending, write(lba, 2, true, false))
+						pending = append(pending, write(lba+2, 1, true, false))
+					case PatternRandom4K:
+						lba := base + uint64(rng.Int63n(int64(region)))
+						pending = append(pending, write(lba, 1, true, false))
+					case PatternSize:
+						var lba uint64
+						if job.Sequential {
+							lba = base + next
+							next = (next + uint64(job.WriteBlocks)) % region
+						} else {
+							lba = base + uint64(rng.Int63n(int64(region-uint64(job.WriteBlocks))))
+						}
+						pending = append(pending, write(lba, job.WriteBlocks, true, false))
+					case PatternBatch:
+						// The paper controls mergeable batches with
+						// blk_start_plug / blk_finish_plug (Fig. 3).
+						lba := base + next
+						next = (next + uint64(job.Batch)) % region
+						in.StartPlug(th)
+						for b := 0; b < job.Batch; b++ {
+							pending = append(pending, write(lba+uint64(b), 1, true, false))
+						}
+						in.FinishPlug(p, th)
+					}
+					reap(false)
+				}
+			})
+		}
 	}
 	eng.RunUntil(eng.Now() + warmup)
 	m.warm = true
 	m.started = eng.Now()
 	iu0 := c.InitiatorUtil()
 	tu0 := c.TargetUtil()
-	st0 := c.Stats()
+	st0 := c.StatsAll()
 	eng.RunUntil(eng.Now() + measure)
 	iu1 := c.InitiatorUtil()
 	tu1 := c.TargetUtil()
@@ -186,7 +197,7 @@ func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure s
 		InitUtil: metrics.Utilization(iu0, iu1),
 		TgtUtil:  metrics.Utilization(tu0, tu1),
 		Lat:      m.lat,
-		Stats:    c.Stats().Sub(st0),
+		Stats:    c.StatsAll().Sub(st0),
 	}
 	return res
 }

@@ -4,7 +4,10 @@
 //
 // The API mirrors an aio ring: a fixed submission depth, non-blocking
 // Submit, and completion harvesting that — because Rio completes in order
-// — always returns completions in storage order:
+// — always returns completions in storage order. A ring inherits the
+// initiator of the Ctx it is built from (rio.Cluster.GoOn), so a
+// multi-initiator deployment gets one set of rings per initiator, each
+// an independent ordering domain:
 //
 //	ring := librio.NewRing(ctx, 0, 128)
 //	id, _ := ring.Write(librio.Op{LBA: 4096, Blocks: 8, Boundary: true})

@@ -61,15 +61,17 @@ type TargetSpec struct {
 	SSDs []DeviceClass
 }
 
-// Options configures a cluster (rio_setup). Zero values select one Optane
-// target server, 24 streams, and the Rio ordering mode.
+// Options configures a cluster (rio_setup). Zero values select one
+// initiator, one Optane target server, 24 streams, and the Rio ordering
+// mode.
 type Options struct {
-	Ordering Ordering
-	Targets  []TargetSpec
-	Streams  int
-	Merging  *bool // nil = enabled
-	Seed     int64
-	History  bool // retain media write history (needed by VerifyPrefix)
+	Ordering   Ordering
+	Targets    []TargetSpec
+	Initiators int   // initiator servers sharing the target fleet (0 = 1)
+	Streams    int   // streams per initiator
+	Merging    *bool // nil = enabled
+	Seed       int64
+	History    bool // retain media write history (needed by VerifyPrefix)
 }
 
 // Cluster is a running simulated deployment.
@@ -110,6 +112,7 @@ func NewCluster(o Options) *Cluster {
 		targets = append(targets, tc)
 	}
 	cfg := stack.DefaultConfig(mode, targets...)
+	cfg.Initiators = o.Initiators
 	cfg.Streams = o.Streams
 	cfg.QPs = o.Streams
 	cfg.Fabric.NumQPs = o.Streams
@@ -124,15 +127,26 @@ func NewCluster(o Options) *Cluster {
 	return &Cluster{eng: eng, inner: stack.New(eng, cfg)}
 }
 
-// Ctx is the execution context of simulated application code.
+// Ctx is the execution context of simulated application code, bound to
+// one initiator server: every stream, write and wait issued through it
+// runs in that initiator's ordering domain.
 type Ctx struct {
-	p *sim.Proc
-	c *Cluster
+	p  *sim.Proc
+	c  *Cluster
+	in *stack.Initiator
 }
 
-// Go spawns fn as a simulated application thread. Call Run to execute.
-func (c *Cluster) Go(fn func(ctx *Ctx)) {
-	c.eng.Go("app", func(p *sim.Proc) { fn(&Ctx{p: p, c: c}) })
+// Go spawns fn as a simulated application thread on initiator 0. Call
+// Run to execute.
+func (c *Cluster) Go(fn func(ctx *Ctx)) { c.GoOn(0, fn) }
+
+// GoOn spawns fn as a simulated application thread on initiator init —
+// the handle a multi-initiator deployment hands its per-server
+// application code (streams with the same id on different initiators are
+// independent ordering domains).
+func (c *Cluster) GoOn(init int, fn func(ctx *Ctx)) {
+	in := c.inner.Init(init)
+	c.eng.Go("app", func(p *sim.Proc) { fn(&Ctx{p: p, c: c, in: in}) })
 }
 
 // Run executes the simulation until it quiesces.
@@ -150,6 +164,9 @@ func (c *Cluster) Close() { c.eng.Shutdown() }
 // Stack exposes the underlying cluster for advanced use (benchmarks).
 func (c *Cluster) Stack() *stack.Cluster { return c.inner }
 
+// Initiators returns the number of initiator servers.
+func (c *Cluster) Initiators() int { return c.inner.Initiators() }
+
 // Engine exposes the simulation engine (for scheduling crash injection).
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
@@ -159,6 +176,13 @@ func (ctx *Ctx) Sleep(d sim.Time) { ctx.p.Sleep(d) }
 // Proc exposes the simulated thread, needed when calling lower-level APIs
 // (file system, workload drivers) from application code.
 func (ctx *Ctx) Proc() *sim.Proc { return ctx.p }
+
+// Initiator returns the id of the initiator this context is bound to.
+func (ctx *Ctx) Initiator() int { return ctx.in.ID() }
+
+// Alive reports whether this context's initiator server is powered
+// (application loops should stop submitting once their server dies).
+func (ctx *Ctx) Alive() bool { return ctx.in.Alive() }
 
 // Now returns the simulated clock.
 func (ctx *Ctx) Now() sim.Time { return ctx.p.Now() }
@@ -185,7 +209,7 @@ type Handle struct {
 
 // Wait blocks until the completion is delivered in storage order
 // (rio_wait).
-func (h *Handle) Wait() { h.ctx.c.inner.Wait(h.ctx.p, h.req) }
+func (h *Handle) Wait() { h.ctx.in.Wait(h.ctx.p, h.req) }
 
 // Done reports whether the completion has been delivered.
 func (h *Handle) Done() bool { return h.req.Done.Fired() }
@@ -224,23 +248,23 @@ func (s *Stream) WriteIPU(lba uint64, blocks uint32, boundary bool) *Handle {
 }
 
 func (s *Stream) submit(lba uint64, blocks uint32, boundary, flush, ipu bool) *Handle {
-	req := s.ctx.c.inner.OrderedWrite(s.ctx.p, s.id, lba, blocks, 0, nil, boundary, flush, ipu)
+	req := s.ctx.in.OrderedWrite(s.ctx.p, s.id, lba, blocks, 0, nil, boundary, flush, ipu)
 	return &Handle{ctx: s.ctx, req: req}
 }
 
 // WriteOrderless submits a write with no ordering guarantee.
 func (ctx *Ctx) WriteOrderless(lba uint64, blocks uint32) *Handle {
-	req := ctx.c.inner.OrderlessWrite(ctx.p, 0, lba, blocks, 0, nil)
+	req := ctx.in.OrderlessWrite(ctx.p, 0, lba, blocks, 0, nil)
 	return &Handle{ctx: ctx, req: req}
 }
 
 // Read performs a synchronous read.
 func (ctx *Ctx) Read(lba uint64, blocks uint32) []ssd.Rec {
-	return ctx.c.inner.Read(ctx.p, lba, blocks)
+	return ctx.in.Read(ctx.p, lba, blocks)
 }
 
 // Flush issues a standalone device FLUSH barrier (block-reuse fallback).
-func (ctx *Ctx) Flush() { ctx.c.inner.FlushDevice(ctx.p, 0) }
+func (ctx *Ctx) Flush() { ctx.in.FlushDevice(ctx.p, 0) }
 
 // PowerCut models a whole-cluster power failure: volatile state is lost,
 // media and PMR survive.
@@ -249,6 +273,10 @@ func (c *Cluster) PowerCut() { c.inner.PowerCutAll() }
 // PowerCutTarget crashes a single target server.
 func (c *Cluster) PowerCutTarget(i int) { c.inner.PowerCutTarget(i) }
 
+// PowerCutInitiator crashes a single initiator server; the other
+// initiators' ordering domains continue undisturbed.
+func (c *Cluster) PowerCutInitiator(i int) { c.inner.PowerCutInitiator(i) }
+
 // Report is the recovery outcome: per-stream durable prefixes.
 type Report struct {
 	inner  *core.Report
@@ -256,9 +284,14 @@ type Report struct {
 }
 
 // DurablePrefix returns the highest group seq of the stream for which all
-// preceding groups are durable (the §4.8 prefix).
+// preceding groups are durable (the §4.8 prefix), for initiator 0.
 func (r *Report) DurablePrefix(stream int) uint64 {
 	return r.inner.Prefix(uint16(stream))
+}
+
+// DurablePrefixFor returns the durable prefix of one initiator's stream.
+func (r *Report) DurablePrefixFor(initiator, stream int) uint64 {
+	return r.inner.PrefixFor(uint16(initiator), uint16(stream))
 }
 
 // Recover runs initiator recovery (§4.4.1) after PowerCut and returns the
@@ -268,10 +301,17 @@ func (ctx *Ctx) Recover() *Report {
 	return &Report{inner: rep, Timing: tm}
 }
 
-// RecoverTarget repairs a single crashed target by replaying in-flight
-// requests (§4.4.1 target recovery).
+// RecoverTarget repairs a single crashed target: every surviving
+// initiator replays its own in-flight requests (§4.4.1 target recovery).
 func (ctx *Ctx) RecoverTarget(i int) *Report {
 	rep, tm := ctx.c.inner.RecoverTarget(ctx.p, i)
+	return &Report{inner: rep, Timing: tm}
+}
+
+// RecoverInitiator recovers a single crashed initiator from its own PMR
+// partitions; no other initiator's state is read or rolled back.
+func (ctx *Ctx) RecoverInitiator(i int) *Report {
+	rep, tm := ctx.c.inner.RecoverInitiator(ctx.p, i)
 	return &Report{inner: rep, Timing: tm}
 }
 
