@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-gate examples ci
+.PHONY: all build test race vet fmt fmt-check staticcheck lint bench bench-json bench-gate examples ci
 
 all: build test
 
@@ -23,13 +24,28 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Static analysis beyond vet. Skips with a notice when the binary is not
+# installed, UNLESS STATICCHECK_REQUIRED=1 (CI sets it after installing,
+# so a PATH problem fails the gate instead of silently passing).
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	elif [ -n "$(STATICCHECK_REQUIRED)" ]; then \
+		echo "staticcheck required but not installed"; exit 1; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# The lint gate CI runs: formatting, vet, staticcheck.
+lint: fmt-check vet staticcheck
+
 # Quick smoke of every experiment (same command CI runs).
 bench: build
 	$(GO) run ./cmd/riobench -exp all -quick
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale -quick -json BENCH_3.json
+	$(GO) run ./cmd/riobench -exp scale,replication -quick -json BENCH_4.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).
@@ -37,10 +53,10 @@ examples: build
 	@set -e; for d in examples/*/; do \
 		echo "== go run ./$$d"; $(GO) run ./$$d; done
 
-# The CI perf gate: run the scale experiment fresh and fail on >10%
+# The CI perf gate: run the gated experiments fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
 bench-gate: build
-	$(GO) run ./cmd/riobench -exp scale -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/riobench -exp scale,replication -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
-ci: fmt-check vet build race bench bench-gate examples
+ci: lint build race bench bench-gate examples

@@ -33,14 +33,18 @@ type gate struct {
 }
 
 // gates are the metrics ISSUE acceptance tracks PR-over-PR: throughput at
-// the top of the sweep, hot-path allocations, tail latency, and the
+// the top of the sweep, hot-path allocations, tail latency, the
 // completion-path coalescing headline (capsules per op must not creep
-// back toward one-per-command).
+// back toward one-per-command), and the replication headlines — 3-way
+// throughput at fixed hardware and the worst failover blip when a
+// replica member is power-cut mid-measurement.
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
 	{"scale.rio.p99_us", false},
 	{"scale.rio.completion_msgs_per_op", false},
+	{"replication.rio.kiops.r3", true},
+	{"replication.rio.failover_blip_us", false},
 }
 
 // check compares one gated metric. For higher-is-better metrics a

@@ -12,6 +12,8 @@ func baseMetrics() map[string]float64 {
 		"scale.rio.allocs_per_req":         0,
 		"scale.rio.p99_us":                 90,
 		"scale.rio.completion_msgs_per_op": 0.8,
+		"replication.rio.kiops.r3":         630,
+		"replication.rio.failover_blip_us": 100,
 	}
 }
 
@@ -44,6 +46,8 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"p99 +12%", "scale.rio.p99_us", 90 * 1.12},
 		{"allocs reappear", "scale.rio.allocs_per_req", 0.5},
 		{"cpl msgs/op +15% (coalescing decays)", "scale.rio.completion_msgs_per_op", 0.8 * 1.15},
+		{"3-way replication throughput -12%", "replication.rio.kiops.r3", 630 * 0.88},
+		{"failover blip +20% (degraded path slows)", "replication.rio.failover_blip_us", 100 * 1.20},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()

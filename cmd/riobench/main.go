@@ -7,7 +7,7 @@
 //	riobench -list
 //	riobench -exp fig10b
 //	riobench -exp all -quick
-//	riobench -exp scale -quick -json BENCH_1.json
+//	riobench -exp scale,replication -quick -json BENCH_4.json
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -53,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := bench.Options{Quick: *quick, Seed: *seed}
-	names := []string{*exp}
+	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = bench.Names()
 	}

@@ -1,0 +1,102 @@
+// Replication: every stream's ordered writes fan out to a replica set
+// of R targets, each replica enforcing Rio's ordering invariants
+// independently (own dense ServerIdx chain, own PMR log, own in-order
+// gate), with completions delivered at write quorum. The demo shows the
+// three properties the subsystem exists for:
+//
+//  1. Redundancy without losing ordering: a committed write is durable
+//     and byte-identical on a quorum of members.
+//  2. Stall-free failover: power-cutting one member mid-stream stalls
+//     no stream — survivors keep completing at quorum while the set
+//     runs degraded (epoch-marked in the survivors' PMR).
+//  3. Background resync: the member rejoins by replaying the delta it
+//     missed from a peer replica's media, after which all members hold
+//     byte-identical content again.
+//
+// Run: go run ./examples/replication
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/rio"
+)
+
+func main() {
+	c := rio.NewCluster(rio.Options{
+		Seed:     21,
+		Streams:  4,
+		Replicas: 3, // one set of three mirrored targets
+		Targets: []rio.TargetSpec{
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+		},
+	})
+	defer c.Close()
+	fmt.Printf("replica sets: %d, members per set: %v, write quorum: %d\n",
+		c.ReplicaSets(), c.SetMembers(0), c.WriteQuorum())
+
+	// Phase 1: ordered writes land on every member.
+	c.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(0)
+		for g := 0; g < 100; g++ {
+			h := s.Close(uint64(g), 1)
+			if g == 99 {
+				h.Wait()
+			}
+		}
+	})
+	c.Run()
+	fmt.Println("phase 1: 100 ordered groups committed across the 3-way set")
+
+	// Phase 2: one member dies mid-stream; nothing stalls.
+	var handles []*rio.Handle
+	c.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(1)
+		for g := 0; g < 200; g++ {
+			handles = append(handles, s.Close(uint64(1<<20|g), 1))
+			ctx.Sleep(sim.Microsecond)
+		}
+	})
+	c.Engine().At(80*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	c.Run()
+	stalled := 0
+	for _, h := range handles {
+		if !h.Done() {
+			stalled++
+		}
+	}
+	fmt.Printf("phase 2: member 1 power-cut mid-stream; %d/200 writes stalled (in sync: %v, set epoch %d, resync backlog %d extents)\n",
+		stalled, c.InSync(1), c.SetEpoch(0), c.ResyncBacklog(1))
+	if stalled > 0 {
+		panic("replica failover stalled writes")
+	}
+
+	// Phase 3: background resync — the member replays the delta from a
+	// peer's media and rejoins; the set converges byte-identically.
+	c.Go(func(ctx *rio.Ctx) {
+		rep := ctx.RecoverTarget(1)
+		fmt.Printf("phase 3: member 1 resynced (peer PMR scan %v, delta copy %v, %d blocks replayed) — in sync: %v, set epoch %d\n",
+			rep.Timing.OrderRebuild, rep.Timing.DataRecovery, rep.Timing.Replayed,
+			c.InSync(1), c.SetEpoch(0))
+	})
+	c.Run()
+
+	// Verify convergence through the read path (any in-sync member).
+	c.Go(func(ctx *rio.Ctx) {
+		missing := 0
+		for g := 0; g < 200; g++ {
+			recs := ctx.Read(uint64(1<<20|g), 1)
+			if len(recs) == 0 || recs[0].Stamp == 0 {
+				missing++
+			}
+		}
+		fmt.Printf("phase 3: %d/200 of the failover-window writes readable after resync\n", 200-missing)
+		if missing > 0 {
+			panic("resynced set lost writes")
+		}
+	})
+	c.Run()
+}

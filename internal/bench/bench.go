@@ -77,20 +77,21 @@ type Runner func(Options) *Result
 
 // Experiments maps experiment IDs (DESIGN.md §5) to runners.
 var Experiments = map[string]Runner{
-	"fig2":     Fig2Motivation,
-	"fig3":     Fig3MergingCPU,
-	"fig10a":   func(o Options) *Result { return fig10(o, "fig10a", oneFlash(), []int{1, 2, 4, 8, 12}) },
-	"fig10b":   func(o Options) *Result { return fig10(o, "fig10b", oneOptane(), []int{1, 2, 4, 8, 12}) },
-	"fig10c":   func(o Options) *Result { return fig10(o, "fig10c", twoSSDOneTarget(), []int{1, 2, 4, 8, 12}) },
-	"fig10d":   func(o Options) *Result { return fig10(o, "fig10d", fourSSDTwoTargets(), []int{1, 2, 4, 8, 12}) },
-	"fig11":    Fig11WriteSizes,
-	"fig12":    Fig12BatchSizes,
-	"fig13":    Fig13Filesystem,
-	"fig14":    Fig14Breakdown,
-	"fig15a":   Fig15aVarmail,
-	"fig15b":   Fig15bRocksDB,
-	"recovery": RecoveryTimes,
-	"scale":    ScaleSweep,
+	"fig2":        Fig2Motivation,
+	"fig3":        Fig3MergingCPU,
+	"fig10a":      func(o Options) *Result { return fig10(o, "fig10a", oneFlash(), []int{1, 2, 4, 8, 12}) },
+	"fig10b":      func(o Options) *Result { return fig10(o, "fig10b", oneOptane(), []int{1, 2, 4, 8, 12}) },
+	"fig10c":      func(o Options) *Result { return fig10(o, "fig10c", twoSSDOneTarget(), []int{1, 2, 4, 8, 12}) },
+	"fig10d":      func(o Options) *Result { return fig10(o, "fig10d", fourSSDTwoTargets(), []int{1, 2, 4, 8, 12}) },
+	"fig11":       Fig11WriteSizes,
+	"fig12":       Fig12BatchSizes,
+	"fig13":       Fig13Filesystem,
+	"fig14":       Fig14Breakdown,
+	"fig15a":      Fig15aVarmail,
+	"fig15b":      Fig15bRocksDB,
+	"recovery":    RecoveryTimes,
+	"replication": ReplicationSweep,
+	"scale":       ScaleSweep,
 }
 
 // Names returns the experiment IDs in order.

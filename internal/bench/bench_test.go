@@ -7,7 +7,7 @@ import (
 
 func TestNamesComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig10a", "fig10b", "fig10c", "fig10d",
-		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp", "scale"}
+		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp", "scale", "replication"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v", names)
@@ -127,5 +127,45 @@ func TestScaleSweep(t *testing.T) {
 	}
 	if sc := r.Metrics["scale.rio.init_scaling"]; sc <= 1.5 {
 		t.Fatalf("1→4 initiator scaling = %.2fx, want > 1.5x at fixed targets", sc)
+	}
+}
+
+// TestReplicationSweep enforces the replication acceptance bars: the
+// redundancy tax is monotone (adding replicas at fixed hardware never
+// gains throughput), a mid-measurement replica power cut keeps
+// completions flowing (stall-free failover at majority quorum), the
+// background resync replays a real delta and leaves zero divergence,
+// and no per-replica ordering invariant breaks anywhere.
+func TestReplicationSweep(t *testing.T) {
+	r, err := Run("replication", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := r.Metrics["replication.rio.kiops.r1"]
+	r2 := r.Metrics["replication.rio.kiops.r2"]
+	r3 := r.Metrics["replication.rio.kiops.r3"]
+	if !(r1 > 0 && r2 > 0 && r3 > 0) {
+		t.Fatalf("replication throughput missing: r1=%v r2=%v r3=%v", r1, r2, r3)
+	}
+	if r3 > r1 || r2 > r1 {
+		t.Fatalf("replication gained throughput at fixed hardware: r1=%.1f r2=%.1f r3=%.1f", r1, r2, r3)
+	}
+	if f := r.Metrics["replication.rio.failover_kiops"]; f < r3/2 {
+		t.Fatalf("failover throughput %.1f kiops collapsed vs steady-state %.1f — streams stalled", f, r3)
+	}
+	if blip := r.Metrics["replication.rio.failover_blip_us"]; blip <= 0 {
+		t.Fatalf("failover blip = %v, want a measured worst latency", blip)
+	}
+	if amp := r.Metrics["replication.rio.completion_msgs_per_op.r3"]; amp <= 1 {
+		t.Fatalf("3-way completion msgs/op = %.2f, want > 1 (every member acks)", amp)
+	}
+	if n := r.Metrics["replication.rio.resync_blocks"]; n == 0 {
+		t.Fatal("resync replayed no blocks despite a degraded window")
+	}
+	if d := r.Metrics["replication.rio.resync_divergence"]; d != 0 {
+		t.Fatalf("%v blocks diverge across replicas after resync", d)
+	}
+	if v := r.Metrics["replication.rio.order_violations"]; v != 0 {
+		t.Fatalf("%v ordering-invariant violations across the replication sweep", v)
 	}
 }

@@ -1,0 +1,200 @@
+// Replication experiment: the repo's availability probe. A fixed fleet
+// of one-SSD Optane targets is regrouped into replica sets as R sweeps
+// 1→3 (R=1 is the unreplicated baseline and must reproduce the scale
+// experiment's behavior), measuring the redundancy tax on throughput
+// and the completion-message amplification of the fan-out. A second
+// phase power-cuts one member of a 3-way set mid-measurement: the
+// failover blip is the worst request latency of that window, the
+// degraded throughput proves no stream stalled, and a background resync
+// afterwards must leave the rejoined member byte-identical to a peer.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// replTargets builds n one-SSD Optane target servers.
+func replTargets(n int) []stack.TargetConfig {
+	out := make([]stack.TargetConfig, n)
+	for i := range out {
+		out[i] = stack.TargetConfig{SSDs: []ssd.Config{ssd.OptaneConfig()}}
+	}
+	return out
+}
+
+// replFleet is the fixed hardware budget of the sweep: 6 targets divide
+// evenly into sets of 1, 2 and 3.
+const replFleet = 6
+
+// runReplicationPoint measures one replica factor on the fixed fleet.
+// cutAt > 0 schedules a power cut of target `cutMember` at that
+// simulated time (failover phase); the returned cluster lets the caller
+// resync and audit afterwards.
+func runReplicationPoint(o Options, replicas int, cutAt sim.Time, cutMember int) (workload.BlockResult, *stack.Cluster, *sim.Engine) {
+	eng := sim.New(o.seed())
+	cfg := stack.DefaultConfig(stack.ModeRio, replTargets(replFleet)...)
+	cfg.Replicas = replicas
+	cfg.Streams = 4
+	cfg.QPs = 4
+	cfg.Fabric.NumQPs = 4
+	c := stack.New(eng, cfg)
+	warm, meas := o.windows()
+	if cutAt > 0 {
+		eng.At(cutAt, func() { c.PowerCutTarget(cutMember) })
+	}
+	r := workload.RunBlock(eng, c, workload.BlockJob{
+		Threads: 4, Pattern: workload.PatternRandom4K, Ordered: true,
+	}, warm, meas)
+	return r, c, eng
+}
+
+// replViolations audits the per-replica ordering invariants after a
+// run: dense ServerIdx chains at every member's gates, sequencer group
+// order advanced, and completions below submissions never negative.
+func replViolations(c *stack.Cluster) int {
+	v := 0
+	for ti := 0; ti < c.Targets(); ti++ {
+		v += c.Target(ti).GateAudit()
+	}
+	progressed := false
+	seq := c.Init(0).Sequencer()
+	for s := 0; s < seq.Streams(); s++ {
+		if seq.Stream(s).FullyDone() > 0 {
+			progressed = true
+		}
+	}
+	if !progressed {
+		v++
+	}
+	return v
+}
+
+// ReplicationSweep is the "replication" experiment.
+func ReplicationSweep(o Options) *Result {
+	res := &Result{Name: "replication: replica sets with quorum completion, stall-free failover, background resync"}
+	violations := 0
+
+	var tput, cplOp metrics.Series
+	tput.Label, cplOp.Label = "rio kiops", "cpl msgs/op"
+	for _, r := range []int{1, 2, 3} {
+		br, c, eng := runReplicationPoint(o, r, 0, 0)
+		violations += replViolations(c)
+		tput.Add(float64(r), br.KIOPS())
+		cplOp.Add(float64(r), br.Stats.CompletionMsgsPerOp())
+		res.Metric(fmt.Sprintf("replication.rio.kiops.r%d", r), br.KIOPS())
+		if r == 3 {
+			res.Metric("replication.rio.completion_msgs_per_op.r3", br.Stats.CompletionMsgsPerOp())
+			res.Metric("replication.rio.p99_us.r3", float64(br.Lat.P99())/1000)
+		}
+		eng.Shutdown()
+	}
+	res.Tables = append(res.Tables, metrics.Table(
+		fmt.Sprintf("replica-factor sweep (%d fixed targets, 4 streams, 4 KB random ordered write, majority quorum)", replFleet),
+		"replicas", tput, cplOp))
+
+	// Failover phase: cut one member of a 3-way set in the middle of the
+	// measurement window. Throughput must survive (no stream stalls at
+	// majority quorum) and the blip is the worst latency of the window.
+	warm, meas := o.windows()
+	cutAt := warm + meas/2
+	br, c, eng := runReplicationPoint(o, 3, cutAt, 1)
+	violations += replViolations(c)
+	res.Metric("replication.rio.failover_kiops", br.KIOPS())
+	res.Metric("replication.rio.failover_blip_us", br.MaxLatUS())
+	backlog := c.ResyncBacklog(1)
+	eng.Shutdown()
+
+	// Background resync on a bounded run (the RunBlock drivers write
+	// forever, so the resync phase uses its own finite workload): cut a
+	// member mid-stream, finish the writes degraded, resync, and verify
+	// the rejoined member converged byte-identically with a peer.
+	tm, diverged := runResyncPhase(o)
+	res.Metric("replication.rio.resync_blocks", float64(tm.Replayed))
+	res.Metric("replication.rio.resync_divergence", float64(diverged))
+	violations += diverged
+
+	res.Metric("replication.rio.order_violations", float64(violations))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("failover: member cut mid-measure kept %.1f kiops flowing, worst blip %.1f µs, %d extents queued for resync",
+			br.KIOPS(), br.MaxLatUS(), backlog),
+		fmt.Sprintf("resync replayed %d blocks from a peer replica; %d blocks diverged afterwards (must be 0)", tm.Replayed, diverged),
+		"R=1 runs the unreplicated code path; the redundancy tax is the r1→r3 throughput ratio at fixed hardware")
+	return res
+}
+
+// runResyncPhase drives a bounded degraded window and measures the
+// background resync: 4 streams write 150 groups each, member 1 dies a
+// third of the way in, the survivors finish at quorum, then the member
+// resyncs from a peer and the phase reports the replay volume plus any
+// post-resync divergence (which must be zero).
+func runResyncPhase(o Options) (stack.RecoveryTiming, int) {
+	eng := sim.New(o.seed())
+	cfg := stack.DefaultConfig(stack.ModeRio, replTargets(3)...)
+	cfg.Replicas = 3
+	cfg.Streams = 4
+	cfg.QPs = 4
+	cfg.Fabric.NumQPs = 4
+	c := stack.New(eng, cfg)
+	const groups = 150
+	for s := 0; s < 4; s++ {
+		s := s
+		eng.Go(fmt.Sprintf("resync/app%d", s), func(p *sim.Proc) {
+			for g := 0; g < groups; g++ {
+				r := c.OrderedWrite(p, s, uint64(s*100000+g), 1, 0, nil, true, false, false)
+				c.Wait(p, r)
+			}
+		})
+	}
+	eng.At(100*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	eng.Run()
+	var tm stack.RecoveryTiming
+	eng.Go("resync/recover", func(p *sim.Proc) { _, tm = c.RecoverTarget(p, 1) })
+	eng.Run()
+	diverged := replDivergence(c, 1)
+	eng.Shutdown()
+	return tm, diverged
+}
+
+// replDivergence compares the durable content of the rejoined member
+// against a peer replica across every written LBA of its set's device,
+// returning the number of diverging blocks (0 = byte-identical).
+func replDivergence(c *stack.Cluster, member int) int {
+	set := c.SetOf(member)
+	peer := -1
+	for _, m := range c.SetMembers(set) {
+		if m != member {
+			peer = m
+			break
+		}
+	}
+	if peer < 0 {
+		return 0
+	}
+	bad := 0
+	for ssdIdx := 0; ; ssdIdx++ {
+		if ssdIdx >= 1 { // replTargets builds one-SSD targets
+			break
+		}
+		ps := c.Target(peer).SSD(ssdIdx)
+		ms := c.Target(member).SSD(ssdIdx)
+		for _, lba := range ps.DurableLBAs() {
+			prec, _ := ps.Durable(lba)
+			mrec, ok := ms.Durable(lba)
+			if !ok || mrec.Stamp != prec.Stamp {
+				bad++
+			}
+		}
+		for _, lba := range ms.DurableLBAs() {
+			if _, ok := ps.Durable(lba); !ok {
+				bad++ // member holds a block the peer rolled back or never had
+			}
+		}
+	}
+	return bad
+}

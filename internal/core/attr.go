@@ -53,6 +53,38 @@ type Attr struct {
 	Split    bool
 	SplitIdx uint16 // fragment number, 0-based
 	SplitCnt uint16 // total fragments of the original request
+
+	// EpochMark tags a replication membership-change record instead of a
+	// write: when a replica set degrades (a member is power-cut) or a
+	// resynced member rejoins, the surviving members persist a mark so the
+	// degraded window is evidenced in the PMR. Marks are not ordering
+	// evidence — recovery analysis skips them. For a mark, Stream holds the
+	// replica-set id, SeqStart the new set epoch and LBA the member id.
+	EpochMark bool
+}
+
+// EpochMarkAttr builds the degraded-set epoch mark persisted by surviving
+// replicas on a membership change: set is the replica-set id, epoch the
+// set's new membership epoch, and member the target that left or rejoined.
+func EpochMarkAttr(initiator uint16, set int, epoch int, member int) Attr {
+	return Attr{
+		Initiator: initiator,
+		Stream:    uint16(set),
+		SeqStart:  uint64(epoch),
+		SeqEnd:    uint64(epoch),
+		LBA:       uint64(member),
+		EpochMark: true,
+	}
+}
+
+// MajorityQuorum returns the write quorum for a replica factor r under
+// the majority rule: floor(r/2)+1, so one member of a 3-way set may fail
+// without stalling completions.
+func MajorityQuorum(r int) int {
+	if r <= 1 {
+		return 1
+	}
+	return r/2 + 1
 }
 
 // Merged reports whether the attribute covers more than one group.
@@ -62,6 +94,9 @@ func (a Attr) Merged() bool { return a.SeqEnd > a.SeqStart }
 func (a Attr) Covers(seq uint64) bool { return a.SeqStart <= seq && seq <= a.SeqEnd }
 
 func (a Attr) String() string {
+	if a.EpochMark {
+		return fmt.Sprintf("epoch-mark set%d epoch%d member%d", a.Stream, a.SeqStart, a.LBA)
+	}
 	s := fmt.Sprintf("st%d seq%d", a.Stream, a.SeqStart)
 	if a.Merged() {
 		s = fmt.Sprintf("st%d seq%d-%d", a.Stream, a.SeqStart, a.SeqEnd)
@@ -82,6 +117,8 @@ func (a Attr) String() string {
 // group — and split requests never merge.
 func CanMerge(a, b Attr) bool {
 	switch {
+	case a.EpochMark || b.EpochMark:
+		return false // membership marks are not requests
 	case a.Initiator != b.Initiator:
 		return false // ordering domains never merge across initiators
 	case a.Stream != b.Stream:

@@ -18,6 +18,7 @@ const (
 	flagIPU
 	flagSplit
 	flagPersist
+	flagEpochMark
 )
 
 // Entry is a decoded persistent ordering attribute plus its persist state.
@@ -69,6 +70,9 @@ func encodeEntry(buf []byte, e Entry) {
 	if e.Persist {
 		flags |= flagPersist
 	}
+	if e.EpochMark {
+		flags |= flagEpochMark
+	}
 	le.PutUint16(buf[46:], flags)
 	le.PutUint16(buf[48:], e.SplitIdx)
 	le.PutUint16(buf[50:], e.SplitCnt)
@@ -105,6 +109,7 @@ func decodeEntry(buf []byte) (Entry, bool) {
 	e.IPU = flags&flagIPU != 0
 	e.Split = flags&flagSplit != 0
 	e.Persist = flags&flagPersist != 0
+	e.EpochMark = flags&flagEpochMark != 0
 	e.SplitIdx = le.Uint16(buf[48:])
 	e.SplitCnt = le.Uint16(buf[50:])
 	e.NS = le.Uint16(buf[52:])

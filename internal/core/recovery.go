@@ -26,8 +26,13 @@ type ServerView struct {
 // ServerIdx were retired (completed in order) and are implicitly durable;
 // callers rely on the in-order-append invariant for that.
 func DurableSet(v ServerView) (durable, uncertain []Entry) {
+	// Replication membership marks are not write evidence: they record a
+	// replica set's degraded windows, never data durability.
 	if v.PLP {
 		for _, e := range v.Entries {
+			if e.EpochMark {
+				continue
+			}
 			if e.Persist {
 				durable = append(durable, e)
 			} else {
@@ -47,6 +52,9 @@ func DurableSet(v ServerView) (durable, uncertain []Entry) {
 		}
 	}
 	for _, e := range v.Entries {
+		if e.EpochMark {
+			continue
+		}
 		k := StreamKey{e.Initiator, e.Stream}
 		if e.Persist || (flushIdx[k] > 0 && e.ServerIdx <= flushIdx[k]) {
 			durable = append(durable, e)
@@ -237,7 +245,7 @@ func Analyze(views []ServerView) *Report {
 			if e.SeqEnd <= prefix {
 				continue
 			}
-			k := entryKey{e.ReqID, e.SplitIdx, e.LBA}
+			k := entryKey{e.ReqID, e.SplitIdx, e.LBA, e.Server}
 			if seen[k] {
 				continue
 			}
@@ -259,10 +267,15 @@ func Analyze(views []ServerView) *Report {
 	return rep
 }
 
+// entryKey dedups beyond-prefix entries for the discard list. The server
+// is part of the identity: under replication the same logical write has
+// one PMR entry per replica, and roll-back must erase EVERY replica's
+// copy (a stale block surviving on one member would diverge the set).
 type entryKey struct {
 	reqID    uint32
 	splitIdx uint16
 	lba      uint64
+	server   int
 }
 
 func lessEntry(a, b Entry) bool {
@@ -272,7 +285,10 @@ func lessEntry(a, b Entry) bool {
 	if a.ReqID != b.ReqID {
 		return a.ReqID < b.ReqID
 	}
-	return a.SplitIdx < b.SplitIdx
+	if a.SplitIdx != b.SplitIdx {
+		return a.SplitIdx < b.SplitIdx
+	}
+	return a.Server < b.Server
 }
 
 // groupDurable decides whether every request of a group is durable.

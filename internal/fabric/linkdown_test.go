@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Link-down edge cases: what a replica power cut leans on. A message
+// sent in the Disconnect..Reconnect window must be dropped WHOLE — no
+// late delivery after Reconnect, no handler invocation, counted exactly
+// once — and a queue pair's FIFO property must hold across a reconnect
+// for the messages that were actually delivered.
+
+func TestSendsBetweenDisconnectAndReconnectDroppedWhole(t *testing.T) {
+	e := sim.New(7)
+	c := NewConn(e, testCfg(2))
+	var delivered []int
+	c.SetHandler(Target, func(m Message) { delivered = append(delivered, m.Payload.(int)) })
+
+	// Phase 1: live traffic, fully delivered.
+	e.At(0, func() {
+		c.Send(Initiator, Message{QP: 0, Size: 64, Payload: 1})
+		c.Send(Initiator, Message{QP: 1, Size: 64, Payload: 2})
+	})
+	e.Run()
+	if len(delivered) != 2 {
+		t.Fatalf("live phase delivered %d, want 2", len(delivered))
+	}
+
+	// Phase 2: the window. Every send between Disconnect and Reconnect
+	// dies, whatever its QP, size or spacing — and dies whole: nothing
+	// may surface after the reconnect either.
+	c.Disconnect()
+	droppedBefore := c.Stats(Target).Dropped
+	e.At(0, func() {
+		c.Send(Initiator, Message{QP: 0, Size: 64, Payload: 100})
+		c.Send(Initiator, Message{QP: 1, Size: 1 << 18, Payload: 101})
+	})
+	e.At(50, func() { c.Send(Initiator, Message{QP: 0, Size: 64, Payload: 102}) })
+	e.Run()
+	c.Reconnect()
+	e.At(0, func() { c.Send(Initiator, Message{QP: 0, Size: 64, Payload: 3}) })
+	e.Run()
+
+	for _, p := range delivered {
+		if p >= 100 {
+			t.Fatalf("message %d sent while down surfaced after reconnect", p)
+		}
+	}
+	if got := c.Stats(Target).Dropped - droppedBefore; got != 3 {
+		t.Fatalf("window sends counted dropped = %d, want 3 (each exactly once)", got)
+	}
+	if delivered[len(delivered)-1] != 3 {
+		t.Fatalf("post-reconnect message lost: %v", delivered)
+	}
+	e.Shutdown()
+}
+
+func TestPerQPFIFOPreservedAcrossReconnect(t *testing.T) {
+	e := sim.New(9)
+	cfg := testCfg(2)
+	cfg.QPJitterMax = 3000 // stress the per-QP ordering clamp
+	c := NewConn(e, cfg)
+	got := map[int][]int{}
+	c.SetHandler(Target, func(m Message) {
+		pair := m.Payload.([2]int)
+		got[pair[0]] = append(got[pair[0]], pair[1])
+	})
+
+	// Epoch A: interleaved traffic on both QPs.
+	e.At(0, func() {
+		for i := 0; i < 20; i++ {
+			c.Send(Initiator, Message{QP: i % 2, Size: 256, Payload: [2]int{i % 2, i}})
+		}
+	})
+	e.Run()
+
+	// Cut and reconnect: QP delivery clocks reset, a fresh epoch begins.
+	c.Disconnect()
+	c.Reconnect()
+
+	// Epoch B: more traffic on the same QPs, tagged beyond epoch A.
+	e.At(0, func() {
+		for i := 100; i < 120; i++ {
+			c.Send(Initiator, Message{QP: i % 2, Size: 256, Payload: [2]int{i % 2, i}})
+		}
+	})
+	e.Run()
+
+	// Within each QP, every delivered message must be in send order —
+	// including across the reconnect boundary (epoch A strictly before
+	// epoch B, monotone within each).
+	for qp, seq := range got {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] <= seq[i-1] {
+				t.Fatalf("QP %d delivery out of FIFO order across reconnect: %v", qp, seq)
+			}
+		}
+	}
+	if len(got[0]) != 20 || len(got[1]) != 20 {
+		t.Fatalf("delivered %d/%d per QP, want 20/20 (nothing sent while up may vanish)",
+			len(got[0]), len(got[1]))
+	}
+	e.Shutdown()
+}
+
+func TestDisconnectDuringBulkTransferFails(t *testing.T) {
+	e := sim.New(11)
+	c := NewConn(e, testCfg(1))
+	var ok bool
+	var returned bool
+	e.Go("reader", func(p *sim.Proc) {
+		// Huge transfer: the disconnect lands mid-flight and the one-sided
+		// READ must report failure rather than hang or succeed.
+		ok = c.BulkRead(p, Target, 1<<22)
+		returned = true
+	})
+	e.At(10, func() { c.Disconnect() })
+	e.Run()
+	if !returned {
+		t.Fatal("BulkRead hung across a disconnect")
+	}
+	if ok {
+		t.Fatal("BulkRead reported success despite mid-transfer disconnect")
+	}
+	e.Shutdown()
+}

@@ -14,6 +14,7 @@ package ssd
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -517,6 +518,19 @@ func (s *SSD) Durable(lba uint64) (Rec, bool) {
 
 // History returns the durable write history of lba (KeepHistory mode).
 func (s *SSD) History(lba uint64) []Rec { return s.media[lba] }
+
+// DurableLBAs returns the sorted list of LBAs holding durable content —
+// replication uses it to compare replica media for divergence.
+func (s *SSD) DurableLBAs() []uint64 {
+	out := make([]uint64, 0, len(s.media))
+	for lba, h := range s.media {
+		if len(h) > 0 {
+			out = append(out, lba)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Discard rolls lba back past any durable record with the given stamp,
 // modelling recovery erasing an out-of-place block. It reports whether a

@@ -41,6 +41,12 @@ type wireState struct {
 	// the commands still share one capsule, doorbell and PMR burst. Each
 	// attribute keeps its own PMR entry, so recovery is unchanged.
 	vecAttrs []core.Attr
+
+	// repl tracks the replica fan-out of this command (nil until the
+	// cluster runs with Replicas > 1): per-member SQEs and chain indices,
+	// and the quorum/resolution accounting. Allocated lazily and recycled
+	// with the wireState.
+	repl *replState
 }
 
 // reset prepares a (fresh or recycled) wireState for a new command,
@@ -62,6 +68,9 @@ func (ws *wireState) reset() {
 		Stamps: ws.wcs.Stamps[:0],
 		Reqs:   ws.wcs.Reqs[:0],
 	}
+	if ws.repl != nil {
+		ws.repl.reset()
+	}
 }
 
 // retire is a piggybacked watermark: all PMR entries of stream with
@@ -81,25 +90,36 @@ type ctrlReq struct {
 
 // capsule is the payload of one RDMA SEND toward a target: a posted list
 // of commands (and/or control entries) sharing one doorbell. epoch is
-// the sending initiator's incarnation.
+// the sending initiator's incarnation. On a replicated cluster a command
+// capsule is one member's copy of the fan-out: member names the target
+// it is addressed to, and sqes/attrs carry that member's per-replica
+// encodings (the shared wireState's sqe is not used — each replica runs
+// its own dense ServerIdx chain).
 type capsule struct {
 	cmds    []*wireState
 	ctrl    []*ctrlReq
 	retires []retire
 	inline  int
 	epoch   int
+
+	member int           // replication: destination member (sqes != nil)
+	sqes   []nvmeof.SQE  // replication: per-command member SQEs
+	attrs  [][]core.Attr // replication: per-command member attributes
 }
 
 // completionMsg is the payload of one SEND back to an initiator: a
 // coalesced response capsule of vector-marked CQEs (one with CQECoalesce
 // off), or a batch of Horae control-path acks. qp routes the capsule to
 // the shard that owns the queue pair's completion reaping; the initiator
-// is implied by the connection.
+// is implied by the connection. from is the responding target server —
+// under replication the quorum accounting needs to know WHICH member of
+// the set acked.
 type completionMsg struct {
 	cqes     []nvmeof.CQE
 	ctrlAcks []*ctrlReq
 	qp       int
 	epoch    int
+	from     int
 }
 
 // horaeStage buffers a group's control entries and data requests until the
@@ -193,6 +213,13 @@ type Cluster struct {
 	vol     *blockdev.Volume
 	targets []*Target
 	inits   []*Initiator
+
+	// Replication topology (Replicas > 1): the volume stripes over
+	// replica SETS of consecutive targets; setOf maps a target id to its
+	// set, and writeQuorum is the resolved completion quorum.
+	replSets    []*replicaSet
+	setOf       []int
+	writeQuorum int
 }
 
 type fuseTail struct {
@@ -211,16 +238,44 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.Initiators <= 0 {
 		cfg.Initiators = 1
 	}
+	validateReplication(cfg)
 	c := &Cluster{Eng: eng, cfg: cfg, costs: cfg.Costs}
 	if c.cfg.CQECoalesce && c.cfg.CQEBatch <= 0 {
 		c.cfg.CQEBatch = 16
+	}
+	c.writeQuorum = 1
+	if r := c.cfg.Replicas; r > 1 {
+		c.writeQuorum = c.cfg.WriteQuorum
+		if c.writeQuorum == 0 {
+			c.writeQuorum = core.MajorityQuorum(r)
+		}
 	}
 	var devs []blockdev.DevRef
 	for ti, tc := range c.cfg.Targets {
 		t := newTarget(c, ti, tc)
 		c.targets = append(c.targets, t)
+		if c.cfg.Replicas > 1 && ti%c.cfg.Replicas != 0 {
+			continue // the volume stripes over replica sets, not members
+		}
+		server := ti
+		if c.cfg.Replicas > 1 {
+			server = ti / c.cfg.Replicas
+		}
 		for si := range t.ssds {
-			devs = append(devs, blockdev.DevRef{Server: ti, SSD: si, Blocks: c.cfg.DeviceBlocks})
+			devs = append(devs, blockdev.DevRef{Server: server, SSD: si, Blocks: c.cfg.DeviceBlocks})
+		}
+	}
+	if r := c.cfg.Replicas; r > 1 {
+		c.setOf = make([]int, len(c.targets))
+		for s := 0; s < len(c.targets)/r; s++ {
+			rs := &replicaSet{id: s}
+			for k := 0; k < r; k++ {
+				rs.members = append(rs.members, s*r+k)
+				rs.inSync = append(rs.inSync, true)
+				c.setOf[s*r+k] = s
+			}
+			rs.dirty = make([][]dirtyExtent, r)
+			c.replSets = append(c.replSets, rs)
 		}
 	}
 	c.vol = blockdev.NewVolume(devs, c.cfg.ChunkBlocks)

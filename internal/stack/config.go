@@ -119,6 +119,19 @@ type Config struct {
 	Streams int // rio_setup stream count per initiator (also Horae streams)
 	QPs     int // queue pairs per (initiator, target) connection
 
+	// Replicas groups the target fleet into replica sets of this size
+	// (consecutive targets form a set; len(Targets) must divide evenly).
+	// The volume stripes over sets, every ordered write fans out to all
+	// in-sync members with per-replica dense ServerIdx chains, and
+	// completions deliver at WriteQuorum. 0 or 1 = no replication
+	// (byte-identical to the unreplicated stack). Rio mode only.
+	Replicas int
+	// WriteQuorum is the member acks required before a completion is
+	// delivered: 0 selects the majority rule (floor(R/2)+1, stall-free
+	// under a single member failure), Replicas selects full-set
+	// durability (a member power cut then stalls writes until resync).
+	WriteQuorum int
+
 	Fabric fabric.Config
 	Costs  CostModel
 

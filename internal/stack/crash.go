@@ -69,6 +69,13 @@ func (c *Cluster) PowerCutTarget(i int) {
 			t.cqeInflight[init][qp] = 0
 		}
 	}
+	// Replication: the set degrades instead of the streams stalling —
+	// survivors keep completing at quorum, the member's missed writes
+	// accumulate in its resync backlog, and in-flight commands stop
+	// waiting for an ack this member can never send.
+	if c.cfg.Replicas > 1 {
+		c.degradeMember(i)
+	}
 }
 
 // PowerCutInitiator crashes initiator server i: its volatile state
@@ -195,6 +202,19 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 
 	start = p.Now()
 	tm.Discarded = c.rollback(p, report, -1)
+	if c.cfg.Replicas > 1 {
+		// Re-replicate within-prefix groups that survived on a quorum but
+		// not on every member, so the sets converge byte-identically, and
+		// restore full membership for the next incarnation.
+		tm.Replayed = c.replicaRepair(p, views, report)
+		for _, rs := range c.replSets {
+			for k := range rs.inSync {
+				rs.inSync[k] = true
+				rs.dirty[k] = nil
+			}
+			rs.epoch++
+		}
+	}
 	tm.DataRecovery = p.Now() - start
 
 	// Fresh ordering state for the next incarnation.
@@ -318,6 +338,11 @@ func (c *Cluster) rollback(p *sim.Proc, report *core.Report, onlyServer int) int
 // toward the failed target — one initiator at a time, each with its own
 // freshly reset per-server chains. Replay is idempotent.
 func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTiming) {
+	if c.cfg.Replicas > 1 {
+		// Replication: target recovery is a background resync from a peer
+		// replica; no initiator replays anything and no stream stalled.
+		return c.resyncTarget(p, i)
+	}
 	var tm RecoveryTiming
 	t := c.targets[i]
 	t.alive = true

@@ -226,6 +226,22 @@ func (in *Initiator) deliver(req *blockdev.Request) {
 			if ws.pendingRq != 0 {
 				continue
 			}
+			if ws.repl != nil {
+				// Replicated command: advance the retire watermark of every
+				// member that acked by now (laggard acks advance their own in
+				// replAck), and recycle only once all members resolved.
+				for k, m := range ws.repl.members {
+					if !ws.repl.got[k] || ws.repl.idx[k] == 0 {
+						continue
+					}
+					key := [2]int{ws.stream, m}
+					if ws.repl.idx[k] > in.retireMark[key] {
+						in.retireMark[key] = ws.repl.idx[k]
+					}
+				}
+				in.maybeRecycleRepl(ws)
+				continue
+			}
 			if ws.serverIdx > 0 {
 				k := [2]int{ws.stream, ws.target}
 				if ws.serverIdx > in.retireMark[k] {
@@ -495,7 +511,13 @@ func contigFuse(a, b *blockdev.WireCmd, maxBlocks int) bool {
 }
 
 // assignOrderState stamps per-server indices (Rio) and encodes the SQEs.
+// On a replicated cluster each in-sync member of the set gets its own
+// dense chain index and SQE encoding (assignReplicated).
 func (in *Initiator) assignOrderState(wires []*wireState) {
+	if in.cfg.Replicas > 1 {
+		in.assignReplicated(wires)
+		return
+	}
 	for _, ws := range wires {
 		if ws.flushWire {
 			continue
@@ -536,6 +558,10 @@ func (in *Initiator) assignOrderState(wires []*wireState) {
 // recycled (their origin requests count this unposted fragment), so the
 // pre-built lists stay valid across the posting yields.
 func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
+	if in.cfg.Replicas > 1 {
+		in.postReplicated(p, wires, stream)
+		return
+	}
 	in.stats.WireCmds += int64(len(wires))
 	caps := make([]*capsule, len(in.targets))
 	for _, ws := range wires {
@@ -609,26 +635,39 @@ func (in *Initiator) reapLoop(p *sim.Proc, sh *shard) {
 			if ws == nil || ws.epoch != in.epoch {
 				continue
 			}
+			if ws.repl != nil {
+				// Replicated command: quorum accounting per member ack.
+				in.replAck(p, ws, msg.from)
+				continue
+			}
 			delete(in.outstanding, id)
 			ws.hwDone.Fire()
-			// Snapshot the origin requests: the final delivery below may
-			// recycle ws (and reset its slices) while we iterate.
-			reqs := ws.wc.Reqs
-			for _, req := range reqs {
-				if !req.FragmentDone() {
-					continue
-				}
-				req.CompleteAt = p.Now()
-				in.stats.Completed++
-				switch {
-				case req.Ordered && (in.cfg.Mode == ModeRio || in.cfg.Mode == ModeHorae):
-					in.seq.Stream(req.Stream).Completed(req.Ticket.Attr.ReqID)
-				case req.Ordered && in.cfg.Mode == ModeLinux:
-					// submitLinux fires Done itself after the flush.
-				default:
-					in.deliver(req)
-				}
-			}
+			in.deliverCompletions(p, ws)
+		}
+	}
+}
+
+// deliverCompletions fans one hardware-complete wire command's fragments
+// back to its origin requests and runs the mode-appropriate delivery
+// protocol. Shared by the single-copy reap path, the replication quorum
+// fire and the resync late-ack fire, so the three stay in lockstep. It
+// snapshots the origin requests first: the final delivery may recycle
+// ws (and reset its slices) while iterating.
+func (in *Initiator) deliverCompletions(p *sim.Proc, ws *wireState) {
+	reqs := ws.wc.Reqs
+	for _, req := range reqs {
+		if !req.FragmentDone() {
+			continue
+		}
+		req.CompleteAt = p.Now()
+		in.stats.Completed++
+		switch {
+		case req.Ordered && (in.cfg.Mode == ModeRio || in.cfg.Mode == ModeHorae):
+			in.seq.Stream(req.Stream).Completed(req.Ticket.Attr.ReqID)
+		case req.Ordered && in.cfg.Mode == ModeLinux:
+			// submitLinux fires Done itself after the flush.
+		default:
+			in.deliver(req)
 		}
 	}
 }

@@ -217,7 +217,13 @@ func (in *Initiator) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
 	for _, ext := range in.vol.Extents(lba, blocks) {
 		ext := ext
 		ref := in.vol.Dev(ext.Dev)
-		t := in.targets[ref.Server]
+		// Replication: reads are served from any in-sync member of the
+		// set (readReplica picks the lowest; -1 means the set is down).
+		ti := in.c.readReplica(ref.Server)
+		if ti < 0 {
+			continue
+		}
+		t := in.targets[ti]
 		if !t.alive {
 			continue
 		}
@@ -303,8 +309,14 @@ func (in *Initiator) newFlushWire(d, stream int) *wireState {
 
 // putFlushWires recycles standalone flush commands once their waits have
 // returned (they carry no requests, so delivery never recycles them).
+// Replicated flushes may still await straggler member acks; they recycle
+// via finalizeRepl instead.
 func (in *Initiator) putFlushWires(states []*wireState) {
 	for _, ws := range states {
+		if ws.repl != nil {
+			in.maybeRecycleRepl(ws)
+			continue
+		}
 		if ws.epoch == in.epoch {
 			in.shards[ws.stream].putWire(in, ws)
 		}

@@ -1,0 +1,736 @@
+package stack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Replication maps each stream's server-striping onto replica sets of R
+// target servers: the logical volume stripes over SETS, and the dispatch
+// path fans every vectored batch to every in-sync member of the set with
+// the same ordering attributes but per-replica dense ServerIdx chains,
+// so RIO's per-(initiator, stream) ordering invariants hold on every
+// replica independently (per-replica PMR append, per-replica in-order
+// gate). The sequencer delivers a completion once a write quorum of
+// members acked; reads are served from any in-sync member. A power-cut
+// member degrades the set (survivors keep completing at quorum, the
+// degraded window is evidenced by epoch marks in the survivors' PMR) and
+// rejoins via background resync: the delta it missed is replayed from a
+// peer replica's PMR+media before the set epoch advances again.
+
+// replicaSet is one group of R target servers holding identical block
+// content for its slice of the logical volume.
+type replicaSet struct {
+	id      int
+	members []int  // target ids, fixed at construction
+	inSync  []bool // parallel to members
+	epoch   int    // membership epoch: bumps on every degrade and rejoin
+
+	// dirty is, per member position, the background-resync backlog: the
+	// extents dispatched while that member was out of sync. Appends happen
+	// in the same no-yield region as the membership snapshot they were
+	// skipped from, so the resync drain loop can never miss one.
+	dirty [][]dirtyExtent
+}
+
+// dirtyExtent is one write a degraded member missed. The content is read
+// from an in-sync peer's media at copy time (latest wins, so re-copies
+// are idempotent); ws/wsID/init let the resync loop wait until every
+// replica of the originating command resolved, i.e. the content settled
+// on the peers' media.
+type dirtyExtent struct {
+	ssdIdx int
+	lba    uint64
+	blocks uint32
+	init   int
+	wsID   uint64
+	ws     *wireState
+}
+
+func (rs *replicaSet) pos(target int) int {
+	for k, m := range rs.members {
+		if m == target {
+			return k
+		}
+	}
+	return -1
+}
+
+// inSyncMembers appends the current in-sync members to dst (ascending
+// member order — deterministic).
+func (rs *replicaSet) inSyncMembers(dst []int) []int {
+	for k, m := range rs.members {
+		if rs.inSync[k] {
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+func (rs *replicaSet) inSyncCount() int {
+	n := 0
+	for _, ok := range rs.inSync {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// firstInSync returns the lowest in-sync member other than `not`, or -1.
+func (rs *replicaSet) firstInSync(not int) int {
+	for k, m := range rs.members {
+		if rs.inSync[k] && m != not {
+			return m
+		}
+	}
+	return -1
+}
+
+func (rs *replicaSet) addDirty(member int, d dirtyExtent) {
+	k := rs.pos(member)
+	rs.dirty[k] = append(rs.dirty[k], d)
+}
+
+// replState is the per-wire-command replication tracker: which members
+// the command was fanned to, the per-member encoded SQE and attribute
+// chain indices, and the quorum accounting that decides when the
+// completion may be delivered (acks >= need) and when the command may be
+// finalized (every member resolved — acked, or cancelled by a power
+// cut). All slices are parallel to members.
+type replState struct {
+	set      int
+	members  []int
+	sqes     []nvmeof.SQE
+	attrs    [][]core.Attr // nil per member for plain writes and flushes
+	idx      []uint64      // last ServerIdx per member (retire watermarks)
+	got      []bool        // genuine CQE received
+	resolved []bool        // acked or cancelled
+
+	acks      int
+	nResolved int
+	need      int // write quorum (for flushes: every posted member)
+	fired     bool
+	recycled  bool
+}
+
+func (r *replState) reset() {
+	r.members = r.members[:0]
+	r.sqes = r.sqes[:0]
+	r.attrs = r.attrs[:0]
+	r.idx = r.idx[:0]
+	r.got = r.got[:0]
+	r.resolved = r.resolved[:0]
+	r.acks, r.nResolved, r.need = 0, 0, 0
+	r.fired, r.recycled = false, false
+}
+
+func (r *replState) addMember(m int, sqe nvmeof.SQE, attrs []core.Attr, idx uint64) {
+	r.members = append(r.members, m)
+	r.sqes = append(r.sqes, sqe)
+	r.attrs = append(r.attrs, attrs)
+	r.idx = append(r.idx, idx)
+	r.got = append(r.got, false)
+	r.resolved = append(r.resolved, false)
+}
+
+func (r *replState) pos(target int) int {
+	for k, m := range r.members {
+		if m == target {
+			return k
+		}
+	}
+	return -1
+}
+
+// done reports whether every member copy resolved (the command holds no
+// more in-flight state anywhere).
+func (r *replState) done() bool { return r.nResolved == len(r.members) }
+
+func (ws *wireState) ensureRepl() *replState {
+	if ws.repl == nil {
+		ws.repl = &replState{}
+	}
+	ws.repl.reset()
+	return ws.repl
+}
+
+// Replication introspection (tests, benches, the public rio API).
+
+// Replicas returns the configured replica factor (1 = no replication).
+func (c *Cluster) Replicas() int {
+	if c.cfg.Replicas <= 1 {
+		return 1
+	}
+	return c.cfg.Replicas
+}
+
+// WriteQuorum returns the effective write quorum per replica set.
+func (c *Cluster) WriteQuorum() int { return c.writeQuorum }
+
+// SetCount returns the number of replica sets (== Targets() without
+// replication).
+func (c *Cluster) SetCount() int {
+	if c.cfg.Replicas <= 1 {
+		return len(c.targets)
+	}
+	return len(c.replSets)
+}
+
+// SetOf returns the replica set a target server belongs to.
+func (c *Cluster) SetOf(target int) int {
+	if c.cfg.Replicas <= 1 {
+		return target
+	}
+	return c.setOf[target]
+}
+
+// SetMembers returns the target ids of one replica set.
+func (c *Cluster) SetMembers(set int) []int {
+	if c.cfg.Replicas <= 1 {
+		return []int{set}
+	}
+	return append([]int(nil), c.replSets[set].members...)
+}
+
+// InSync reports whether a target is an in-sync member of its replica
+// set (always true without replication while the target is alive).
+func (c *Cluster) InSync(target int) bool {
+	if c.cfg.Replicas <= 1 {
+		return c.targets[target].alive
+	}
+	rs := c.replSets[c.setOf[target]]
+	return rs.inSync[rs.pos(target)]
+}
+
+// SetEpoch returns the membership epoch of a replica set: it advances on
+// every degrade and every resync-rejoin.
+func (c *Cluster) SetEpoch(set int) int {
+	if c.cfg.Replicas <= 1 {
+		return 0
+	}
+	return c.replSets[set].epoch
+}
+
+// ResyncBacklog returns how many missed extents are queued for a
+// degraded target's background resync.
+func (c *Cluster) ResyncBacklog(target int) int {
+	if c.cfg.Replicas <= 1 {
+		return 0
+	}
+	rs := c.replSets[c.setOf[target]]
+	return len(rs.dirty[rs.pos(target)])
+}
+
+// readReplica picks the target serving reads for a replica set: the
+// lowest in-sync member (-1 if the whole set is down).
+func (c *Cluster) readReplica(set int) int {
+	if c.cfg.Replicas <= 1 {
+		return set
+	}
+	return c.replSets[set].firstInSync(-1)
+}
+
+// assignReplicated is assignOrderState for a replicated cluster: per
+// wire command it snapshots the set's in-sync membership, mints a dense
+// per-member ServerIdx chain (same attributes otherwise — stamps derive
+// from the attribute identity, which excludes ServerIdx, so replica
+// media stays byte-identical), encodes one SQE per member, and logs a
+// resync extent for every member currently out of sync. Snapshot, mint
+// and dirty-log happen with no yield in between, which is what makes
+// the resync drain check race-free against rejoin.
+func (in *Initiator) assignReplicated(wires []*wireState) {
+	for _, ws := range wires {
+		if ws.flushWire {
+			continue // standalone flushes fan out at post time
+		}
+		ref := in.vol.Dev(ws.wc.Dev)
+		set := ref.Server
+		rs := in.c.replSets[set]
+		r := ws.ensureRepl()
+		r.set = set
+		r.need = in.c.writeQuorum
+		ordered := ws.wc.Ordered && in.cfg.Mode == ModeRio
+		var st *core.StreamSeq
+		if ordered {
+			st = in.seq.Stream(ws.stream)
+		}
+		for k, m := range rs.members {
+			if !rs.inSync[k] {
+				rs.addDirty(m, dirtyExtent{
+					ssdIdx: ws.ssdIdx, lba: ws.wc.LBA, blocks: ws.wc.Blocks,
+					init: in.id, wsID: ws.id, ws: ws,
+				})
+				continue
+			}
+			if !ordered {
+				r.addMember(m, nvmeof.WriteCommand(uint32(ref.SSD), ws.wc.LBA, ws.wc.Blocks), nil, 0)
+				continue
+			}
+			var attrs []core.Attr
+			if len(ws.vecAttrs) > 1 {
+				attrs = make([]core.Attr, 0, len(ws.vecAttrs))
+				for _, a := range ws.vecAttrs {
+					a.ServerIdx = st.NextServerIdx(m)
+					attrs = append(attrs, a)
+				}
+			} else {
+				a := ws.wc.Attr
+				a.ServerIdx = st.NextServerIdx(m)
+				attrs = []core.Attr{a}
+			}
+			r.addMember(m, nvmeof.RioWriteCommand(uint32(ref.SSD), attrs[0]),
+				attrs, attrs[len(attrs)-1].ServerIdx)
+		}
+	}
+}
+
+// populateGenericRepl arms fan-out state for a wire command that skipped
+// assignReplicated (standalone FLUSH commands): every in-sync member
+// gets a copy, and the command resolves only when every posted member
+// acked — a durability barrier certifies the whole in-sync set, not
+// just a quorum.
+func (in *Initiator) populateGenericRepl(ws *wireState) {
+	rs := in.c.replSets[ws.target]
+	r := ws.ensureRepl()
+	r.set = ws.target
+	for k, m := range rs.members {
+		if !rs.inSync[k] {
+			continue
+		}
+		r.addMember(m, ws.sqe, nil, 0)
+	}
+	r.need = len(r.members)
+}
+
+// postReplicated is postByTarget for a replicated cluster: the batch is
+// partitioned per replica SET, and each set's capsule is posted once per
+// in-sync member, carrying that member's SQE encodings and attribute
+// chains. Each copy is a full vectored batch (validated intact at the
+// member), pays its own PostMsg and wire framing, and returns its own
+// CQE — the fan-out cost the replication experiment measures.
+func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int) {
+	in.stats.WireCmds += int64(len(wires))
+	caps := make([][]*wireState, len(in.c.replSets))
+	for _, ws := range wires {
+		if ws.repl == nil || len(ws.repl.members) == 0 {
+			in.populateGenericRepl(ws)
+		}
+		caps[ws.target] = append(caps[ws.target], ws)
+	}
+	for _, cmds := range caps {
+		if len(cmds) == 0 {
+			continue
+		}
+		qp := in.qpFor(stream)
+		// All commands of one dispatch batch snapshot the same membership
+		// (no yield between their assignments), so the first command's
+		// member list is the batch's.
+		members := cmds[0].repl.members
+		for k, m := range members {
+			cp := &capsule{epoch: in.epoch, member: m}
+			var inline int
+			for i, ws := range cmds {
+				sqe := ws.repl.sqes[k]
+				sqe.MarkVector(i, len(cmds))
+				cp.cmds = append(cp.cmds, ws)
+				cp.sqes = append(cp.sqes, sqe)
+				cp.attrs = append(cp.attrs, ws.repl.attrs[k])
+				if !ws.flushWire {
+					inline += ws.wc.InlineBytes(in.cfg.InlineThreshold)
+				}
+				ws.qp = qp
+			}
+			if in.cfg.Mode == ModeRio {
+				if mark := in.retireMark[[2]int{stream, m}]; mark > 0 {
+					cp.retires = append(cp.retires, retire{stream: uint16(stream), upTo: mark})
+				}
+			}
+			size := nvmeof.VectorCapsuleSize(len(cmds), inline)
+			in.useInitCPU(p, in.costs.PostMsg)
+			in.targets[m].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
+			in.stats.WireMessages++
+			in.stats.Batch.Ring(len(cmds))
+		}
+	}
+}
+
+// replAck accounts one member CQE for a replicated command: the
+// completion is delivered to the sequencer at write quorum; the command
+// is finalized (and its wire state recycled) only once every member
+// copy resolved, so a straggler ack can never reference freed state.
+func (in *Initiator) replAck(p *sim.Proc, ws *wireState, from int) {
+	r := ws.repl
+	k := r.pos(from)
+	if k < 0 || r.resolved[k] {
+		return // duplicate, or a member cancelled by a power cut
+	}
+	r.resolved[k] = true
+	r.got[k] = true
+	r.acks++
+	r.nResolved++
+	if !r.fired && r.acks >= r.need {
+		r.fired = true
+		ws.hwDone.Fire()
+		in.deliverCompletions(p, ws)
+	}
+	// A member ack arriving after the request was delivered advances that
+	// member's retire watermark (the delivery path advanced the marks of
+	// members that had acked by then).
+	if r.fired && ws.pendingRq == 0 && r.idx[k] > 0 {
+		key := [2]int{ws.stream, from}
+		if r.idx[k] > in.retireMark[key] {
+			in.retireMark[key] = r.idx[k]
+		}
+	}
+	if r.done() {
+		in.finalizeRepl(ws)
+	}
+}
+
+// finalizeRepl retires a fully resolved replicated command from the
+// outstanding table and recycles it if its delivery already happened.
+func (in *Initiator) finalizeRepl(ws *wireState) {
+	delete(in.outstanding, ws.id)
+	in.maybeRecycleRepl(ws)
+}
+
+// maybeRecycleRepl returns a replicated wire command to its shard pool
+// exactly once, and only when nothing references it anymore: quorum
+// delivered, every origin request delivered, every member resolved.
+func (in *Initiator) maybeRecycleRepl(ws *wireState) {
+	r := ws.repl
+	if r.recycled || !r.fired || !r.done() || ws.pendingRq != 0 || ws.pinned || ws.epoch != in.epoch {
+		return
+	}
+	r.recycled = true
+	in.shards[ws.stream].putWire(in, ws)
+}
+
+// degradeMember marks a power-cut target out of sync: the set epoch
+// advances, the survivors persist an epoch mark, and every in-flight
+// command that still expected this member's ack is resolved (so quorum
+// completions keep flowing from the survivors) and logged into the
+// member's resync backlog — it may have missed the write.
+func (c *Cluster) degradeMember(m int) {
+	rs := c.replSets[c.setOf[m]]
+	pos := rs.pos(m)
+	if pos < 0 || !rs.inSync[pos] {
+		return
+	}
+	rs.inSync[pos] = false
+	rs.epoch++
+	c.appendEpochMarks(rs, m)
+	for _, in := range c.inits {
+		// Deterministic sweep order: outstanding is a map.
+		ids := make([]uint64, 0, len(in.outstanding))
+		for id, ws := range in.outstanding {
+			if ws.repl != nil && ws.repl.set == rs.id {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			ws := in.outstanding[id]
+			r := ws.repl
+			k := r.pos(m)
+			if k < 0 || r.resolved[k] {
+				continue
+			}
+			r.resolved[k] = true
+			r.nResolved++
+			if ws.flushWire {
+				// A barrier now certifies the surviving members only.
+				if r.need > 0 {
+					r.need--
+				}
+				if !r.fired && r.acks >= r.need && r.acks > 0 {
+					r.fired = true
+					ws.hwDone.Fire()
+				}
+			} else {
+				rs.addDirty(m, dirtyExtent{
+					ssdIdx: ws.ssdIdx, lba: ws.wc.LBA, blocks: ws.wc.Blocks,
+					init: in.id, wsID: ws.id, ws: ws,
+				})
+			}
+			if r.done() {
+				in.finalizeRepl(ws)
+			}
+		}
+	}
+}
+
+// appendEpochMarks persists the set's new membership epoch into every
+// live member's PMR partitions (one mark per initiator partition). The
+// slot is retired immediately — a mark is evidence, not ordering state,
+// and must never hold the circular log's head back.
+func (c *Cluster) appendEpochMarks(rs *replicaSet, member int) {
+	for k, mt := range rs.members {
+		if !rs.inSync[k] {
+			continue
+		}
+		t := c.targets[mt]
+		if !t.alive {
+			continue
+		}
+		for i := 0; i < c.cfg.Initiators; i++ {
+			a := core.EpochMarkAttr(uint16(i), rs.id, rs.epoch, member)
+			if slot, ok := t.logs[i].Append(a); ok {
+				t.logs[i].MarkPersist(slot)
+				t.logs[i].Retire(slot)
+			}
+		}
+	}
+}
+
+// extentSettled reports whether the command behind a resync extent holds
+// no more in-flight replica state, i.e. the content has landed on every
+// surviving member's media and a copy from a peer observes the final
+// value.
+func (c *Cluster) extentSettled(d dirtyExtent) bool {
+	if d.ws.id != d.wsID {
+		return true // recycled: the command resolved long ago
+	}
+	if d.ws.epoch != c.inits[d.init].epoch {
+		return true // the owning initiator crashed; copy whatever peers hold
+	}
+	r := d.ws.repl
+	return r == nil || r.done()
+}
+
+// resyncTarget is target recovery under replication: background resync
+// instead of initiator-driven replay. The restarted member's volatile
+// and ordering state is reset, the peer's PMR is scanned (the ordering
+// evidence for the degraded window), and the missed-extent backlog is
+// drained by copying block content from an in-sync peer's media. New
+// writes keep landing in the backlog while the drain runs — the set
+// stays degraded — so the loop runs until it is empty; the final
+// emptiness check and the rejoin flip happen with no yield in between.
+func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming) {
+	var tm RecoveryTiming
+	t := c.targets[m]
+	rs := c.replSets[c.setOf[m]]
+	pos := rs.pos(m)
+
+	t.alive = true
+	for _, sd := range t.ssds {
+		sd.Restart()
+	}
+	for _, conn := range t.conns {
+		conn.Reconnect()
+	}
+	// The member's own PMR partitions are stale pre-cut evidence; the
+	// survivors' logs own the ordering record for the degraded window.
+	for i := 0; i < c.cfg.Initiators; i++ {
+		core.Format(t.pmrRegion(i))
+	}
+	t.resetOrderingState()
+	// Fresh per-member chains: the rejoined member's gates expect dense
+	// indices from 1 again.
+	for _, in := range c.inits {
+		if !in.alive {
+			continue
+		}
+		for _, st := range in.seqStreams() {
+			st.ResetServerChain(m)
+		}
+		for s := 0; s < in.cfg.Streams; s++ {
+			delete(in.retireMark, [2]int{s, m})
+		}
+	}
+
+	// Scan the peer's PMR: the ordering evidence resync replays against.
+	start := p.Now()
+	var report *core.Report
+	peer := rs.firstInSync(m)
+	if peer >= 0 {
+		pt := c.targets[peer]
+		region := pt.ssds[0].PMRBytes()
+		regionBytes := (len(region) / core.EntrySize) * c.pmrEntryWireSize()
+		p.Sleep(sim.Time(regionBytes) * pmrScanPerByte)
+		entries := core.ScanRegion(region)
+		if n := len(entries) * c.pmrEntryWireSize(); n > 0 && t.conns[0].Up() {
+			t.conns[0].BulkWrite(p, fabric.Target, n)
+		}
+		report = core.Analyze([]core.ServerView{{Server: peer, PLP: pt.ssds[0].HasPLP(), Entries: entries}})
+	} else {
+		report = core.Analyze(nil)
+	}
+	tm.OrderRebuild = p.Now() - start
+
+	start = p.Now()
+	for len(rs.dirty[pos]) > 0 {
+		d := rs.dirty[pos][0]
+		rs.dirty[pos] = rs.dirty[pos][1:]
+		tm.Replayed += c.copyExtent(p, rs, m, d)
+	}
+	tm.DataRecovery = p.Now() - start
+
+	// Atomic rejoin (no yield since the emptiness check above).
+	rs.inSync[pos] = true
+	rs.epoch++
+	c.appendEpochMarks(rs, m)
+	return report, tm
+}
+
+// replResyncAck credits a resync copy as the member's late durability
+// ack: under WriteQuorum == Replicas a write cannot complete while the
+// set is degraded — it becomes durable on the full set only when the
+// background resync lands its content on the rejoining member, and that
+// is the moment the completion fires. The member's retire watermark is
+// NOT advanced: its chain was reset, and the old-chain index would
+// poison the fresh log partition's retirement.
+func (in *Initiator) replResyncAck(p *sim.Proc, ws *wireState, member int) {
+	r := ws.repl
+	k := r.pos(member)
+	if k >= 0 && r.got[k] {
+		return // the member genuinely acked before the cut
+	}
+	r.acks++
+	if !r.fired && r.acks >= r.need {
+		r.fired = true
+		ws.hwDone.Fire()
+		in.deliverCompletions(p, ws)
+	}
+	in.maybeRecycleRepl(ws)
+}
+
+// copyExtent copies one missed extent from an in-sync peer's media onto
+// the resyncing member, returning how many blocks were written. It
+// waits for the originating command to settle first, so the copy reads
+// the final content; latest-wins overwrites make repeated copies of the
+// same LBA idempotent.
+func (c *Cluster) copyExtent(p *sim.Proc, rs *replicaSet, m int, d dirtyExtent) int {
+	for !c.extentSettled(d) {
+		p.Sleep(sim.Microsecond)
+	}
+	src := rs.firstInSync(m)
+	if src < 0 {
+		return 0
+	}
+	sd := c.targets[src].ssds[d.ssdIdx]
+	var stamps []uint64
+	var data [][]byte
+	var lbas []uint64
+	for b := uint32(0); b < d.blocks; b++ {
+		lba := d.lba + uint64(b)
+		rec, ok := sd.Visible(lba)
+		if !ok {
+			continue // rolled back or never landed: nothing to copy
+		}
+		lbas = append(lbas, lba)
+		stamps = append(stamps, rec.Stamp)
+		data = append(data, rec.Data)
+	}
+	if len(lbas) == 0 {
+		return 0
+	}
+	// One fabric hop for the delta payload (peer media -> member).
+	bytes := len(lbas) * ssd.BlockSize
+	p.Sleep(c.cfg.Fabric.PropDelay + sim.Time(float64(bytes)/c.cfg.Fabric.BytesPerNs))
+	done := sim.NewWaitGroup(c.Eng)
+	for i, lba := range lbas {
+		done.Add(1)
+		var blkData [][]byte
+		if data[i] != nil {
+			blkData = [][]byte{data[i]}
+		}
+		c.targets[m].ssds[d.ssdIdx].Submit(&ssd.Command{
+			Op: ssd.OpWrite, LBA: lba, Blocks: 1,
+			Stamps: []uint64{stamps[i]}, Data: blkData,
+			Done: func(*ssd.Command) { done.Done() },
+		})
+	}
+	done.Wait(p)
+	// The content now lives on the member: credit the late ack (relevant
+	// when WriteQuorum == Replicas — quorum writes were already fired).
+	if d.ws.id == d.wsID && d.ws.epoch == c.inits[d.init].epoch && d.ws.repl != nil {
+		c.inits[d.init].replResyncAck(p, d.ws, m)
+	}
+	return len(lbas)
+}
+
+// replicaRepair runs after whole-cluster recovery on a replicated
+// deployment: for every within-prefix durable entry it re-replicates
+// the block content to set members that lost it (a group can be durable
+// on a quorum without being durable everywhere), so the sets converge
+// byte-identically. Returns the number of blocks copied.
+func (c *Cluster) replicaRepair(p *sim.Proc, views []core.ServerView, report *core.Report) int {
+	copied := 0
+	done := sim.NewWaitGroup(c.Eng)
+	for _, v := range views {
+		rs := c.replSets[c.setOf[v.Server]]
+		for _, e := range v.Entries {
+			if e.EpochMark || e.IPU {
+				continue
+			}
+			sr := report.Stream(e.Initiator, e.Stream)
+			if sr == nil || e.SeqEnd > sr.DurablePrefix {
+				continue
+			}
+			src := c.targets[v.Server].ssds[e.NS]
+			stamp := core.AttrStamp(e.Attr)
+			for b := uint32(0); b < e.Blocks; b++ {
+				lba := e.LBA + uint64(b)
+				rec, ok := src.Durable(lba)
+				if !ok || rec.Stamp != stamp {
+					continue
+				}
+				for _, mt := range rs.members {
+					if mt == v.Server {
+						continue
+					}
+					dst := c.targets[mt].ssds[e.NS]
+					if r2, ok2 := dst.Durable(lba); ok2 && r2.Stamp == stamp {
+						continue
+					}
+					copied++
+					done.Add(1)
+					var blkData [][]byte
+					if rec.Data != nil {
+						blkData = [][]byte{rec.Data}
+					}
+					dst.Submit(&ssd.Command{
+						Op: ssd.OpWrite, LBA: lba, Blocks: 1,
+						Stamps: []uint64{stamp}, Data: blkData,
+						Done: func(*ssd.Command) { done.Done() },
+					})
+				}
+			}
+		}
+	}
+	done.Wait(p)
+	return copied
+}
+
+// validateReplication checks the replica topology at construction.
+func validateReplication(cfg Config) {
+	r := cfg.Replicas
+	if r <= 1 {
+		return
+	}
+	if cfg.Mode != ModeRio {
+		panic("stack: replication requires ModeRio")
+	}
+	if len(cfg.Targets)%r != 0 {
+		panic(fmt.Sprintf("stack: %d targets do not divide into replica sets of %d", len(cfg.Targets), r))
+	}
+	if cfg.WriteQuorum < 0 || cfg.WriteQuorum > r {
+		panic(fmt.Sprintf("stack: write quorum %d out of range for %d replicas", cfg.WriteQuorum, r))
+	}
+	for s := 0; s < len(cfg.Targets); s += r {
+		n := len(cfg.Targets[s].SSDs)
+		for k := 1; k < r; k++ {
+			if len(cfg.Targets[s+k].SSDs) != n {
+				panic("stack: replica set members must have identical SSD geometry")
+			}
+		}
+	}
+}

@@ -67,9 +67,18 @@ type tDone struct {
 	epoch     int
 }
 
+// parkedCmd is one held-back command at an in-order gate, together with
+// the attribute chain it arrived with (under replication the attributes
+// travel in the member's capsule, not in the shared wireState, so they
+// must be retained across the park).
+type parkedCmd struct {
+	ws    *wireState
+	attrs []core.Attr
+}
+
 type tgate struct {
 	next   uint64 // next expected ServerIdx for this (initiator, stream)
-	parked map[uint64]*wireState
+	parked map[uint64]parkedCmd
 }
 
 // Target is one target server: CPU cores, an RDMA connection per
@@ -290,11 +299,15 @@ func (t *Target) gate(init int, stream uint16) *tgate {
 	k := domainKey{init, stream}
 	g := t.gates[k]
 	if g == nil {
-		g = &tgate{next: 1, parked: make(map[uint64]*wireState)}
+		g = &tgate{next: 1, parked: make(map[uint64]parkedCmd)}
 		t.gates[k] = g
 	}
 	return g
 }
+
+// PMRPartition exposes one initiator's PMR log partition on this target
+// (inspection tools, tests).
+func (t *Target) PMRPartition(init int) []byte { return t.pmrRegion(init) }
 
 // initEpoch returns the current epoch of initiator init (the incarnation
 // counter in-flight work is validated against).
@@ -318,15 +331,28 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 		}
 		// A command capsule is one vectored batch: verify it arrived
 		// intact and was split exactly on a target boundary (every entry
-		// belongs here and positions run 0..n-1).
+		// belongs here and positions run 0..n-1). A replicated capsule is
+		// one member's copy of the fan-out: its SQEs travel in the capsule
+		// (per-member ServerIdx chains), and the boundary check is against
+		// the member address plus the set the command stripes to.
 		if len(cp.cmds) > 0 {
 			for i, ws := range cp.cmds {
-				pos, n := ws.sqe.VectorPos()
+				var pos, n int
+				if cp.sqes != nil {
+					pos, n = cp.sqes[i].VectorPos()
+				} else {
+					pos, n = ws.sqe.VectorPos()
+				}
 				if pos != i || n != len(cp.cmds) {
 					panic(fmt.Sprintf("stack: torn vectored batch at target %d: entry %d carries pos %d/%d of %d",
 						t.id, i, pos, n, len(cp.cmds)))
 				}
-				if ws.target != t.id {
+				if cp.sqes != nil {
+					if cp.member != t.id || t.c.setOf[t.id] != ws.target {
+						panic(fmt.Sprintf("stack: replicated batch misrouted: entry %d for set %d member %d arrived at target %d",
+							i, ws.target, cp.member, t.id))
+					}
+				} else if ws.target != t.id {
 					panic(fmt.Sprintf("stack: vectored batch crosses target boundary: entry %d is for target %d, arrived at %d",
 						i, ws.target, t.id))
 				}
@@ -346,7 +372,7 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 				continue // connection died mid-read
 			}
 		}
-		for _, ws := range cp.cmds {
+		for i, ws := range cp.cmds {
 			if !t.alive || ws.epoch != t.initEpoch(init) {
 				break
 			}
@@ -357,7 +383,11 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 				continue
 			}
 			if ws.wc.Ordered && t.c.cfg.Mode == ModeRio {
-				t.rioSubmit(p, ws)
+				if cp.sqes != nil {
+					t.rioSubmitAttrs(p, ws, cp.attrs[i])
+				} else {
+					t.rioSubmit(p, ws)
+				}
 			} else {
 				t.submitWrite(ws, t.horaeSlot(ws))
 			}
@@ -381,7 +411,7 @@ func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, init, qp int) {
 	t.stats.Responses++
 	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: nvmeof.ResponseSize,
-		Payload: &completionMsg{ctrlAcks: acks, qp: qp, epoch: cp.epoch},
+		Payload: &completionMsg{ctrlAcks: acks, qp: qp, epoch: cp.epoch, from: t.id},
 	})
 }
 
@@ -423,10 +453,18 @@ func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 		}
 		attrs = []core.Attr{attr}
 	}
+	t.rioSubmitAttrs(p, ws, attrs)
+}
+
+// rioSubmitAttrs runs the in-order gate for a command with an explicit
+// attribute chain — under replication each member receives its own
+// chain in the capsule, so the gate's dense-ServerIdx invariant holds
+// per replica independently.
+func (t *Target) rioSubmitAttrs(p *sim.Proc, ws *wireState, attrs []core.Attr) {
 	g := t.gate(int(attrs[0].Initiator), attrs[0].Stream)
 	if attrs[0].ServerIdx != g.next {
 		t.stats.Holdbacks++
-		g.parked[attrs[0].ServerIdx] = ws
+		g.parked[attrs[0].ServerIdx] = parkedCmd{ws: ws, attrs: attrs}
 		return
 	}
 	t.rioProcess(p, ws, attrs, g)
@@ -437,12 +475,7 @@ func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 			break
 		}
 		delete(g.parked, g.next)
-		na := next.vecAttrs
-		if len(na) == 0 {
-			a, _ := nvmeof.DecodeAttr(&next.sqe)
-			na = []core.Attr{a}
-		}
-		t.rioProcess(p, next, na, g)
+		t.rioProcess(p, next.ws, next.attrs, g)
 	}
 }
 
@@ -669,7 +702,7 @@ func (t *Target) respond(p *sim.Proc, ws *wireState) {
 		t.stats.CQEs++
 		t.conns[init].Send(fabric.Target, fabric.Message{
 			QP: qp, Size: nvmeof.ResponseSize,
-			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: qp, epoch: ws.epoch},
+			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: qp, epoch: ws.epoch, from: t.id},
 		})
 		return
 	}
@@ -752,7 +785,7 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	t.stats.CQEs += int64(len(batch))
 	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: size,
-		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch},
+		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch, from: t.id},
 	})
 }
 

@@ -90,6 +90,13 @@ func (r BlockResult) KIOPS() float64 {
 	return float64(r.Requests) / r.Elapsed.Seconds() / 1e3
 }
 
+// MaxLatUS returns the worst observed request latency in microseconds —
+// the failover-blip headline of the replication experiment (a replica
+// power cut mid-measurement shows up as the tail of this window).
+func (r BlockResult) MaxLatUS() float64 {
+	return float64(r.Lat.Max()) / 1000
+}
+
 // GBps returns data gigabytes per second.
 func (r BlockResult) GBps() float64 {
 	if r.Elapsed <= 0 {

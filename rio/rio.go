@@ -72,6 +72,18 @@ type Options struct {
 	Merging    *bool // nil = enabled
 	Seed       int64
 	History    bool // retain media write history (needed by VerifyPrefix)
+
+	// Replicas groups consecutive targets into replica sets of this size
+	// (Rio ordering only; len(Targets) must divide evenly): every ordered
+	// write fans out to all in-sync members with per-replica ordering
+	// chains, completions deliver at WriteQuorum, reads come from any
+	// in-sync member, and a power-cut member degrades its set instead of
+	// stalling streams (RecoverTarget then runs a background resync).
+	// 0 or 1 = no replication.
+	Replicas int
+	// WriteQuorum: 0 = majority of Replicas; Replicas = full-set
+	// durability (writes stall while the set is degraded).
+	WriteQuorum int
 }
 
 // Cluster is a running simulated deployment.
@@ -113,6 +125,8 @@ func NewCluster(o Options) *Cluster {
 	}
 	cfg := stack.DefaultConfig(mode, targets...)
 	cfg.Initiators = o.Initiators
+	cfg.Replicas = o.Replicas
+	cfg.WriteQuorum = o.WriteQuorum
 	cfg.Streams = o.Streams
 	cfg.QPs = o.Streams
 	cfg.Fabric.NumQPs = o.Streams
@@ -266,6 +280,39 @@ func (ctx *Ctx) Read(lba uint64, blocks uint32) []ssd.Rec {
 // Flush issues a standalone device FLUSH barrier (block-reuse fallback).
 func (ctx *Ctx) Flush() { ctx.in.FlushDevice(ctx.p, 0) }
 
+// Replication introspection: replica sets, membership health, degraded
+// epochs and resync progress.
+
+// Replicas returns the configured replica factor (1 = no replication).
+func (c *Cluster) Replicas() int { return c.inner.Replicas() }
+
+// ReplicaSets returns the number of replica sets the volume stripes
+// over (== target count without replication).
+func (c *Cluster) ReplicaSets() int { return c.inner.SetCount() }
+
+// SetOf returns the replica set a target server belongs to.
+func (c *Cluster) SetOf(target int) int { return c.inner.SetOf(target) }
+
+// SetMembers returns the target ids of one replica set.
+func (c *Cluster) SetMembers(set int) []int { return c.inner.SetMembers(set) }
+
+// InSync reports whether a target is an in-sync member of its replica
+// set; a power-cut member stays out of sync until its background resync
+// completes.
+func (c *Cluster) InSync(target int) bool { return c.inner.InSync(target) }
+
+// SetEpoch returns a replica set's membership epoch: it advances on
+// every degrade and every resync-rejoin, and the surviving members
+// persist each transition as an epoch mark in their PMR partitions.
+func (c *Cluster) SetEpoch(set int) int { return c.inner.SetEpoch(set) }
+
+// ResyncBacklog returns how many missed extents are queued for a
+// degraded target's background resync (0 once it has rejoined).
+func (c *Cluster) ResyncBacklog(target int) int { return c.inner.ResyncBacklog(target) }
+
+// WriteQuorum returns the effective completion quorum per replica set.
+func (c *Cluster) WriteQuorum() int { return c.inner.WriteQuorum() }
+
 // PowerCut models a whole-cluster power failure: volatile state is lost,
 // media and PMR survive.
 func (c *Cluster) PowerCut() { c.inner.PowerCutAll() }
@@ -303,6 +350,9 @@ func (ctx *Ctx) Recover() *Report {
 
 // RecoverTarget repairs a single crashed target: every surviving
 // initiator replays its own in-flight requests (§4.4.1 target recovery).
+// On a replicated cluster this is instead a background resync — the
+// member replays the delta from a peer replica's PMR+media and rejoins
+// its set; no stream stalled and no initiator replays anything.
 func (ctx *Ctx) RecoverTarget(i int) *Report {
 	rep, tm := ctx.c.inner.RecoverTarget(ctx.p, i)
 	return &Report{inner: rep, Timing: tm}
