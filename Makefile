@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test race vet fmt fmt-check staticcheck lint bench bench-json bench-gate examples ci
+.PHONY: all build test race vet fmt fmt-check staticcheck lint bench bench-json bench-gate coverage examples ci
 
 all: build test
 
@@ -45,7 +45,7 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale,replication -quick -json BENCH_4.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy -quick -json BENCH_5.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).
@@ -56,7 +56,13 @@ examples: build
 # The CI perf gate: run the gated experiments fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
 bench-gate: build
-	$(GO) run ./cmd/riobench -exp scale,replication -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
+
+# Coverage profile over the ordering engine and the stack that drives it
+# (CI uploads the profile as an artifact).
+coverage: build
+	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/order/...,./internal/stack/... ./internal/order/... ./internal/stack/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 ci: lint build race bench bench-gate examples

@@ -33,11 +33,12 @@ type gate struct {
 }
 
 // gates are the metrics ISSUE acceptance tracks PR-over-PR: throughput at
-// the top of the sweep, hot-path allocations, tail latency, the
-// completion-path coalescing headline (capsules per op must not creep
-// back toward one-per-command), and the replication headlines — 3-way
-// throughput at fixed hardware and the worst failover blip when a
-// replica member is power-cut mid-measurement.
+// the top of the sweep, hot-path allocations (initiator-side pools AND
+// the target-side ordering-engine dense tables/free lists), tail
+// latency, the completion-path coalescing headline (capsules per op must
+// not creep back toward one-per-command), and the replication headlines
+// — 3-way throughput at fixed hardware and the worst failover blip when
+// a replica member is power-cut mid-measurement.
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
@@ -45,16 +46,24 @@ var gates = []gate{
 	{"scale.rio.completion_msgs_per_op", false},
 	{"replication.rio.kiops.r3", true},
 	{"replication.rio.failover_blip_us", false},
+	{"policy.rio.target_allocs_per_op", false},
 }
 
 // check compares one gated metric. For higher-is-better metrics a
 // regression is fresh < base*(1-threshold); for lower-is-better,
 // fresh > base*(1+threshold). A lower-is-better baseline of zero (e.g.
 // allocs/req fully pooled away) tolerates up to `threshold` absolute
-// before failing, since a relative bound on zero is meaningless.
+// before failing, since a relative bound on zero is meaningless. A
+// higher-is-better baseline at or below zero is an unusable baseline
+// (e.g. a zeroed-out report committed by mistake): every fresh value
+// would pass a ≥0 bound, so the gate fails loudly instead of silently
+// approving anything.
 func check(g gate, base, fresh, threshold float64) (ok bool, detail string) {
 	var limit float64
 	switch {
+	case g.higherBetter && base <= 0:
+		ok = false
+		detail = fmt.Sprintf("%-32s base %12.3f unusable (non-positive baseline for a higher-is-better gate)", g.key, base)
 	case g.higherBetter:
 		limit = base * (1 - threshold)
 		ok = fresh >= limit
@@ -79,7 +88,9 @@ func compare(base, fresh map[string]float64, threshold float64) (lines []string,
 		b, bok := base[g.key]
 		f, fok := fresh[g.key]
 		if !bok || !fok {
-			failures = append(failures, fmt.Sprintf("%s: missing from %s report", g.key, missingSide(bok, fok)))
+			failures = append(failures, fmt.Sprintf(
+				"%s: gated metric missing from %s report — a renamed key or a dropped experiment must fail the gate, never skip it",
+				g.key, missingSide(bok, fok)))
 			continue
 		}
 		ok, detail := check(g, b, f, threshold)

@@ -14,6 +14,7 @@ func baseMetrics() map[string]float64 {
 		"scale.rio.completion_msgs_per_op": 0.8,
 		"replication.rio.kiops.r3":         630,
 		"replication.rio.failover_blip_us": 100,
+		"policy.rio.target_allocs_per_op":  0.003,
 	}
 }
 
@@ -48,6 +49,7 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"cpl msgs/op +15% (coalescing decays)", "scale.rio.completion_msgs_per_op", 0.8 * 1.15},
 		{"3-way replication throughput -12%", "replication.rio.kiops.r3", 630 * 0.88},
 		{"failover blip +20% (degraded path slows)", "replication.rio.failover_blip_us", 100 * 1.20},
+		{"target allocs/op +50% (dense tables decay)", "policy.rio.target_allocs_per_op", 0.003 * 1.5},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()
@@ -82,6 +84,21 @@ func TestNonZeroLowerBetterRelative(t *testing.T) {
 	fresh["scale.rio.allocs_per_req"] = 2.5
 	if _, failures := compare(base, fresh, 0.10); len(failures) == 0 {
 		t.Fatal("+25% allocs on nonzero base passed")
+	}
+}
+
+// TestGateFailsOnUnusableBaseline: a zeroed higher-is-better baseline
+// (e.g. a report from a crashed bench run committed by mistake) must
+// fail the gate instead of silently approving any fresh value.
+func TestGateFailsOnUnusableBaseline(t *testing.T) {
+	base := baseMetrics()
+	base["scale.rio.kiops.s8"] = 0
+	if _, failures := compare(base, baseMetrics(), 0.10); len(failures) == 0 {
+		t.Fatal("zero higher-is-better baseline passed the gate")
+	}
+	base["scale.rio.kiops.s8"] = -5
+	if _, failures := compare(base, baseMetrics(), 0.10); len(failures) == 0 {
+		t.Fatal("negative higher-is-better baseline passed the gate")
 	}
 }
 

@@ -7,7 +7,7 @@
 //	riobench -list
 //	riobench -exp fig10b
 //	riobench -exp all -quick
-//	riobench -exp scale,replication -quick -json BENCH_4.json
+//	riobench -exp scale,replication,policy -quick -json BENCH_5.json
 package main
 
 import (

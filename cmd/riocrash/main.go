@@ -90,6 +90,9 @@ func main() {
 			for g := 0; g < *groups; g++ {
 				lba := uint64(s*1_000_000 + g)
 				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				if r.Ticket == nil {
+					break // the power cut landed mid-submission: died un-staged
+				}
 				subs[s] = append(subs[s], sub{attr: r.Ticket.Attr, lba: lba})
 				reqs = append(reqs, r)
 				p.Sleep(2 * sim.Microsecond)
@@ -190,6 +193,9 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 			for g := 0; g < groups; g++ {
 				lba := uint64(s*1_000_000 + g)
 				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				if r.Ticket == nil {
+					break // initiator power-cut mid-submission (member cuts never trigger this)
+				}
 				reqs = append(reqs, r)
 				lbas = append(lbas, lba)
 				p.Sleep(2 * sim.Microsecond)

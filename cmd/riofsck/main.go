@@ -1,37 +1,70 @@
 // Command riofsck builds a file system, crashes it mid-workload, then
-// walks the durable on-disk state the way recovery does — superblock,
-// per-journal transaction scan, directory tree — and prints a consistency
-// verdict. It is the file-system-level counterpart of cmd/riocrash.
+// walks the durable on-disk state the way recovery does and prints a
+// consistency verdict. The walk has two levels: first the PMR level —
+// every target's per-initiator log partitions are swept with the
+// ordering engine's scan (order.ScanPartition, the same parser recovery
+// uses) and audited for partition ownership via the initiator-id dword
+// each persisted attribute carries — then the file-system level:
+// superblock, per-journal transaction scan, directory tree. With
+// -replicas R the volume stripes over an R-way replica set and the
+// durable media of every member is additionally compared block-for-block
+// (replica sets must converge byte-identically through whole-cluster
+// recovery). It is the file-system-level counterpart of cmd/riocrash.
 //
 // Usage:
 //
-//	riofsck [-design riofs|horaefs|ext4] [-files 20] [-cut 400] [-seed 5] [-v]
+//	riofsck [-design riofs|horaefs|ext4] [-files 20] [-cut 400] [-seed 5]
+//	        [-initiators 1] [-replicas 1] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/fs"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/stack"
 )
 
+// fsckConfig parameterizes one fsck run (flag surface and smoke test).
+type fsckConfig struct {
+	design     string
+	files      int
+	cutUS      int64
+	seed       int64
+	initiators int
+	replicas   int
+	verbose    bool
+}
+
 func main() {
-	var (
-		design  = flag.String("design", "riofs", "riofs | horaefs | ext4")
-		files   = flag.Int("files", 20, "files created+fsynced before the cut")
-		cutUS   = flag.Int64("cut", 400, "power cut time (simulated µs)")
-		seed    = flag.Int64("seed", 5, "RNG seed")
-		verbose = flag.Bool("v", false, "print every recovered inode")
-	)
+	var cfg fsckConfig
+	flag.StringVar(&cfg.design, "design", "riofs", "riofs | horaefs | ext4")
+	flag.IntVar(&cfg.files, "files", 20, "files created+fsynced before the cut")
+	flag.Int64Var(&cfg.cutUS, "cut", 400, "power cut time (simulated µs)")
+	flag.Int64Var(&cfg.seed, "seed", 5, "RNG seed")
+	flag.IntVar(&cfg.initiators, "initiators", 1, "initiator servers (each owns PMR log partitions at every target)")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replica-set size (riofs only; targets = replicas)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print every recovered inode")
 	flag.Parse()
 
+	if bad := run(cfg, os.Stdout); bad > 0 {
+		fmt.Printf("fsck: %d inconsistencies\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("fsck: clean — acknowledged data intact, uncommitted state rolled back")
+}
+
+// run executes one build→crash→fsck cycle and returns the number of
+// inconsistencies found (0 = clean).
+func run(cfg fsckConfig, out io.Writer) int {
 	var mode stack.Mode
 	var d fs.Design
-	switch *design {
+	switch cfg.design {
 	case "ext4":
 		mode, d = stack.ModeOrderless, fs.Ext4
 	case "horaefs":
@@ -39,13 +72,30 @@ func main() {
 	case "riofs":
 		mode, d = stack.ModeRio, fs.RioFS
 	default:
-		fmt.Fprintf(os.Stderr, "riofsck: unknown design %q\n", *design)
+		fmt.Fprintf(os.Stderr, "riofsck: unknown design %q\n", cfg.design)
+		os.Exit(2)
+	}
+	if cfg.replicas > 1 && mode != stack.ModeRio {
+		fmt.Fprintln(os.Stderr, "riofsck: -replicas requires -design riofs")
 		os.Exit(2)
 	}
 
-	eng := sim.New(*seed)
-	scfg := stack.DefaultConfig(mode, stack.OptaneTarget())
+	eng := sim.New(cfg.seed)
+	targets := []stack.TargetConfig{stack.OptaneTarget()}
+	if cfg.replicas > 1 {
+		targets = make([]stack.TargetConfig, cfg.replicas)
+		for i := range targets {
+			targets[i] = stack.OptaneTarget()
+		}
+	}
+	scfg := stack.DefaultConfig(mode, targets...)
 	scfg.KeepHistory = true
+	if cfg.initiators > 1 {
+		scfg.Initiators = cfg.initiators
+	}
+	if cfg.replicas > 1 {
+		scfg.Replicas = cfg.replicas
+	}
 	c := stack.New(eng, scfg)
 	fcfg := fs.DefaultConfig(d, 8)
 	fcfg.JournalBlocks = 1024
@@ -69,7 +119,7 @@ func main() {
 			fsys.Append(p, f, 4096*(1+i%3))
 			fsys.Fsync(p, f, i%4)
 			durable = append(durable, acked{name, f.Size()})
-			if len(durable) >= *files {
+			if len(durable) >= cfg.files {
 				// One more file, never fsynced: must vanish.
 				nf, _ := fsys.Create(p, "mail/uncommitted")
 				fsys.Append(p, nf, 4096)
@@ -77,31 +127,39 @@ func main() {
 			}
 		}
 	})
-	cut := sim.Time(*cutUS) * sim.Microsecond
+	cut := sim.Time(cfg.cutUS) * sim.Microsecond
 	eng.At(cut, func() { c.PowerCutAll() })
 	eng.RunUntil(cut + 10*sim.Millisecond)
 	eng.Run()
-	fmt.Printf("power cut at %v; %d files had acknowledged fsyncs\n", cut, len(durable))
+	fmt.Fprintf(out, "power cut at %v; %d files had acknowledged fsyncs\n", cut, len(durable))
 
+	// Phase 1: PMR partition audit, on the crash evidence BEFORE recovery
+	// formats it. Every entry persisted into initiator i's partition must
+	// carry i in its initiator-id dword: a mismatch means the partition
+	// arithmetic (or the attribute namespace) leaked one initiator's
+	// ordering domain into another's log — the corruption per-initiator
+	// recovery isolation depends on never happening.
 	bad := 0
+	bad += auditPartitions(c, out)
+
 	eng.Go("fsck", func(p *sim.Proc) {
 		c.RecoverFull(p)
 		fs2, st := fs.Recover(p, c, fcfg)
-		fmt.Printf("journal replay: %d committed transactions, %d incomplete discarded, %d inodes alive\n",
+		fmt.Fprintf(out, "journal replay: %d committed transactions, %d incomplete discarded, %d inodes alive\n",
 			st.Committed, st.Incomplete, st.InodesAlive)
 
 		names, err := fs2.List(p, "mail")
 		if err != nil {
-			fmt.Println("fsck: mail directory lost:", err)
+			fmt.Fprintln(out, "fsck: mail directory lost:", err)
 			bad++
 			return
 		}
 		sort.Strings(names)
-		if *verbose {
+		if cfg.verbose {
 			for _, n := range names {
 				f, _ := fs2.Open(p, "mail/"+n)
 				if f != nil {
-					fmt.Printf("  %-16s %6d bytes\n", n, f.Size())
+					fmt.Fprintf(out, "  %-16s %6d bytes\n", n, f.Size())
 				}
 			}
 		}
@@ -109,32 +167,106 @@ func main() {
 		for _, a := range durable {
 			f, err := fs2.Open(p, a.name)
 			if err != nil {
-				fmt.Printf("fsck: LOST acknowledged file %s\n", a.name)
+				fmt.Fprintf(out, "fsck: LOST acknowledged file %s\n", a.name)
 				bad++
 				continue
 			}
 			if f.Size() != a.size {
-				fmt.Printf("fsck: TORN %s: %d bytes, want %d\n", a.name, f.Size(), a.size)
+				fmt.Fprintf(out, "fsck: TORN %s: %d bytes, want %d\n", a.name, f.Size(), a.size)
 				bad++
 			}
 		}
 		// Check 2: never-fsynced file must be gone.
 		if _, err := fs2.Open(p, "mail/uncommitted"); err == nil {
-			fmt.Println("fsck: uncommitted file resurrected")
+			fmt.Fprintln(out, "fsck: uncommitted file resurrected")
 			bad++
 		}
 		// Check 3: directory entries all resolve to live inodes.
 		for _, n := range names {
 			if _, err := fs2.Open(p, "mail/"+n); err != nil {
-				fmt.Printf("fsck: dangling dirent %s\n", n)
+				fmt.Fprintf(out, "fsck: dangling dirent %s\n", n)
 				bad++
 			}
 		}
 	})
 	eng.Run()
-	if bad > 0 {
-		fmt.Printf("fsck: %d inconsistencies\n", bad)
-		os.Exit(1)
+
+	// Phase 3: replica sets must have converged byte-identically through
+	// whole-cluster recovery (replicaRepair re-replicates quorum-only
+	// groups inside the durable prefix).
+	if cfg.replicas > 1 {
+		bad += auditReplicaSets(c, out)
 	}
-	fmt.Println("fsck: clean — acknowledged data intact, uncommitted state rolled back")
+	return bad
+}
+
+// auditPartitions sweeps every target's per-initiator PMR log partitions
+// with the ordering engine's scan and verifies partition ownership via
+// the initiator-id dword. Returns the number of violations.
+func auditPartitions(c *stack.Cluster, out io.Writer) int {
+	bad := 0
+	inits := c.Initiators()
+	for ti := 0; ti < c.Targets(); ti++ {
+		t := c.Target(ti)
+		for i := 0; i < inits; i++ {
+			view := order.ScanPartition(ti, t.SSD(0).HasPLP(), t.PMRPartition(i))
+			marks, foreign := 0, 0
+			for _, e := range view.Entries {
+				if e.EpochMark {
+					marks++
+				}
+				if int(e.Initiator) != i {
+					foreign++
+				}
+			}
+			fmt.Fprintf(out, "target %d partition %d: %d attributes (%d epoch marks)\n",
+				ti, i, len(view.Entries), marks)
+			if foreign > 0 {
+				fmt.Fprintf(out, "fsck: %d entries in target %d's partition %d carry a FOREIGN initiator id\n",
+					foreign, ti, i)
+				bad += foreign
+			}
+		}
+	}
+	return bad
+}
+
+// auditReplicaSets compares the durable media of every replica set's
+// members block-for-block. Returns the number of diverging blocks.
+func auditReplicaSets(c *stack.Cluster, out io.Writer) int {
+	bad := 0
+	for set := 0; set < c.SetCount(); set++ {
+		members := c.SetMembers(set)
+		if len(members) < 2 {
+			continue
+		}
+		base := c.Target(members[0]).SSD(0)
+		setBad := 0
+		for _, m := range members[1:] {
+			ms := c.Target(m).SSD(0)
+			diverged := 0
+			for _, lba := range base.DurableLBAs() {
+				brec, _ := base.Durable(lba)
+				mrec, ok := ms.Durable(lba)
+				if !ok || mrec.Stamp != brec.Stamp {
+					diverged++
+				}
+			}
+			for _, lba := range ms.DurableLBAs() {
+				if _, ok := base.Durable(lba); !ok {
+					diverged++
+				}
+			}
+			if diverged > 0 {
+				fmt.Fprintf(out, "fsck: replica member %d diverges from member %d on %d blocks\n",
+					m, members[0], diverged)
+				setBad += diverged
+			}
+		}
+		if setBad == 0 {
+			fmt.Fprintf(out, "replica set %d: %d members byte-identical on durable media\n", set, len(members))
+		}
+		bad += setBad
+	}
+	return bad
 }

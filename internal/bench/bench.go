@@ -89,6 +89,7 @@ var Experiments = map[string]Runner{
 	"fig14":       Fig14Breakdown,
 	"fig15a":      Fig15aVarmail,
 	"fig15b":      Fig15bRocksDB,
+	"policy":      PolicySweep,
 	"recovery":    RecoveryTimes,
 	"replication": ReplicationSweep,
 	"scale":       ScaleSweep,

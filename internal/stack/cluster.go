@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/nvmeof"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -247,7 +248,7 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if r := c.cfg.Replicas; r > 1 {
 		c.writeQuorum = c.cfg.WriteQuorum
 		if c.writeQuorum == 0 {
-			c.writeQuorum = core.MajorityQuorum(r)
+			c.writeQuorum = order.Majority(r)
 		}
 	}
 	var devs []blockdev.DevRef
@@ -337,6 +338,27 @@ func (c *Cluster) StatsAll() ClusterStats {
 		s = s.Add(in.stats)
 	}
 	return s
+}
+
+// TargetStatsAll returns the sum of every target server's counters
+// (fleet-wide command processing, PMR traffic and hot-path allocations).
+func (c *Cluster) TargetStatsAll() TargetStats {
+	var s TargetStats
+	for _, t := range c.targets {
+		s = s.Add(t.stats)
+	}
+	return s
+}
+
+// OrderAudit runs the ordering engine's dense-chain audit on every
+// target and returns the total number of violations (0 on a healthy
+// cluster).
+func (c *Cluster) OrderAudit() int {
+	bad := 0
+	for _, t := range c.targets {
+		bad += t.ord.Audit()
+	}
+	return bad
 }
 
 // Sequencer exposes initiator 0's Rio sequencer (tests, recovery).

@@ -19,6 +19,7 @@ package stack
 
 import (
 	"repro/internal/fabric"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -43,6 +44,22 @@ func (m Mode) String() string {
 		return "horae"
 	default:
 		return "rio"
+	}
+}
+
+// Policy returns the ordering-engine policy this stack instantiates:
+// the four modes drive the one engine (internal/order) through these
+// four policies instead of scattering mode switches through the target.
+func (m Mode) Policy() order.Policy {
+	switch m {
+	case ModeOrderless:
+		return order.Orderless{}
+	case ModeLinux:
+		return order.LinuxOrdered{}
+	case ModeHorae:
+		return order.Horae{}
+	default:
+		return order.Rio{}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/nvmeof"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -123,13 +124,13 @@ func (c *Cluster) PowerCutAll() {
 	}
 }
 
-// scanViews reads PMR regions, transfers the ordering attributes to the
-// recovering initiator, and returns the per-server views. onlyInit < 0
-// scans every initiator's partition (whole-cluster recovery); otherwise
-// only that initiator's partitions are swept and shipped, so one
-// initiator's recovery cost is independent of its neighbors'. Servers
-// scan in parallel (§4.3.2: "each server persists/validates in
-// parallel").
+// scanViews reads PMR regions via the ordering engine's partition scan,
+// transfers the ordering attributes to the recovering initiator, and
+// returns the per-server views. onlyInit < 0 scans every initiator's
+// partition (whole-cluster recovery); otherwise only that initiator's
+// partitions are swept and shipped, so one initiator's recovery cost is
+// independent of its neighbors'. Servers scan in parallel (§4.3.2:
+// "each server persists/validates in parallel").
 func (c *Cluster) scanViews(p *sim.Proc, onlyInit int) []core.ServerView {
 	views := make([]core.ServerView, len(c.targets))
 	wg := sim.NewWaitGroup(c.Eng)
@@ -153,7 +154,7 @@ func (c *Cluster) scanViews(p *sim.Proc, onlyInit int) []core.ServerView {
 			}
 			regionBytes := (len(region) / core.EntrySize) * c.pmrEntryWireSize()
 			sp.Sleep(sim.Time(regionBytes) * pmrScanPerByte)
-			entries := core.ScanRegion(region)
+			view := order.ScanPartition(i, t.ssds[0].HasPLP(), region)
 			// Ship the attributes to the initiator over the fabric. Use
 			// the recovering initiator's connection when known, else
 			// initiator 0's (whole-cluster recovery is orchestrated once).
@@ -161,14 +162,10 @@ func (c *Cluster) scanViews(p *sim.Proc, onlyInit int) []core.ServerView {
 			if onlyInit >= 0 {
 				conn = t.conns[onlyInit]
 			}
-			if n := len(entries) * c.pmrEntryWireSize(); n > 0 && conn.Up() {
+			if n := len(view.Entries) * c.pmrEntryWireSize(); n > 0 && conn.Up() {
 				conn.BulkWrite(sp, fabric.Target, n)
 			}
-			views[i] = core.ServerView{
-				Server:  i,
-				PLP:     t.ssds[0].HasPLP(),
-				Entries: entries,
-			}
+			views[i] = view
 		})
 	}
 	wg.Wait(p)
@@ -192,12 +189,9 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 			conn.Reconnect()
 		}
 	}
-	for _, in := range c.inits {
-		in.alive = true
-	}
 	start := p.Now()
 	views := c.scanViews(p, -1)
-	report := core.Analyze(views)
+	report := order.MergeViews(views)
 	tm.OrderRebuild = p.Now() - start
 
 	start = p.Now()
@@ -222,6 +216,14 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 		core.Format(t.ssds[0].PMRBytes())
 		t.resetOrderingState()
 	}
+	// Only now may the initiators accept new work (same rule as
+	// RecoverInitiator): an application loop gated on Alive() that
+	// resumed during the scan would stage commands the format above is
+	// about to orphan — ghost entries the fresh gates would wait on
+	// forever.
+	for _, in := range c.inits {
+		in.alive = true
+	}
 	return report, tm
 }
 
@@ -242,7 +244,7 @@ func (c *Cluster) RecoverInitiator(p *sim.Proc, i int) (*core.Report, RecoveryTi
 
 	start := p.Now()
 	views := c.scanViews(p, i)
-	report := core.Analyze(views)
+	report := order.MergeViews(views)
 	tm.OrderRebuild = p.Now() - start
 
 	start = p.Now()
@@ -349,13 +351,19 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 	for _, sd := range t.ssds {
 		sd.Restart()
 	}
-	for _, conn := range t.conns {
-		conn.Reconnect()
-	}
+	// The connections stay DOWN until replay is prepared: the scan below
+	// costs tens of simulated milliseconds, and live traffic reaching the
+	// restarted target in that window would run through stale pre-crash
+	// gate state and pre-format PMR partitions — and a command posted
+	// during the window could be collected into the replay set while its
+	// original capsule is still in flight, so the replay's vector re-marks
+	// would corrupt the capsule's framing. With the links down, new
+	// dispatches toward the target are dropped whole (exactly like
+	// in-flight work at the cut) and repaired by the same replay.
 
 	start := p.Now()
 	views := c.scanViews(p, -1)
-	report := core.Analyze(views)
+	report := order.MergeViews(views)
 	tm.OrderRebuild = p.Now() - start
 
 	start = p.Now()
@@ -383,6 +391,11 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 		replays[idx] = in.prepareReplay(i)
 		tm.Replayed += len(replays[idx])
 	}
+	// Reconnect in the same no-yield region: from the first replay (or
+	// live) posting onward the target sees only fresh-chain indices.
+	for _, conn := range t.conns {
+		conn.Reconnect()
+	}
 	// Then each initiator repairs its own chain independently.
 	for idx, in := range c.inits {
 		if len(replays[idx]) > 0 {
@@ -402,7 +415,7 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 // traffic — hits the wire.
 func (in *Initiator) prepareReplay(target int) []*wireState {
 	for s := 0; s < in.cfg.Streams; s++ {
-		delete(in.retireMark, [2]int{s, target})
+		in.clearRetireMark(s, target)
 	}
 	var replay []*wireState
 	for _, ws := range in.outstanding {

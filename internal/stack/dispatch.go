@@ -42,6 +42,14 @@ func (in *Initiator) attachTicket(req *blockdev.Request, st *core.StreamSeq) {
 // downstream is asynchronous.
 func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
 	in.useInitCPU(p, in.costs.SubmitBio)
+	if !in.alive {
+		// The initiator was power-cut while this submission waited for
+		// CPU: the request dies un-staged (its Done never fires), like
+		// any other in-flight work of the dead incarnation. Staging it
+		// would consume fresh-incarnation sequence state for a command
+		// the application already considers lost.
+		return
+	}
 	in.attachTicket(req, in.seq.Stream(req.Stream))
 	in.plugAdd(p, req)
 }
@@ -50,6 +58,9 @@ func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
 // as the hardware reports it.
 func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 	in.useInitCPU(p, in.costs.SubmitBio)
+	if !in.alive {
+		return // power-cut mid-submission: the request dies un-staged
+	}
 	in.plugAdd(p, req)
 }
 
@@ -126,6 +137,9 @@ func (in *Initiator) dispatchPlug(p *sim.Proc, sh *shard) {
 // where D dispatch is cheap but JM and JC each pay a control round trip.
 func (in *Initiator) submitHorae(p *sim.Proc, req *blockdev.Request) {
 	in.useInitCPU(p, in.costs.SubmitBio)
+	if !in.alive {
+		return // power-cut mid-submission: the request dies un-staged
+	}
 	st := in.seq.Stream(req.Stream)
 	in.attachTicket(req, st)
 	buf := in.horaeBuf(req.Stream)
@@ -230,23 +244,17 @@ func (in *Initiator) deliver(req *blockdev.Request) {
 				// Replicated command: advance the retire watermark of every
 				// member that acked by now (laggard acks advance their own in
 				// replAck), and recycle only once all members resolved.
-				for k, m := range ws.repl.members {
-					if !ws.repl.got[k] || ws.repl.idx[k] == 0 {
+				for k, m := range ws.repl.q.Members {
+					if !ws.repl.q.Got[k] || ws.repl.idx[k] == 0 {
 						continue
 					}
-					key := [2]int{ws.stream, m}
-					if ws.repl.idx[k] > in.retireMark[key] {
-						in.retireMark[key] = ws.repl.idx[k]
-					}
+					in.bumpRetireMark(ws.stream, m, ws.repl.idx[k])
 				}
 				in.maybeRecycleRepl(ws)
 				continue
 			}
 			if ws.serverIdx > 0 {
-				k := [2]int{ws.stream, ws.target}
-				if ws.serverIdx > in.retireMark[k] {
-					in.retireMark[k] = ws.serverIdx
-				}
+				in.bumpRetireMark(ws.stream, ws.target, ws.serverIdx)
 			}
 			if ws.epoch == in.epoch && !ws.pinned {
 				in.shards[ws.stream].putWire(in, ws)
@@ -288,6 +296,15 @@ func (in *Initiator) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Re
 	}
 	if in.cfg.MergeEnabled && len(wires) > 1 {
 		wires = in.fuseWires(p, wires)
+	}
+	if !in.alive {
+		// A power cut landed while this batch was mid-dispatch (the
+		// merge pass yields): minting per-server indices now would burn
+		// fresh-incarnation chain slots on dead commands, parking the
+		// next live command forever at the target gate. The batch dies
+		// here with the rest of the incarnation's in-flight work.
+		sh.putBatchBuf(wires)
+		return
 	}
 	in.assignOrderState(wires)
 	in.useInitCPU(p, in.costs.CmdBuild*sim.Time(len(wires)))
@@ -580,8 +597,7 @@ func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 			continue
 		}
 		if in.cfg.Mode == ModeRio {
-			k := [2]int{stream, ti}
-			if mark := in.retireMark[k]; mark > 0 {
+			if mark := in.retireMarkAt(stream, ti); mark > 0 {
 				cp.retires = append(cp.retires, retire{stream: uint16(stream), upTo: mark})
 			}
 		}

@@ -37,9 +37,13 @@ type Initiator struct {
 	outstanding map[uint64]*wireState
 	nextCmdID   uint64
 	linuxMu     *sim.Resource
-	retireMark  map[[2]int]uint64 // {stream, target} -> watermark
-	epoch       int
-	alive       bool
+	// retireMark is the dense {stream, target} watermark table (index
+	// stream*len(targets)+target): streams and targets are fixed at
+	// construction, so the delivery hot path indexes a slice instead of
+	// hashing a two-int map key per request.
+	retireMark []uint64
+	epoch      int
+	alive      bool
 
 	// fuseWires scratch: per-device batch tails, generation-stamped so a
 	// dispatch never reads a previous batch's tail (the slice is only
@@ -71,7 +75,7 @@ func newInitiator(c *Cluster, id int) *Initiator {
 		seq:         core.NewSequencerFor(uint16(id), c.cfg.Streams),
 		outstanding: make(map[uint64]*wireState),
 		linuxMu:     sim.NewResource(c.Eng, 1),
-		retireMark:  make(map[[2]int]uint64),
+		retireMark:  make([]uint64, c.cfg.Streams*len(c.targets)),
 		alive:       true,
 	}
 	in.fuseTails = make([]fuseTail, c.vol.Devices())
@@ -110,6 +114,37 @@ func (in *Initiator) Cluster() *Cluster { return in.c }
 // Util snapshots this initiator's CPU for utilization windows.
 func (in *Initiator) Util() metrics.UtilSnapshot {
 	return metrics.SnapUtil(in.cores, in.Eng.Now())
+}
+
+// retireMarkAt returns the {stream, target} retire watermark.
+func (in *Initiator) retireMarkAt(stream, target int) uint64 {
+	return in.retireMark[stream*len(in.targets)+target]
+}
+
+// bumpRetireMark advances the {stream, target} watermark to idx if it is
+// ahead of the recorded one.
+func (in *Initiator) bumpRetireMark(stream, target int, idx uint64) {
+	k := stream*len(in.targets) + target
+	if idx > in.retireMark[k] {
+		in.retireMark[k] = idx
+	}
+}
+
+// clearRetireMark restarts the {stream, target} watermark after the
+// target's chain was reset (replay and resync recoveries).
+func (in *Initiator) clearRetireMark(stream, target int) {
+	in.retireMark[stream*len(in.targets)+target] = 0
+}
+
+// retireMarksSet counts watermarks that have advanced (tests).
+func (in *Initiator) retireMarksSet() int {
+	n := 0
+	for _, m := range in.retireMark {
+		if m > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // reapShard routes a completion capsule arriving on a queue pair to the
@@ -346,10 +381,16 @@ func (in *Initiator) qpFor(stream int) int {
 // every shard pool — and opens a new epoch so in-flight traffic of the
 // old incarnation is recognized and dropped everywhere.
 func (in *Initiator) crashVolatile() {
+	// The server is dark until its recovery completes: Alive() gates the
+	// application loops, and the submit paths re-check it after their
+	// yields so a submission that straddled the cut dies un-staged
+	// instead of minting fresh-incarnation sequence state for a command
+	// the cut already lost.
+	in.alive = false
 	in.epoch++
 	in.seq = core.NewSequencerFor(uint16(in.id), in.cfg.Streams)
 	in.outstanding = make(map[uint64]*wireState)
-	in.retireMark = make(map[[2]int]uint64)
+	in.retireMark = make([]uint64, in.cfg.Streams*len(in.targets))
 	for _, sh := range in.shards {
 		sh.crashReset()
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/nvmeof"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -16,8 +17,11 @@ import (
 // path fans every vectored batch to every in-sync member of the set with
 // the same ordering attributes but per-replica dense ServerIdx chains,
 // so RIO's per-(initiator, stream) ordering invariants hold on every
-// replica independently (per-replica PMR append, per-replica in-order
-// gate). The sequencer delivers a completion once a write quorum of
+// replica independently. There is no replica-specific ordering code at
+// the members: each member target runs its own ordering engine
+// (internal/order) — a replica set is N engine domains per stream — and
+// the initiator's quorum adapter (order.Quorum) accounts member acks on
+// top. The sequencer delivers a completion once a write quorum of
 // members acked; reads are served from any in-sync member. A power-cut
 // member degrades the set (survivors keep completing at quorum, the
 // degraded window is evidenced by epoch marks in the survivors' PMR) and
@@ -98,60 +102,32 @@ func (rs *replicaSet) addDirty(member int, d dirtyExtent) {
 	rs.dirty[k] = append(rs.dirty[k], d)
 }
 
-// replState is the per-wire-command replication tracker: which members
-// the command was fanned to, the per-member encoded SQE and attribute
-// chain indices, and the quorum accounting that decides when the
-// completion may be delivered (acks >= need) and when the command may be
-// finalized (every member resolved — acked, or cancelled by a power
-// cut). All slices are parallel to members.
+// replState is the per-wire-command replication tracker: the quorum
+// adapter (which members the command fanned to and the ack/resolution
+// accounting that decides delivery and finalization — order.Quorum), plus
+// the wire-format payloads the stack keeps per member: the encoded SQE,
+// the attribute chain and the last ServerIdx (retire watermarks). The
+// payload slices are parallel to q.Members.
 type replState struct {
-	set      int
-	members  []int
-	sqes     []nvmeof.SQE
-	attrs    [][]core.Attr // nil per member for plain writes and flushes
-	idx      []uint64      // last ServerIdx per member (retire watermarks)
-	got      []bool        // genuine CQE received
-	resolved []bool        // acked or cancelled
-
-	acks      int
-	nResolved int
-	need      int // write quorum (for flushes: every posted member)
-	fired     bool
-	recycled  bool
+	q     order.Quorum
+	sqes  []nvmeof.SQE
+	attrs [][]core.Attr // nil per member for plain writes and flushes
+	idx   []uint64      // last ServerIdx per member (retire watermarks)
 }
 
 func (r *replState) reset() {
-	r.members = r.members[:0]
+	r.q.Reset()
 	r.sqes = r.sqes[:0]
 	r.attrs = r.attrs[:0]
 	r.idx = r.idx[:0]
-	r.got = r.got[:0]
-	r.resolved = r.resolved[:0]
-	r.acks, r.nResolved, r.need = 0, 0, 0
-	r.fired, r.recycled = false, false
 }
 
 func (r *replState) addMember(m int, sqe nvmeof.SQE, attrs []core.Attr, idx uint64) {
-	r.members = append(r.members, m)
+	r.q.Add(m)
 	r.sqes = append(r.sqes, sqe)
 	r.attrs = append(r.attrs, attrs)
 	r.idx = append(r.idx, idx)
-	r.got = append(r.got, false)
-	r.resolved = append(r.resolved, false)
 }
-
-func (r *replState) pos(target int) int {
-	for k, m := range r.members {
-		if m == target {
-			return k
-		}
-	}
-	return -1
-}
-
-// done reports whether every member copy resolved (the command holds no
-// more in-flight state anywhere).
-func (r *replState) done() bool { return r.nResolved == len(r.members) }
 
 func (ws *wireState) ensureRepl() *replState {
 	if ws.repl == nil {
@@ -254,8 +230,8 @@ func (in *Initiator) assignReplicated(wires []*wireState) {
 		set := ref.Server
 		rs := in.c.replSets[set]
 		r := ws.ensureRepl()
-		r.set = set
-		r.need = in.c.writeQuorum
+		r.q.Set = set
+		r.q.Need = in.c.writeQuorum
 		ordered := ws.wc.Ordered && in.cfg.Mode == ModeRio
 		var st *core.StreamSeq
 		if ordered {
@@ -299,14 +275,14 @@ func (in *Initiator) assignReplicated(wires []*wireState) {
 func (in *Initiator) populateGenericRepl(ws *wireState) {
 	rs := in.c.replSets[ws.target]
 	r := ws.ensureRepl()
-	r.set = ws.target
+	r.q.Set = ws.target
 	for k, m := range rs.members {
 		if !rs.inSync[k] {
 			continue
 		}
 		r.addMember(m, ws.sqe, nil, 0)
 	}
-	r.need = len(r.members)
+	r.q.Need = len(r.q.Members)
 }
 
 // postReplicated is postByTarget for a replicated cluster: the batch is
@@ -319,7 +295,7 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 	in.stats.WireCmds += int64(len(wires))
 	caps := make([][]*wireState, len(in.c.replSets))
 	for _, ws := range wires {
-		if ws.repl == nil || len(ws.repl.members) == 0 {
+		if ws.repl == nil || len(ws.repl.q.Members) == 0 {
 			in.populateGenericRepl(ws)
 		}
 		caps[ws.target] = append(caps[ws.target], ws)
@@ -332,7 +308,7 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 		// All commands of one dispatch batch snapshot the same membership
 		// (no yield between their assignments), so the first command's
 		// member list is the batch's.
-		members := cmds[0].repl.members
+		members := cmds[0].repl.q.Members
 		for k, m := range members {
 			cp := &capsule{epoch: in.epoch, member: m}
 			var inline int
@@ -348,7 +324,7 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 				ws.qp = qp
 			}
 			if in.cfg.Mode == ModeRio {
-				if mark := in.retireMark[[2]int{stream, m}]; mark > 0 {
+				if mark := in.retireMarkAt(stream, m); mark > 0 {
 					cp.retires = append(cp.retires, retire{stream: uint16(stream), upTo: mark})
 				}
 			}
@@ -367,29 +343,22 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 // copy resolved, so a straggler ack can never reference freed state.
 func (in *Initiator) replAck(p *sim.Proc, ws *wireState, from int) {
 	r := ws.repl
-	k := r.pos(from)
-	if k < 0 || r.resolved[k] {
+	k := r.q.Pos(from)
+	if !r.q.Ack(k) {
 		return // duplicate, or a member cancelled by a power cut
 	}
-	r.resolved[k] = true
-	r.got[k] = true
-	r.acks++
-	r.nResolved++
-	if !r.fired && r.acks >= r.need {
-		r.fired = true
+	if !r.q.Fired && r.q.Acks >= r.q.Need {
+		r.q.Fired = true
 		ws.hwDone.Fire()
 		in.deliverCompletions(p, ws)
 	}
 	// A member ack arriving after the request was delivered advances that
 	// member's retire watermark (the delivery path advanced the marks of
 	// members that had acked by then).
-	if r.fired && ws.pendingRq == 0 && r.idx[k] > 0 {
-		key := [2]int{ws.stream, from}
-		if r.idx[k] > in.retireMark[key] {
-			in.retireMark[key] = r.idx[k]
-		}
+	if r.q.Fired && ws.pendingRq == 0 && r.idx[k] > 0 {
+		in.bumpRetireMark(ws.stream, from, r.idx[k])
 	}
-	if r.done() {
+	if r.q.Done() {
 		in.finalizeRepl(ws)
 	}
 }
@@ -406,10 +375,10 @@ func (in *Initiator) finalizeRepl(ws *wireState) {
 // delivered, every origin request delivered, every member resolved.
 func (in *Initiator) maybeRecycleRepl(ws *wireState) {
 	r := ws.repl
-	if r.recycled || !r.fired || !r.done() || ws.pendingRq != 0 || ws.pinned || ws.epoch != in.epoch {
+	if r.q.Recycled || !r.q.Fired || !r.q.Done() || ws.pendingRq != 0 || ws.pinned || ws.epoch != in.epoch {
 		return
 	}
-	r.recycled = true
+	r.q.Recycled = true
 	in.shards[ws.stream].putWire(in, ws)
 }
 
@@ -431,7 +400,7 @@ func (c *Cluster) degradeMember(m int) {
 		// Deterministic sweep order: outstanding is a map.
 		ids := make([]uint64, 0, len(in.outstanding))
 		for id, ws := range in.outstanding {
-			if ws.repl != nil && ws.repl.set == rs.id {
+			if ws.repl != nil && ws.repl.q.Set == rs.id {
 				ids = append(ids, id)
 			}
 		}
@@ -439,19 +408,16 @@ func (c *Cluster) degradeMember(m int) {
 		for _, id := range ids {
 			ws := in.outstanding[id]
 			r := ws.repl
-			k := r.pos(m)
-			if k < 0 || r.resolved[k] {
+			if !r.q.Cancel(r.q.Pos(m)) {
 				continue
 			}
-			r.resolved[k] = true
-			r.nResolved++
 			if ws.flushWire {
 				// A barrier now certifies the surviving members only.
-				if r.need > 0 {
-					r.need--
+				if r.q.Need > 0 {
+					r.q.Need--
 				}
-				if !r.fired && r.acks >= r.need && r.acks > 0 {
-					r.fired = true
+				if !r.q.Fired && r.q.Acks >= r.q.Need && r.q.Acks > 0 {
+					r.q.Fired = true
 					ws.hwDone.Fire()
 				}
 			} else {
@@ -460,7 +426,7 @@ func (c *Cluster) degradeMember(m int) {
 					init: in.id, wsID: ws.id, ws: ws,
 				})
 			}
-			if r.done() {
+			if r.q.Done() {
 				in.finalizeRepl(ws)
 			}
 		}
@@ -468,9 +434,10 @@ func (c *Cluster) degradeMember(m int) {
 }
 
 // appendEpochMarks persists the set's new membership epoch into every
-// live member's PMR partitions (one mark per initiator partition). The
-// slot is retired immediately — a mark is evidence, not ordering state,
-// and must never hold the circular log's head back.
+// live member's PMR partitions (one mark per initiator partition), via
+// the engine's mark helper: appended, persisted and immediately retired
+// — a mark is evidence, not ordering state, and must never hold the
+// circular log's head back.
 func (c *Cluster) appendEpochMarks(rs *replicaSet, member int) {
 	for k, mt := range rs.members {
 		if !rs.inSync[k] {
@@ -481,11 +448,7 @@ func (c *Cluster) appendEpochMarks(rs *replicaSet, member int) {
 			continue
 		}
 		for i := 0; i < c.cfg.Initiators; i++ {
-			a := core.EpochMarkAttr(uint16(i), rs.id, rs.epoch, member)
-			if slot, ok := t.logs[i].Append(a); ok {
-				t.logs[i].MarkPersist(slot)
-				t.logs[i].Retire(slot)
-			}
+			order.AppendEpochMark(t.logs[i], core.EpochMarkAttr(uint16(i), rs.id, rs.epoch, member))
 		}
 	}
 }
@@ -502,7 +465,7 @@ func (c *Cluster) extentSettled(d dirtyExtent) bool {
 		return true // the owning initiator crashed; copy whatever peers hold
 	}
 	r := d.ws.repl
-	return r == nil || r.done()
+	return r == nil || r.q.Done()
 }
 
 // resyncTarget is target recovery under replication: background resync
@@ -542,7 +505,7 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 			st.ResetServerChain(m)
 		}
 		for s := 0; s < in.cfg.Streams; s++ {
-			delete(in.retireMark, [2]int{s, m})
+			in.clearRetireMark(s, m)
 		}
 	}
 
@@ -555,13 +518,13 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 		region := pt.ssds[0].PMRBytes()
 		regionBytes := (len(region) / core.EntrySize) * c.pmrEntryWireSize()
 		p.Sleep(sim.Time(regionBytes) * pmrScanPerByte)
-		entries := core.ScanRegion(region)
-		if n := len(entries) * c.pmrEntryWireSize(); n > 0 && t.conns[0].Up() {
+		view := order.ScanPartition(peer, pt.ssds[0].HasPLP(), region)
+		if n := len(view.Entries) * c.pmrEntryWireSize(); n > 0 && t.conns[0].Up() {
 			t.conns[0].BulkWrite(p, fabric.Target, n)
 		}
-		report = core.Analyze([]core.ServerView{{Server: peer, PLP: pt.ssds[0].HasPLP(), Entries: entries}})
+		report = order.MergeViews([]core.ServerView{view})
 	} else {
-		report = core.Analyze(nil)
+		report = order.MergeViews(nil)
 	}
 	tm.OrderRebuild = p.Now() - start
 
@@ -589,13 +552,13 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 // poison the fresh log partition's retirement.
 func (in *Initiator) replResyncAck(p *sim.Proc, ws *wireState, member int) {
 	r := ws.repl
-	k := r.pos(member)
-	if k >= 0 && r.got[k] {
+	k := r.q.Pos(member)
+	if k >= 0 && r.q.Got[k] {
 		return // the member genuinely acked before the cut
 	}
-	r.acks++
-	if !r.fired && r.acks >= r.need {
-		r.fired = true
+	r.q.Acks++
+	if !r.q.Fired && r.q.Acks >= r.q.Need {
+		r.q.Fired = true
 		ws.hwDone.Fire()
 		in.deliverCompletions(p, ws)
 	}

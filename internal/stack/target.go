@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/nvmeof"
+	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -22,41 +23,63 @@ type TargetStats struct {
 	CQEs       int64 // completion entries those capsules carried
 	Flushes    int64
 	Vectors    int64 // vectored command batches validated intact
+	Allocs     int64 // hot-path heap allocations (completion events, slot/stamp bursts, decoded attr chains) not served from the free lists
 }
 
-// domainKey identifies one ordering domain at the target: stream ids are
-// scoped per initiator, so gates and retire watermarks key on the pair.
-type domainKey struct {
-	init   int
-	stream uint16
+// AllocsPerCmd returns target-side hot-path allocations per processed
+// command — the dense-table/pooling headline the policy experiment gates.
+func (s TargetStats) AllocsPerCmd() float64 {
+	if s.Commands == 0 {
+		return 0
+	}
+	return float64(s.Allocs) / float64(s.Commands)
 }
 
-// slotKey locates one PMR entry by its ordering identity.
-type slotKey struct {
-	init      int
-	stream    uint16
-	serverIdx uint64
+// Sub returns the counter deltas s - old (for measurement windows).
+func (s TargetStats) Sub(old TargetStats) TargetStats {
+	return TargetStats{
+		Capsules:   s.Capsules - old.Capsules,
+		Commands:   s.Commands - old.Commands,
+		CtrlOps:    s.CtrlOps - old.CtrlOps,
+		Holdbacks:  s.Holdbacks - old.Holdbacks,
+		PMRAppends: s.PMRAppends - old.PMRAppends,
+		PMRToggles: s.PMRToggles - old.PMRToggles,
+		Responses:  s.Responses - old.Responses,
+		CQEs:       s.CQEs - old.CQEs,
+		Flushes:    s.Flushes - old.Flushes,
+		Vectors:    s.Vectors - old.Vectors,
+		Allocs:     s.Allocs - old.Allocs,
+	}
 }
 
-// slotRef names one PMR slot together with the initiator partition it
-// lives in and that initiator's epoch when the slot was recorded
-// (Horae's unflushed lists mix initiators per SSD, and a captured ref
-// may sit behind a device FLUSH while its owner crash-recovers — the
-// epoch check keeps a stale ref from touching a freshly formatted log).
-type slotRef struct {
-	init  int
-	slot  uint64
-	epoch int
+// Add returns the counter sums s + o (for fleet-wide aggregation).
+func (s TargetStats) Add(o TargetStats) TargetStats {
+	return TargetStats{
+		Capsules:   s.Capsules + o.Capsules,
+		Commands:   s.Commands + o.Commands,
+		CtrlOps:    s.CtrlOps + o.CtrlOps,
+		Holdbacks:  s.Holdbacks + o.Holdbacks,
+		PMRAppends: s.PMRAppends + o.PMRAppends,
+		PMRToggles: s.PMRToggles + o.PMRToggles,
+		Responses:  s.Responses + o.Responses,
+		CQEs:       s.CQEs + o.CQEs,
+		Flushes:    s.Flushes + o.Flushes,
+		Vectors:    s.Vectors + o.Vectors,
+		Allocs:     s.Allocs + o.Allocs,
+	}
 }
 
 // tDone is one SSD completion routed to the target's completion context.
+// Instances recycle through the target's free list (doneLoop owns the
+// put), so steady-state completion traffic allocates nothing.
 type tDone struct {
-	ws    *wireState
-	slots []uint64 // PMR entries of this command (vector commands: several)
+	ws     *wireState
+	slots  []uint64 // PMR entries of this command (vector commands: several)
+	stamps []uint64 // pooled per-block stamp burst (nil when the wire command owns the stamps)
 	// isFlush marks the completion of a FLUSH the target issued on behalf
 	// of a flush-carrying ordered write (ws is that write).
 	isFlush    bool
-	flushSlots []slotRef // additional slots this flush certifies (Horae)
+	flushSlots []order.SlotRef // additional slots this flush certifies (Horae)
 	// flushQP, when > 0, is a CQE hold-timer expiry for QP flushQP-1 of
 	// initiator flushInit: no SSD completion, just "flush that queue
 	// pair's pending responses". Routed through doneQ so the flush runs
@@ -70,22 +93,25 @@ type tDone struct {
 // parkedCmd is one held-back command at an in-order gate, together with
 // the attribute chain it arrived with (under replication the attributes
 // travel in the member's capsule, not in the shared wireState, so they
-// must be retained across the park).
+// must be retained across the park). It is the payload type the ordering
+// engine's parked rings hold for this target.
 type parkedCmd struct {
 	ws    *wireState
 	attrs []core.Attr
-}
-
-type tgate struct {
-	next   uint64 // next expected ServerIdx for this (initiator, stream)
-	parked map[uint64]parkedCmd
+	// pooled marks an attribute chain the TARGET decoded into a pooled
+	// buffer (single-attribute Rio commands); chains that arrived in a
+	// capsule or live in the wireState are owned elsewhere and must not
+	// be recycled here.
+	pooled bool
 }
 
 // Target is one target server: CPU cores, an RDMA connection per
 // initiator, SSDs, and (for Rio/Horae) the PMR ordering-attribute log on
 // its first SSD, partitioned into one region per initiator so each
 // initiator's ordering domain appends, retires and recovers
-// independently.
+// independently. All gate/chain/retire/flush-certification state lives
+// in the ordering engine (internal/order): one dense Domain per
+// (initiator, stream), indexed without hashing on the per-command path.
 type Target struct {
 	c     *Cluster
 	id    int
@@ -93,15 +119,22 @@ type Target struct {
 	conns []*fabric.Conn // one per initiator
 	ssds  []*ssd.SSD
 
-	logs      []*core.Log // per-initiator PMR partitions
-	logSpace  []*sim.Cond // per-initiator append backpressure
-	slotBy    map[slotKey]uint64
-	retiredTo map[domainKey]uint64 // retired watermark per ordering domain
-	gates     map[domainKey]*tgate
-	unflushed map[int][]slotRef // per SSD: completed-but-unflushed slots (Horae, non-PLP)
+	logs     []*core.Log // per-initiator PMR partitions
+	logSpace []*sim.Cond // per-initiator append backpressure
+	ord      *order.Engine[parkedCmd]
+	pol      order.Policy
 
 	rxQs  [][]*sim.Queue[*capsule] // [initiator][qp]: per-QP arrivals process serially
 	doneQ *sim.Queue[*tDone]
+
+	// Completion-event free lists: tDone structs, the PMR slot bursts
+	// they carry, and the per-block stamp bursts ordered writes are
+	// submitted with. Misses are heap allocations, counted in
+	// stats.Allocs.
+	doneFree   []*tDone
+	slotsFree  [][]uint64
+	stampsFree [][]uint64
+	attrsFree  [][]core.Attr
 
 	// Completion coalescing state, per (initiator, QP): CQEs awaiting
 	// flush, the initiator epoch they were minted under, when the oldest
@@ -127,6 +160,7 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 		c:     c,
 		id:    id,
 		cores: sim.NewResource(c.Eng, c.cfg.TargetCores),
+		pol:   c.cfg.Mode.Policy(),
 		alive: true,
 		doneQ: sim.NewQueue[*tDone](c.Eng),
 	}
@@ -204,54 +238,42 @@ func (t *Target) pmrRegion(init int) []byte {
 	return region[init*per : (init+1)*per]
 }
 
-// resetOrderingState reinitializes every initiator's PMR log partition,
-// the gates and the slot maps; called at construction and after a
-// restart+recovery of the whole target.
+// resetOrderingState reinitializes every initiator's PMR log partition
+// and the ordering engine (every domain's gate, slot table and retire
+// watermark); called at construction and after a restart+recovery of the
+// whole target.
 func (t *Target) resetOrderingState() {
 	n := t.c.cfg.Initiators
+	// Wake every appender parked on the old logs' space before the conds
+	// are replaced: a waiter left on an orphaned cond would never run
+	// again, permanently killing its receive worker. The woken append
+	// notices its log was replaced and drops the dead-incarnation
+	// attribute instead of leaking it into the fresh evidence.
+	for _, cond := range t.logSpace {
+		cond.Broadcast()
+	}
 	t.logs = make([]*core.Log, n)
 	t.logSpace = make([]*sim.Cond, n)
 	for i := 0; i < n; i++ {
 		t.logs[i] = core.NewLog(t.pmrRegion(i))
 		t.logSpace[i] = sim.NewCond(t.c.Eng)
 	}
-	t.slotBy = make(map[slotKey]uint64)
-	t.retiredTo = make(map[domainKey]uint64)
-	t.gates = make(map[domainKey]*tgate)
-	t.unflushed = make(map[int][]slotRef)
+	if t.ord == nil {
+		t.ord = order.NewEngine[parkedCmd](t.pol, n, t.c.cfg.Streams, len(t.ssds), t.c.cfg.MaxPlug)
+	} else {
+		t.ord.Reset()
+	}
 }
 
 // resetInitiatorState reinitializes ONE initiator's ordering state — its
-// PMR log partition, gates, slots and watermarks — leaving every other
-// initiator's untouched. Used by single-initiator crash recovery.
+// PMR log partition and its engine domains (gates, slots, watermarks) —
+// leaving every other initiator's untouched. Used by single-initiator
+// crash recovery.
 func (t *Target) resetInitiatorState(init int) {
 	t.logs[init] = core.NewLog(t.pmrRegion(init))
 	t.logSpace[init].Broadcast() // anyone waiting on the dead log's space
 	t.logSpace[init] = sim.NewCond(t.c.Eng)
-	for k := range t.slotBy {
-		if k.init == init {
-			delete(t.slotBy, k)
-		}
-	}
-	for k := range t.retiredTo {
-		if k.init == init {
-			delete(t.retiredTo, k)
-		}
-	}
-	for k := range t.gates {
-		if k.init == init {
-			delete(t.gates, k)
-		}
-	}
-	for ssdIdx, refs := range t.unflushed {
-		kept := refs[:0]
-		for _, r := range refs {
-			if r.init != init {
-				kept = append(kept, r)
-			}
-		}
-		t.unflushed[ssdIdx] = kept
-	}
+	t.ord.ResetInitiator(init)
 }
 
 // Stats returns the target counters.
@@ -261,30 +283,18 @@ func (t *Target) Stats() TargetStats { return t.stats }
 // ordering domain at this target (0 if it never advanced) — exposed so
 // benches and tests can verify per-initiator PMR recycling.
 func (t *Target) RetiredTo(init int, stream uint16) uint64 {
-	return t.retiredTo[domainKey{init, stream}]
+	return t.ord.RetiredTo(init, stream)
 }
 
 // GateAudit verifies the dense-ServerIdx-chain invariant of every
-// in-order submission gate: a parked command always waits for a genuine
-// predecessor (its index is strictly beyond the gate's next expected
-// one). A parked index at or below the frontier means the chain skipped
-// or duplicated an entry — exactly the corruption that colliding
-// ordering domains (e.g. two initiators sharing a gate) would produce.
-// Returns the number of violations (0 on a healthy target).
-func (t *Target) GateAudit() int {
-	bad := 0
-	for _, g := range t.gates {
-		for idx := range g.parked {
-			// An arrival AT the frontier always processes inline and the
-			// drain loop consumes parked[next] before yielding, so a
-			// parked index == next means the unpark machinery failed.
-			if idx <= g.next {
-				bad++
-			}
-		}
-	}
-	return bad
-}
+// in-order submission gate via the ordering engine's audit: a parked
+// command always waits for a genuine predecessor (its index is strictly
+// beyond the gate's frontier). A parked index at or below the frontier
+// means the chain skipped or duplicated an entry — exactly the
+// corruption that colliding ordering domains (e.g. two initiators
+// sharing a gate) would produce. Returns the number of violations (0 on
+// a healthy target).
+func (t *Target) GateAudit() int { return t.ord.Audit() }
 
 // SSD returns device i of this target.
 func (t *Target) SSD(i int) *ssd.SSD { return t.ssds[i] }
@@ -295,16 +305,6 @@ func (t *Target) Cores() *sim.Resource { return t.cores }
 // Alive reports whether the server is powered.
 func (t *Target) Alive() bool { return t.alive }
 
-func (t *Target) gate(init int, stream uint16) *tgate {
-	k := domainKey{init, stream}
-	g := t.gates[k]
-	if g == nil {
-		g = &tgate{next: 1, parked: make(map[uint64]parkedCmd)}
-		t.gates[k] = g
-	}
-	return g
-}
-
 // PMRPartition exposes one initiator's PMR log partition on this target
 // (inspection tools, tests).
 func (t *Target) PMRPartition(init int) []byte { return t.pmrRegion(init) }
@@ -313,10 +313,76 @@ func (t *Target) PMRPartition(init int) []byte { return t.pmrRegion(init) }
 // counter in-flight work is validated against).
 func (t *Target) initEpoch(init int) int { return t.c.inits[init].epoch }
 
+// getDone checks a completion event out of the free list.
+func (t *Target) getDone() *tDone {
+	if n := len(t.doneFree); n > 0 {
+		d := t.doneFree[n-1]
+		t.doneFree = t.doneFree[:n-1]
+		return d
+	}
+	t.stats.Allocs++
+	return &tDone{}
+}
+
+// putDone recycles a consumed completion event and any slot or stamp
+// burst it still owns (an event that handed its slots on — the
+// flush-barrier path — cleared them first). By the time the event is
+// consumed the SSD has long copied the stamp values into its records,
+// so the burst is free to reuse.
+func (t *Target) putDone(d *tDone) {
+	if d.slots != nil {
+		t.slotsFree = append(t.slotsFree, d.slots[:0])
+	}
+	if d.stamps != nil {
+		t.stampsFree = append(t.stampsFree, d.stamps[:0])
+	}
+	*d = tDone{}
+	t.doneFree = append(t.doneFree, d)
+}
+
+// getSlots checks a PMR slot burst out of the free list (capacity hint
+// n: the command's attribute count).
+func (t *Target) getSlots(n int) []uint64 {
+	if ln := len(t.slotsFree); ln > 0 {
+		s := t.slotsFree[ln-1]
+		t.slotsFree = t.slotsFree[:ln-1]
+		return s[:0]
+	}
+	t.stats.Allocs++
+	return make([]uint64, 0, n)
+}
+
+// getAttrs checks a decoded-attribute buffer out of the free list.
+func (t *Target) getAttrs() []core.Attr {
+	if n := len(t.attrsFree); n > 0 {
+		a := t.attrsFree[n-1]
+		t.attrsFree = t.attrsFree[:n-1]
+		return a[:0]
+	}
+	t.stats.Allocs++
+	return make([]core.Attr, 0, 1)
+}
+
+// getStamps checks a per-block stamp burst out of the free list
+// (capacity hint n: the command's block count), sized to n.
+func (t *Target) getStamps(n int) []uint64 {
+	if ln := len(t.stampsFree); ln > 0 {
+		s := t.stampsFree[ln-1]
+		t.stampsFree = t.stampsFree[:ln-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+		// Too small for this command: put it back and allocate.
+		t.stampsFree = append(t.stampsFree, s)
+	}
+	t.stats.Allocs++
+	return make([]uint64, n)
+}
+
 // rxLoop is one receive worker for one (initiator, QP): it consumes
 // capsules (two-sided SENDs cost target CPU — the asymmetry Lesson 3 is
 // about), fetches non-inline data with one-sided READs, and routes
-// commands through the mode-specific submission path.
+// commands through the policy-specific submission path.
 func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 	rxQ := t.rxQs[init][qp]
 	for {
@@ -382,7 +448,7 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 				t.submitFlushCmd(ws)
 				continue
 			}
-			if ws.wc.Ordered && t.c.cfg.Mode == ModeRio {
+			if ws.wc.Ordered && t.pol.Gated() {
 				if cp.sqes != nil {
 					t.rioSubmitAttrs(p, ws, cp.attrs[i])
 				} else {
@@ -419,19 +485,34 @@ func (t *Target) handleCtrl(p *sim.Proc, cp *capsule, init, qp int) {
 // owning initiator's log partition: the CPU is held for the MMIO issue
 // plus the persistence latency (write + read-back) and blocks if that
 // partition's circular log is full — backpressure on one initiator's log
-// never stalls another initiator's appends.
-func (t *Target) appendPMR(p *sim.Proc, a core.Attr) uint64 {
+// never stalls another initiator's appends. The slot is recorded in the
+// attribute's engine domain so completions and retirement find it
+// without hashing.
+//
+// ok=false means the partition was FORMATTED (its owner crash-recovered
+// and the log object was replaced) while this append was parked on
+// backpressure or mid-persist: the attribute belongs to a dead
+// incarnation and was dropped rather than leaked into fresh evidence.
+func (t *Target) appendPMR(p *sim.Proc, a core.Attr) (uint64, bool) {
 	init := int(a.Initiator)
+	log := t.logs[init]
 	t.cores.Acquire(p)
 	p.Sleep(t.c.costs.PMRAppendCPU)
 	for {
-		slot, ok := t.logs[init].Append(a)
+		if t.logs[init] != log {
+			t.cores.Release()
+			return 0, false
+		}
+		slot, ok := log.Append(a)
 		if ok {
 			p.Sleep(t.ssds[0].PMRWriteLat())
 			t.cores.Release()
-			t.slotBy[slotKey{init, a.Stream, a.ServerIdx}] = slot
+			if t.logs[init] != log {
+				return 0, false // formatted mid-persist: the slot is dead
+			}
+			t.ord.Domain(init, a.Stream).RecordSlot(a.ServerIdx, slot)
 			t.stats.PMRAppends++
-			return slot
+			return slot, true
 		}
 		// Log full: wait for retirement (backpressure).
 		t.cores.Release()
@@ -446,14 +527,16 @@ func (t *Target) appendPMR(p *sim.Proc, a core.Attr) uint64 {
 // network delivers in order and this gate almost never parks.
 func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 	attrs := ws.vecAttrs
+	pooled := false
 	if len(attrs) == 0 {
 		attr, err := nvmeof.DecodeAttr(&ws.sqe)
 		if err != nil {
 			panic("stack: rio command without attribute: " + err.Error())
 		}
-		attrs = []core.Attr{attr}
+		attrs = append(t.getAttrs(), attr)
+		pooled = true
 	}
-	t.rioSubmitAttrs(p, ws, attrs)
+	t.rioSubmitAttrsOwned(p, ws, attrs, pooled)
 }
 
 // rioSubmitAttrs runs the in-order gate for a command with an explicit
@@ -461,41 +544,63 @@ func (t *Target) rioSubmit(p *sim.Proc, ws *wireState) {
 // chain in the capsule, so the gate's dense-ServerIdx invariant holds
 // per replica independently.
 func (t *Target) rioSubmitAttrs(p *sim.Proc, ws *wireState, attrs []core.Attr) {
-	g := t.gate(int(attrs[0].Initiator), attrs[0].Stream)
-	if attrs[0].ServerIdx != g.next {
+	t.rioSubmitAttrsOwned(p, ws, attrs, false)
+}
+
+// rioSubmitAttrsOwned is rioSubmitAttrs tracking whether the attribute
+// chain lives in a target-pooled buffer (recycled once the command has
+// been processed; a park carries the flag along).
+func (t *Target) rioSubmitAttrsOwned(p *sim.Proc, ws *wireState, attrs []core.Attr, pooled bool) {
+	d := t.ord.Domain(int(attrs[0].Initiator), attrs[0].Stream)
+	if !d.Admit(attrs[0].ServerIdx) {
 		t.stats.Holdbacks++
-		g.parked[attrs[0].ServerIdx] = parkedCmd{ws: ws, attrs: attrs}
+		d.Park(attrs[0].ServerIdx, parkedCmd{ws: ws, attrs: attrs, pooled: pooled})
 		return
 	}
-	t.rioProcess(p, ws, attrs, g)
+	t.rioProcess(p, ws, attrs, d)
+	if pooled {
+		t.attrsFree = append(t.attrsFree, attrs[:0])
+	}
 	// Drain any parked successors.
 	for {
-		next, ok := g.parked[g.next]
+		next, ok := d.TakeNext()
 		if !ok {
 			break
 		}
-		delete(g.parked, g.next)
-		t.rioProcess(p, next.ws, next.attrs, g)
+		t.rioProcess(p, next.ws, next.attrs, d)
+		if next.pooled {
+			t.attrsFree = append(t.attrsFree, next.attrs[:0])
+		}
 	}
 }
 
-func (t *Target) rioProcess(p *sim.Proc, ws *wireState, attrs []core.Attr, g *tgate) {
-	slots := make([]uint64, 0, len(attrs))
+func (t *Target) rioProcess(p *sim.Proc, ws *wireState, attrs []core.Attr, d *order.Domain[parkedCmd]) {
+	slots := t.getSlots(len(attrs))
 	for _, a := range attrs {
-		slots = append(slots, t.appendPMR(p, a))
-		g.next = a.ServerIdx + 1
+		slot, ok := t.appendPMR(p, a)
+		if !ok {
+			// The command's ordering domain was reset while the append
+			// waited (its owner crash-recovered): the command belongs to
+			// the dead incarnation — drop it without touching the fresh
+			// gate or submitting a stale media write.
+			t.slotsFree = append(t.slotsFree, slots[:0])
+			return
+		}
+		slots = append(slots, slot)
+		d.Advance(a.ServerIdx)
 	}
 	t.submitWrite(ws, slots)
 }
 
 // horaeSlot looks up the control-path entry for a Horae data command.
 func (t *Target) horaeSlot(ws *wireState) []uint64 {
-	if t.c.cfg.Mode != ModeHorae || !ws.wc.Ordered {
+	if !t.pol.ControlPersisted() || !ws.wc.Ordered {
 		return nil
 	}
 	a := ws.wc.Attr
-	if slot, ok := t.slotBy[slotKey{int(a.Initiator), a.Stream, a.ServerIdx}]; ok {
-		return []uint64{slot}
+	if slot, ok := t.ord.Domain(int(a.Initiator), a.Stream).Slot(a.ServerIdx); ok {
+		slots := t.getSlots(1)
+		return append(slots, slot)
 	}
 	return nil
 }
@@ -506,11 +611,13 @@ func (t *Target) horaeSlot(ws *wireState) []uint64 {
 // commands carry per-constituent stamps.
 func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 	sd := t.ssds[ws.ssdIdx]
-	epoch := t.initEpoch(ws.init)
+	d := t.getDone()
+	d.ws, d.slots, d.epoch = ws, slots, t.initEpoch(ws.init)
 	t.cqeInflight[ws.init][ws.qp]++
 	stamps := ws.wc.Stamps
-	if ws.wc.Ordered && (t.c.cfg.Mode == ModeRio || t.c.cfg.Mode == ModeHorae) {
-		stamps = make([]uint64, ws.wc.Blocks)
+	if ws.wc.Ordered && t.pol.Tracked() {
+		stamps = t.getStamps(int(ws.wc.Blocks))
+		d.stamps = stamps
 		if len(ws.vecAttrs) > 1 {
 			i := 0
 			for _, a := range ws.vecAttrs {
@@ -534,7 +641,7 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 		Stamps: stamps,
 		Data:   ws.wc.Data,
 		Done: func(*ssd.Command) {
-			t.doneQ.Push(&tDone{ws: ws, slots: slots, epoch: epoch})
+			t.doneQ.Push(d)
 		},
 	}
 	sd.Submit(cmd)
@@ -542,31 +649,42 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 
 func (t *Target) submitFlushCmd(ws *wireState) {
 	sd := t.ssds[ws.ssdIdx]
-	epoch := t.initEpoch(ws.init)
+	d := t.getDone()
+	d.ws, d.epoch = ws, t.initEpoch(ws.init)
 	t.cqeInflight[ws.init][ws.qp]++
 	t.stats.Flushes++
 	sd.Submit(&ssd.Command{
 		Op: ssd.OpFlush,
 		Done: func(*ssd.Command) {
-			t.doneQ.Push(&tDone{ws: ws, epoch: epoch})
+			t.doneQ.Push(d)
 		},
 	})
 }
 
 // doneLoop is the target completion context: persist-bit maintenance
 // (step 7), durability barriers for flush-carrying ordered writes, and
-// completion responses back to the initiators.
+// completion responses back to the initiators. Consumed events (and the
+// slot bursts they still own) recycle through the free lists.
 func (t *Target) doneLoop(p *sim.Proc) {
 	for {
-		t.doneOne(p, t.doneQ.Pop(p))
+		d := t.doneQ.Pop(p)
+		t.doneOne(p, d)
+		t.putDone(d)
 	}
 }
 
-// doneOne handles one completion-context event.
+// doneOne handles one completion-context event. The completion context
+// yields for CPU grants, so a power cut (and even the subsequent
+// recovery) can land MID-EVENT: the target incarnation is captured on
+// entry and re-validated after every yield — a straddling event must
+// neither toggle persist bits in the freshly formatted logs nor ack a
+// wiped write into the next incarnation (it must stay outstanding so
+// target recovery replays it).
 func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 	if !t.alive {
 		return
 	}
+	tEpoch := t.epoch
 	if d.flushQP > 0 {
 		// CQE hold-timer expiry: flush the pending response capsule.
 		if d.epoch == t.initEpoch(d.flushInit) {
@@ -578,8 +696,7 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 		return
 	}
 	t.cores.Use(p, t.c.costs.CplHandle)
-	mode := t.c.cfg.Mode
-	ordered := d.ws.wc.Ordered && (mode == ModeRio || mode == ModeHorae)
+	ordered := d.ws.wc.Ordered && t.pol.Tracked()
 	plp := t.ssds[d.ws.ssdIdx].HasPLP()
 	init := d.ws.init
 
@@ -587,22 +704,22 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 		// FLUSH on behalf of a flush-carrying ordered write: mark the
 		// carrier (and, for Horae, everything it certifies) persistent.
 		for _, s := range d.slots {
-			t.markPersist(p, init, s)
+			t.markPersist(p, init, s, tEpoch, d.epoch)
 		}
 		for _, s := range d.flushSlots {
 			// A certified slot may belong to ANOTHER initiator; skip it
 			// if that initiator crashed (and possibly recovered,
 			// reformatting its partition) while this FLUSH was in flight.
-			if s.epoch == t.initEpoch(s.init) {
-				t.markPersist(p, s.init, s.slot)
+			if s.Epoch == t.initEpoch(s.Init) {
+				t.markPersist(p, s.Init, s.Slot, tEpoch, s.Epoch)
 			}
 		}
-		t.respond(p, d.ws)
+		t.respond(p, d.ws, tEpoch)
 		return
 	}
 
 	if !ordered || d.ws.flushWire {
-		t.respond(p, d.ws)
+		t.respond(p, d.ws, tEpoch)
 		return
 	}
 
@@ -611,24 +728,25 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 	case plp:
 		// Completion implies durability: toggle persist now.
 		for _, s := range d.slots {
-			t.markPersist(p, init, s)
+			t.markPersist(p, init, s, tEpoch, d.epoch)
 		}
-		if mode == ModeHorae {
+		if t.pol.ControlPersisted() {
 			for _, a := range d.ws.horaeAttrs {
-				if s, ok := t.slotBy[slotKey{int(a.Initiator), a.Stream, a.ServerIdx}]; ok {
-					t.markPersist(p, int(a.Initiator), s)
+				if s, ok := t.ord.Domain(int(a.Initiator), a.Stream).Slot(a.ServerIdx); ok {
+					t.markPersist(p, int(a.Initiator), s, tEpoch, t.initEpoch(int(a.Initiator)))
 				}
 			}
 		}
-		t.respond(p, d.ws)
+		t.respond(p, d.ws, tEpoch)
 	case attrFlush:
 		// The group's durability barrier: drain the device, then mark.
-		fd := &tDone{ws: d.ws, slots: d.slots, isFlush: true, epoch: d.epoch}
-		if mode == ModeHorae {
+		fd := t.getDone()
+		fd.ws, fd.slots, fd.isFlush, fd.epoch = d.ws, d.slots, true, d.epoch
+		d.slots = nil // ownership moved to the barrier event
+		if t.pol.CertifyPeers() {
 			// A device FLUSH drains every write on the device, so it
 			// certifies unflushed slots of every initiator.
-			fd.flushSlots = t.unflushed[d.ws.ssdIdx]
-			t.unflushed[d.ws.ssdIdx] = nil
+			fd.flushSlots = t.ord.TakeUnflushed(d.ws.ssdIdx)
 		}
 		t.stats.Flushes++
 		t.ssds[d.ws.ssdIdx].Submit(&ssd.Command{
@@ -638,12 +756,12 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 	default:
 		// Non-PLP, no flush: leave persist=0 (a later FLUSH-carrying
 		// entry certifies it during recovery, §4.3.2).
-		if mode == ModeHorae {
+		if t.pol.CertifyPeers() {
 			for _, s := range d.slots {
-				t.unflushed[d.ws.ssdIdx] = append(t.unflushed[d.ws.ssdIdx], slotRef{init, s, d.epoch})
+				t.ord.AddUnflushed(d.ws.ssdIdx, order.SlotRef{Init: init, Slot: s, Epoch: d.epoch})
 			}
 		}
-		t.respond(p, d.ws)
+		t.respond(p, d.ws, tEpoch)
 	}
 }
 
@@ -666,8 +784,16 @@ func (t *Target) orderedFlushWanted(ws *wireState) bool {
 	return false
 }
 
-func (t *Target) markPersist(p *sim.Proc, init int, slot uint64) {
+// markPersist toggles one entry's persist bit. The CPU grant yields, so
+// the target incarnation (tEpoch) and the slot owner's incarnation
+// (initEpoch) are re-validated before touching the log: a toggle that
+// straddled a crash+recovery would otherwise write into a freshly
+// formatted partition whose slot ids it no longer owns.
+func (t *Target) markPersist(p *sim.Proc, init int, slot uint64, tEpoch, initEpoch int) {
 	t.cores.Use(p, t.c.costs.PMRToggleCPU)
+	if !t.alive || t.epoch != tEpoch || t.initEpoch(init) != initEpoch {
+		return
+	}
 	t.logs[init].MarkPersist(slot)
 	t.stats.PMRToggles++
 }
@@ -682,12 +808,14 @@ const cqeHold = 2 * sim.Microsecond
 // capsule, flushed when CQEBatch entries accumulate or the hold timer
 // expires; without it, each CQE ships immediately in its own bare
 // 16-byte capsule, exactly as the seed target did.
-func (t *Target) respond(p *sim.Proc, ws *wireState) {
-	if !t.alive {
+func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
+	if !t.alive || t.epoch != tEpoch {
 		// A completion context that was mid-iteration when the power cut
-		// hit must not touch coalescing state crash cleanup just cleared:
-		// the response dies with the NIC, and acking a wiped write to the
-		// next incarnation would be wrong anyway (recovery replays it).
+		// hit must not touch coalescing state crash cleanup just cleared
+		// — not even after a recovery revived the target (t.epoch moved):
+		// the response died with the NIC, and acking a write the cut
+		// wiped into the next incarnation would falsely complete it —
+		// the command must stay outstanding so recovery replays it.
 		return
 	}
 	init, qp := ws.init, ws.qp
@@ -754,7 +882,9 @@ func (t *Target) armCQETimer(init, qp int, d sim.Time) {
 		}
 		// Flush in completion context (the engine context here cannot be
 		// charged CPU).
-		t.doneQ.Push(&tDone{flushQP: qp + 1, flushInit: init, epoch: t.initEpoch(init)})
+		fd := t.getDone()
+		fd.flushQP, fd.flushInit, fd.epoch = qp+1, init, t.initEpoch(init)
+		t.doneQ.Push(fd)
 	})
 }
 
@@ -794,17 +924,9 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 // ordering domain: one initiator retiring entries frees space only in
 // its own log partition.
 func (t *Target) retireUpTo(init int, stream uint16, upTo uint64) {
-	dk := domainKey{init, stream}
-	last := t.retiredTo[dk]
-	for idx := last + 1; idx <= upTo; idx++ {
-		k := slotKey{init, stream, idx}
-		if slot, ok := t.slotBy[k]; ok {
-			t.logs[init].Retire(slot)
-			delete(t.slotBy, k)
-		}
-	}
-	if upTo > last {
-		t.retiredTo[dk] = upTo
+	d := t.ord.Domain(init, stream)
+	log := t.logs[init]
+	if d.RetireUpTo(upTo, func(slot uint64) { log.Retire(slot) }) {
 		t.logSpace[init].Broadcast()
 	}
 }

@@ -80,6 +80,10 @@ type BlockResult struct {
 	// Stats holds the initiator counter deltas over the measurement
 	// window (pool hit rate, batch occupancy, allocs per request).
 	Stats stack.ClusterStats
+	// TgtStats holds the target-fleet counter deltas over the same
+	// window (commands processed, PMR traffic, holdbacks, hot-path
+	// allocations — the ordering-engine dense-table headline).
+	TgtStats stack.TargetStats
 }
 
 // KIOPS returns thousands of requests per second.
@@ -194,6 +198,7 @@ func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure s
 	iu0 := c.InitiatorUtil()
 	tu0 := c.TargetUtil()
 	st0 := c.StatsAll()
+	ts0 := c.TargetStatsAll()
 	eng.RunUntil(eng.Now() + measure)
 	iu1 := c.InitiatorUtil()
 	tu1 := c.TargetUtil()
@@ -205,6 +210,7 @@ func RunBlock(eng *sim.Engine, c *stack.Cluster, job BlockJob, warmup, measure s
 		TgtUtil:  metrics.Utilization(tu0, tu1),
 		Lat:      m.lat,
 		Stats:    c.StatsAll().Sub(st0),
+		TgtStats: c.TargetStatsAll().Sub(ts0),
 	}
 	return res
 }

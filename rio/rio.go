@@ -313,6 +313,13 @@ func (c *Cluster) ResyncBacklog(target int) int { return c.inner.ResyncBacklog(t
 // WriteQuorum returns the effective completion quorum per replica set.
 func (c *Cluster) WriteQuorum() int { return c.inner.WriteQuorum() }
 
+// OrderAudit runs the ordering engine's dense-chain audit across every
+// target server and returns the total number of violations — 0 on a
+// healthy cluster. A nonzero count means an in-order gate holds a parked
+// command at or below its frontier: the corruption colliding ordering
+// domains would produce.
+func (c *Cluster) OrderAudit() int { return c.inner.OrderAudit() }
+
 // PowerCut models a whole-cluster power failure: volatile state is lost,
 // media and PMR survive.
 func (c *Cluster) PowerCut() { c.inner.PowerCutAll() }
