@@ -45,7 +45,7 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy -quick -json BENCH_5.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve -quick -json BENCH_6.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).
@@ -56,7 +56,7 @@ examples: build
 # The CI perf gate: run the gated experiments fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
 bench-gate: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
 # Coverage profile over the ordering engine and the stack that drives it

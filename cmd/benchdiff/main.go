@@ -36,9 +36,13 @@ type gate struct {
 // the top of the sweep, hot-path allocations (initiator-side pools AND
 // the target-side ordering-engine dense tables/free lists), tail
 // latency, the completion-path coalescing headline (capsules per op must
-// not creep back toward one-per-command), and the replication headlines
+// not creep back toward one-per-command), the replication headlines
 // — 3-way throughput at fixed hardware and the worst failover blip when
-// a replica member is power-cut mid-measurement.
+// a replica member is power-cut mid-measurement — and the serve
+// (application-tier) headlines: aggregate KV throughput, tail latency,
+// and the per-tenant fairness spread, which must stay near 1.0 (one
+// tenant's ordering domain starving another's is a regression even when
+// aggregate throughput holds).
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
@@ -47,6 +51,9 @@ var gates = []gate{
 	{"replication.rio.kiops.r3", true},
 	{"replication.rio.failover_blip_us", false},
 	{"policy.rio.target_allocs_per_op", false},
+	{"serve.rio.kiops", true},
+	{"serve.rio.p99_us", false},
+	{"serve.rio.fairness_spread", false},
 }
 
 // check compares one gated metric. For higher-is-better metrics a

@@ -15,6 +15,9 @@ func baseMetrics() map[string]float64 {
 		"replication.rio.kiops.r3":         630,
 		"replication.rio.failover_blip_us": 100,
 		"policy.rio.target_allocs_per_op":  0.003,
+		"serve.rio.kiops":                  200,
+		"serve.rio.p99_us":                 70,
+		"serve.rio.fairness_spread":        1.05,
 	}
 }
 
@@ -50,6 +53,9 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"3-way replication throughput -12%", "replication.rio.kiops.r3", 630 * 0.88},
 		{"failover blip +20% (degraded path slows)", "replication.rio.failover_blip_us", 100 * 1.20},
 		{"target allocs/op +50% (dense tables decay)", "policy.rio.target_allocs_per_op", 0.003 * 1.5},
+		{"serve throughput -15%", "serve.rio.kiops", 200 * 0.85},
+		{"serve p99 +20%", "serve.rio.p99_us", 70 * 1.20},
+		{"tenant fairness decays (one tenant starved)", "serve.rio.fairness_spread", 1.05 * 1.6},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()

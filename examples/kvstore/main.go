@@ -1,6 +1,8 @@
-// KV store: a RocksDB-like LSM engine (WAL + memtable + SST flush) running
-// fillsync on RioFS, then a power cut and WAL recovery — the §6.4 workload
-// plus the crash behavior that makes ordered storage worth having.
+// KV store: two tenants — each a RocksDB-like LSM engine (WAL + memtable
+// + SST flush) on its own RioFS — serve fillsync traffic from their own
+// initiator servers over a replicated target fleet, then the whole
+// cluster loses power and both tenants recover — the §6.4 workload plus
+// the crash behavior that makes ordered storage worth having.
 //
 // Run: go run ./examples/kvstore
 package main
@@ -8,63 +10,77 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/fs"
-	"repro/internal/kv"
 	"repro/internal/sim"
 	"repro/rio"
 )
 
 func main() {
-	c := rio.NewCluster(rio.Options{Seed: 11, History: true})
+	const tenants = 2
+	c := rio.NewCluster(rio.Options{
+		Seed:       11,
+		History:    true,
+		Initiators: tenants,
+		Targets: []rio.TargetSpec{
+			{SSDs: []rio.DeviceClass{rio.Optane}}, {SSDs: []rio.DeviceClass{rio.Optane}},
+			{SSDs: []rio.DeviceClass{rio.Optane}}, {SSDs: []rio.DeviceClass{rio.Optane}},
+		},
+		Replicas: 2,
+	})
 	defer c.Close()
-	fcfg := fs.DefaultConfig(fs.RioFS, 8)
-	fcfg.JournalBlocks = 2048
-	fsys := fs.New(c.Stack(), fcfg)
 
-	kcfg := kv.DefaultConfig()
-	kcfg.MemtableBytes = 64 << 10
+	fsOpts := rio.FSOptions{Design: rio.RioFSFS, Journals: 8, JournalBlocks: 2048}
+	kvOpts := rio.KVOptions{MemtableBytes: 64 << 10}
 
-	acked := 0
-	c.Go(func(ctx *rio.Ctx) {
-		p := ctx.Proc()
-		db, err := kv.Open(p, fsys, kcfg)
-		if err != nil {
-			panic(err)
-		}
-		start := ctx.Now()
-		for i := 0; i < 200; i++ {
-			key := fmt.Sprintf("user%08d", i*7919%100000)
-			if err := db.Put(p, 0, key, kcfg.ValueSize); err != nil {
+	acked := make([]int, tenants)
+	for ten := 0; ten < tenants; ten++ {
+		ten := ten
+		c.GoOn(ten, func(ctx *rio.Ctx) {
+			p := ctx.Proc()
+			opts := fsOpts
+			opts.BaseLBA = uint64(ten) * fsOpts.Blocks() // tenants stack on the volume
+			fsys := ctx.FS(opts)
+			db, err := ctx.KV(fsys, kvOpts)
+			if err != nil {
 				panic(err)
 			}
-			acked++
-		}
-		el := ctx.Now() - start
-		st := db.Stats()
-		fmt.Printf("fillsync: %d puts in %v (%.1f K puts/s), %d memtable flushes, %d SSTs\n",
-			st.Puts, el, float64(st.Puts)/el.Seconds()/1e3, st.Flushes, st.SSTFiles)
-
-		// Every put was acknowledged durable (WAL fsync) — cut the power.
-		c.PowerCut()
-	})
+			start := ctx.Now()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("user%08d", i*7919%100000)
+				if err := db.Put(p, 0, key, db.Options().ValueSize); err != nil {
+					panic(err)
+				}
+				acked[ten]++
+			}
+			el := ctx.Now() - start
+			st := db.Close(p)
+			fmt.Printf("tenant %d (initiator %d): %d puts in %v (%.1f K puts/s), %d memtable flushes, %d SSTs\n",
+				ten, ctx.Initiator(), st.Puts, el, float64(st.Puts)/el.Seconds()/1e3, st.Flushes, st.SSTFiles)
+		})
+	}
 	c.Run()
 
+	// Every put was acknowledged durable (WAL fsync on a write quorum) —
+	// cut the power on the whole deployment, then recover it.
+	c.Fault(rio.ClusterScope())
 	c.Go(func(ctx *rio.Ctx) {
-		p := ctx.Proc()
-		rep := ctx.Recover()
+		rep := ctx.Recover(rio.ClusterScope())
 		fmt.Printf("storage recovery: order rebuild %v, data recovery %v\n",
 			rep.Timing.OrderRebuild, rep.Timing.DataRecovery)
-		fs2, rst := fs.Recover(p, c.Stack(), fcfg)
-		fmt.Printf("fs recovery: %d committed transactions replayed, %d incomplete discarded\n",
-			rst.Committed, rst.Incomplete)
-		n, err := kv.RecoverCount(p, fs2, kcfg)
-		if err != nil {
-			panic(err)
+		for ten := 0; ten < tenants; ten++ {
+			opts := fsOpts
+			opts.BaseLBA = uint64(ten) * fsOpts.Blocks()
+			fs2, rst := ctx.RemountFS(opts)
+			n, err := ctx.KVRecoverCount(fs2, kvOpts)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("tenant %d: fs replayed %d txns (%d incomplete discarded); WAL+SST hold %d records (acked before cut: %d)\n",
+				ten, rst.Committed, rst.Incomplete, n, acked[ten])
+			if n < acked[ten] {
+				panic("acknowledged put lost")
+			}
 		}
-		fmt.Printf("WAL replay: %d records recovered (acknowledged before cut: %d)\n", n, acked)
-		if n >= acked {
-			fmt.Println("=> no acknowledged put was lost")
-		}
+		fmt.Println("=> no acknowledged put was lost on either tenant")
 	})
 	c.Run()
 	_ = sim.Second

@@ -1,13 +1,14 @@
 // Object store: a BlueStore-flavored transactional store built directly
 // on the ordered block device through librio (§4.6 — "applications that
 // are built atop the block device can also use Rio to accelerate on-disk
-// transactions").
+// transactions"), here on the modern topology: one store per initiator
+// server, both serving concurrently over a 2-way-replicated target set.
 //
 // Each PUT is an on-disk transaction: data extents (one group), an object
 // metadata block (own group), and a commit record carrying the FLUSH —
 // all submitted asynchronously through the ring, with one barrier at the
 // end. Storage order guarantees the commit record can never be durable
-// before the data it describes.
+// before the data it describes — per replica, on every in-sync member.
 //
 // Run: go run ./examples/objectstore
 package main
@@ -20,19 +21,21 @@ import (
 )
 
 const (
-	metaBase = 0       // object table: one block per object slot
-	dataBase = 1 << 16 // data extents allocated bump-style
+	serverRegion = uint64(1) << 23 // volume blocks reserved per store
+	dataOff      = uint64(1) << 16 // data extents start above the object table
 )
 
 type store struct {
 	ring     *librio.Ring
+	metaBase uint64
+	dataBase uint64
 	nextData uint64
 	objects  map[string]uint64 // name -> data extent start
 	txns     int
 }
 
 func (s *store) put(name string, blocks uint32) {
-	ext := dataBase + s.nextData
+	ext := s.dataBase + s.nextData
 	s.nextData += uint64(blocks)
 	slot := uint64(len(s.objects))
 	// Transaction: data group, then metadata group, then commit+FLUSH.
@@ -44,44 +47,54 @@ func (s *store) put(name string, blocks uint32) {
 		last := off+n >= blocks
 		s.ring.Write(librio.Op{LBA: ext + uint64(off), Blocks: n, Boundary: last})
 	}
-	s.ring.Write(librio.Op{LBA: metaBase + 2 + slot, Blocks: 1, Boundary: true})
-	s.ring.Write(librio.Op{LBA: metaBase, Blocks: 1, Boundary: true, Flush: true})
+	s.ring.Write(librio.Op{LBA: s.metaBase + 2 + slot, Blocks: 1, Boundary: true})
+	s.ring.Write(librio.Op{LBA: s.metaBase, Blocks: 1, Boundary: true, Flush: true})
 	s.objects[name] = ext
 	s.txns++
 }
 
 func main() {
+	const servers = 2
 	c := rio.NewCluster(rio.Options{
-		Seed:    9,
-		Targets: []rio.TargetSpec{{SSDs: []rio.DeviceClass{rio.Optane}}},
+		Seed:       9,
+		Initiators: servers,
+		Targets: []rio.TargetSpec{
+			{SSDs: []rio.DeviceClass{rio.Optane}}, {SSDs: []rio.DeviceClass{rio.Optane}},
+		},
+		Replicas: 2,
 	})
 	defer c.Close()
 
-	c.Go(func(ctx *rio.Ctx) {
-		s := &store{
-			ring:    librio.NewRing(ctx, 0, 256),
-			objects: map[string]uint64{},
-		}
-		start := ctx.Now()
-		const objects = 100
-		for i := 0; i < objects; i++ {
-			s.put(fmt.Sprintf("obj-%04d", i), 32) // 128 KB objects
-			if s.ring.Inflight() > 192 {
-				s.ring.WaitMin(64) // keep the pipe full, harvest in order
+	for srv := 0; srv < servers; srv++ {
+		srv := srv
+		c.GoOn(srv, func(ctx *rio.Ctx) {
+			base := uint64(srv) * serverRegion
+			s := &store{
+				ring:     librio.NewRing(ctx, 0, 256),
+				metaBase: base,
+				dataBase: base + dataOff,
+				objects:  map[string]uint64{},
 			}
-		}
-		cps := s.ring.Barrier()
-		el := ctx.Now() - start
-		fmt.Printf("object store: %d transactions (%d ordered writes harvested) in %v\n",
-			s.txns, s.txns*4+len(cps)*0, el)
-		fmt.Printf("  %.0f transactions/s, %.2f GB/s payload\n",
-			float64(objects)/el.Seconds(), float64(objects)*32*4096/1e9/el.Seconds())
+			start := ctx.Now()
+			const objects = 100
+			for i := 0; i < objects; i++ {
+				s.put(fmt.Sprintf("obj-%04d", i), 32) // 128 KB objects
+				if s.ring.Inflight() > 192 {
+					s.ring.WaitMin(64) // keep the pipe full, harvest in order
+				}
+			}
+			cps := s.ring.Barrier()
+			el := ctx.Now() - start
+			fmt.Printf("store %d (initiator %d): %d transactions in %v — %.0f txns/s, %.2f GB/s payload\n",
+				srv, ctx.Initiator(), s.txns, el,
+				float64(objects)/el.Seconds(), float64(objects)*32*4096/1e9/el.Seconds())
 
-		// The ring harvests in storage order: the commit of txn k is never
-		// seen before the commits of txns < k.
-		fmt.Printf("  in-order harvesting: last completion group = %d\n",
-			mustLastGroup(cps))
-	})
+			// The ring harvests in storage order: the commit of txn k is never
+			// seen before the commits of txns < k.
+			fmt.Printf("store %d: in-order harvesting, last completion group = %d\n",
+				srv, mustLastGroup(cps))
+		})
+	}
 	c.Run()
 }
 

@@ -93,6 +93,7 @@ var Experiments = map[string]Runner{
 	"recovery":    RecoveryTimes,
 	"replication": ReplicationSweep,
 	"scale":       ScaleSweep,
+	"serve":       ServeSweep,
 }
 
 // Names returns the experiment IDs in order.

@@ -50,28 +50,80 @@ func (d Design) String() string {
 	}
 }
 
-// Config sizes the file system.
-type Config struct {
+// Options sizes the file system and places it on the logical volume.
+// The zero value of a field selects the DefaultOptions value, mirroring
+// rio.Options: fs.Open(in, fs.Options{Design: fs.RioFS}) is a working
+// mount.
+type Options struct {
 	Design        Design
-	Journals      int    // per-core journal count (1 for Ext4)
-	JournalBlocks uint64 // blocks per journal area
-	MaxInodes     uint64
-	DataBlocks    uint64
+	Journals      int    // per-core journal count (1 for Ext4; 0 = 8)
+	JournalBlocks uint64 // blocks per journal area (0 = 1 GB total)
+	MaxInodes     uint64 // 0 = 1<<16
+	DataBlocks    uint64 // 0 = 1<<21 (8 GB)
+
+	// BaseLBA offsets the whole on-disk layout (superblock, journals,
+	// inode and directory homes, data area) by this many volume blocks,
+	// so several file systems — one per tenant/initiator — can share one
+	// logical volume without colliding. Use Options.Blocks to stack
+	// tenants: tenant i mounts at uint64(i) * opts.Blocks().
+	BaseLBA uint64
 }
 
-// DefaultConfig matches the evaluation setup: 1 GB journal space total.
-func DefaultConfig(design Design, journals int) Config {
+// Config is the legacy name of Options.
+//
+// Deprecated: use Options with fs.Open.
+type Config = Options
+
+// withDefaults fills zero fields with the DefaultOptions values.
+func (o Options) withDefaults() Options {
+	if o.Journals == 0 {
+		o.Journals = 8
+	}
+	if o.Design == Ext4 {
+		o.Journals = 1
+	}
+	if o.JournalBlocks == 0 {
+		o.JournalBlocks = uint64(1<<30/BlockSize) / uint64(o.Journals)
+	}
+	if o.MaxInodes == 0 {
+		o.MaxInodes = 1 << 16
+	}
+	if o.DataBlocks == 0 {
+		o.DataBlocks = 1 << 21 // 8 GB
+	}
+	return o
+}
+
+// Blocks returns the total volume footprint of a file system mounted
+// with these options: superblock, journal areas, inode and directory
+// home regions, and the data area. Tenant i of a shared volume mounts at
+// BaseLBA = uint64(i) * opts.Blocks().
+func (o Options) Blocks() uint64 {
+	o = o.withDefaults()
+	return 1 + uint64(o.Journals)*o.JournalBlocks + o.MaxInodes +
+		maxDirs*dirHomeBlocks + o.DataBlocks
+}
+
+// DefaultOptions matches the evaluation setup: 1 GB journal space total.
+func DefaultOptions(design Design, journals int) Options {
 	if design == Ext4 {
 		journals = 1
 	}
 	total := uint64(1 << 30 / BlockSize) // 1 GB of journal space overall
-	return Config{
+	return Options{
 		Design:        design,
 		Journals:      journals,
 		JournalBlocks: total / uint64(journals),
 		MaxInodes:     1 << 16,
 		DataBlocks:    1 << 21, // 8 GB
 	}
+}
+
+// DefaultConfig is the legacy name of DefaultOptions.
+//
+// Deprecated: use DefaultOptions.
+func DefaultConfig(design Design, journals int) Config {
+	return DefaultOptions(design, journals)
 }
 
 // Inode numbers: 1 is the root directory.
@@ -137,10 +189,14 @@ type Stats struct {
 	Commits     int64
 }
 
-// FS is the mounted file system.
+// FS is the mounted file system. It is bound to ONE initiator server:
+// every journal stream, data write, read and CPU charge runs in that
+// initiator's ordering domain, so per-tenant file systems on different
+// initiators never share sequencer state, submission shards or crash
+// epochs.
 type FS struct {
-	c   *stack.Cluster
-	cfg Config
+	in  *stack.Initiator
+	cfg Options
 
 	// Layout (logical volume block addresses).
 	superLBA  uint64
@@ -158,6 +214,7 @@ type FS struct {
 	stamp          uint64
 	nextTxnID      uint64
 	stats          Stats
+	closed         bool
 	LastTrace      FsyncTrace
 	TraceHook      func(FsyncTrace)
 	inodeOfLBA     map[uint64]uint64
@@ -165,14 +222,14 @@ type FS struct {
 	pendingNewDirs map[uint64]direntOp // dir ino -> its unjournaled creation
 }
 
-// New creates (formats) a file system on the cluster.
-func New(c *stack.Cluster, cfg Config) *FS {
-	if cfg.Journals < 1 {
-		panic("fs: need at least one journal")
-	}
+// Open creates (formats) a file system bound to one initiator server.
+// Zero-valued options select the DefaultOptions sizing; opts.BaseLBA
+// places the layout so several tenants can share the volume.
+func Open(in *stack.Initiator, opts Options) *FS {
+	opts = opts.withDefaults()
 	fs := &FS{
-		c:              c,
-		cfg:            cfg,
+		in:             in,
+		cfg:            opts,
 		inodes:         map[uint64]*inode{},
 		dirs:           map[uint64]map[string]uint64{},
 		dirDirty:       map[uint64]bool{},
@@ -181,18 +238,18 @@ func New(c *stack.Cluster, cfg Config) *FS {
 		pendingUnlinks: map[uint64][]direntOp{},
 		pendingNewDirs: map[uint64]direntOp{},
 	}
-	fs.superLBA = 0
-	fs.journal0 = 1
-	fs.inodeBase = fs.journal0 + uint64(cfg.Journals)*cfg.JournalBlocks
-	fs.dataBase = fs.inodeBase + cfg.MaxInodes + maxDirs*dirHomeBlocks
-	fs.alloc = newAllocator(fs.dataBase, cfg.DataBlocks)
-	for j := 0; j < cfg.Journals; j++ {
+	fs.superLBA = opts.BaseLBA
+	fs.journal0 = fs.superLBA + 1
+	fs.inodeBase = fs.journal0 + uint64(opts.Journals)*opts.JournalBlocks
+	fs.dataBase = fs.inodeBase + opts.MaxInodes + maxDirs*dirHomeBlocks
+	fs.alloc = newAllocator(fs.dataBase, opts.DataBlocks)
+	for j := 0; j < opts.Journals; j++ {
 		fs.journals = append(fs.journals, &journalArea{
 			id:    j,
-			base:  fs.journal0 + uint64(j)*cfg.JournalBlocks,
-			size:  cfg.JournalBlocks,
+			base:  fs.journal0 + uint64(j)*opts.JournalBlocks,
+			size:  opts.JournalBlocks,
 			txns:  map[uint64]*txnRecord{},
-			chkpt: sim.NewResource(c.Eng, 1),
+			chkpt: sim.NewResource(in.Eng, 1),
 		})
 	}
 	root := &inode{Ino: rootIno, IsDir: true, Nlink: 2}
@@ -201,11 +258,44 @@ func New(c *stack.Cluster, cfg Config) *FS {
 	return fs
 }
 
+// New creates (formats) a file system bound to initiator 0 of the
+// cluster.
+//
+// Deprecated: use Open with an explicit initiator binding.
+func New(c *stack.Cluster, cfg Config) *FS {
+	if cfg.Journals < 1 {
+		panic("fs: need at least one journal")
+	}
+	return Open(c.Init(0), cfg)
+}
+
 // Cluster returns the underlying storage cluster.
-func (fs *FS) Cluster() *stack.Cluster { return fs.c }
+func (fs *FS) Cluster() *stack.Cluster { return fs.in.Cluster() }
+
+// Initiator returns the initiator server this file system is bound to.
+func (fs *FS) Initiator() *stack.Initiator { return fs.in }
+
+// Eng returns the simulation engine (for spawning background work).
+func (fs *FS) Eng() *sim.Engine { return fs.in.Eng }
+
+// UseCPU charges application-level CPU work (key-value indexing,
+// compaction) to the file system's initiator cores.
+func (fs *FS) UseCPU(p *sim.Proc, d sim.Time) { fs.in.UseCPU(p, d) }
 
 // Stats returns counters.
 func (fs *FS) Stats() Stats { return fs.stats }
+
+// Close ends the file-system lifecycle and returns the final counters.
+// The simulated FS keeps no background daemons of its own (checkpoints
+// run in caller context), so Close is a lifecycle marker: operations
+// after Close panic, catching use-after-close in tenant teardown paths.
+func (fs *FS) Close() Stats {
+	fs.closed = true
+	return fs.stats
+}
+
+// Options returns the resolved mount options.
+func (fs *FS) Options() Options { return fs.cfg }
 
 // Design returns the journaling design in use.
 func (fs *FS) Design() Design { return fs.cfg.Design }
@@ -380,7 +470,7 @@ func (fs *FS) Read(p *sim.Proc, f *File, off uint64, size int) error {
 		if f.isDirty(lba) {
 			continue // page-cache hit
 		}
-		fs.c.Read(p, lba, 1)
+		fs.in.Read(p, lba, 1)
 	}
 	return nil
 }
@@ -430,7 +520,7 @@ func (fs *FS) allocBlocks(p *sim.Proc, f *File, blocks uint64) (uint64, bool, er
 		// §4.7: regress to a synchronous FLUSH so the prior owner's free
 		// is durable before new data lands in the reused blocks.
 		fs.stats.ReuseFlush++
-		fs.c.FlushDevice(p, 0)
+		fs.in.FlushDevice(p, 0)
 		fs.alloc.reuseBarrier()
 	}
 	for b := uint64(0); b < blocks; b++ {

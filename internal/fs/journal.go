@@ -219,10 +219,10 @@ func (fs *FS) fsyncAsync(p *sim.Proc, f *File, core int) FsyncTrace {
 	dirty := f.dirtyData
 	f.dirtyData = nil
 	for i, d := range dirty {
-		fs.chargeCPU(p, fs.c.Config().Costs.FSDataCPU)
+		fs.chargeCPU(p, fs.in.Costs().FSDataCPU)
 		// All data blocks of the transaction form one group with JM.
 		_ = i
-		fs.c.OrderedWrite(p, stream, d.lba, 1, d.stamp, nil, false, false, d.ipu)
+		fs.in.OrderedWrite(p, stream, d.lba, 1, d.stamp, nil, false, false, d.ipu)
 	}
 	tr.DDispatch = p.Now() - t0
 
@@ -237,8 +237,8 @@ func (fs *FS) fsyncAsync(p *sim.Proc, f *File, core int) FsyncTrace {
 	}
 	jmLBA := j.base + j.tail
 	j.tail += need - 1 // JC gets its own block below
-	fs.chargeCPU(p, fs.c.Config().Costs.FSMetaCPU)
-	fs.c.OrderedWrite(p, stream, jmLBA, uint32(len(blocks)-1), fs.nextStamp(),
+	fs.chargeCPU(p, fs.in.Costs().FSMetaCPU)
+	fs.in.OrderedWrite(p, stream, jmLBA, uint32(len(blocks)-1), fs.nextStamp(),
 		blocks[:len(blocks)-1], true, false, false)
 	tr.JMDispatch = p.Now() - t0
 
@@ -246,13 +246,13 @@ func (fs *FS) fsyncAsync(p *sim.Proc, f *File, core int) FsyncTrace {
 	t0 = p.Now()
 	jcLBA := j.base + j.tail
 	j.tail++
-	jc := fs.c.OrderedWrite(p, stream, jcLBA, 1, fs.nextStamp(),
+	jc := fs.in.OrderedWrite(p, stream, jcLBA, 1, fs.nextStamp(),
 		[][]byte{blocks[len(blocks)-1]}, true, true, false)
 	tr.JCDispatch = p.Now() - t0
 
 	// rio_wait: one blocking wait for the commit record.
 	t0 = p.Now()
-	fs.c.Wait(p, jc)
+	fs.in.Wait(p, jc)
 	tr.WaitIO = p.Now() - t0
 
 	fs.commitTxn(j, txn)
@@ -275,26 +275,26 @@ func (fs *FS) fsyncExt4(p *sim.Proc, f *File) FsyncTrace {
 	f.dirtyData = nil
 	var dreqs []*blockdev.Request
 	for _, d := range dirty {
-		fs.chargeCPU(p, fs.c.Config().Costs.FSDataCPU)
-		dreqs = append(dreqs, fs.c.OrderlessWrite(p, 0, d.lba, 1, d.stamp, nil))
+		fs.chargeCPU(p, fs.in.Costs().FSDataCPU)
+		dreqs = append(dreqs, fs.in.OrderlessWrite(p, 0, d.lba, 1, d.stamp, nil))
 	}
 	tr.DDispatch = p.Now() - t0
 	t0 = p.Now()
 	for _, r := range dreqs {
-		fs.c.Wait(p, r)
+		fs.in.Wait(p, r)
 	}
 	wait1 := p.Now() - t0
 
 	// Join the running transaction (group commit).
 	txn := fs.buildTxn(f)
-	join := &commitJoin{txn: txn, done: sim.NewSignal(fs.c.Eng)}
+	join := &commitJoin{txn: txn, done: sim.NewSignal(fs.in.Eng)}
 	j.joiners = append(j.joiners, join)
 	if !j.committerOn {
 		j.committerOn = true
-		fs.c.Eng.Go("jbd2/commit", func(cp *sim.Proc) { fs.jbd2Commit(cp, j) })
+		fs.in.Eng.Go("jbd2/commit", func(cp *sim.Proc) { fs.jbd2Commit(cp, j) })
 	}
 	t0 = p.Now()
-	fs.c.WaitSignal(p, join.done)
+	fs.in.WaitSignal(p, join.done)
 	tr.WaitIO = wait1 + (p.Now() - t0)
 	f.dirDirty = false
 	f.inodeDirty = false
@@ -332,24 +332,24 @@ func (fs *FS) jbd2Commit(p *sim.Proc, j *journalArea) {
 				if n > 16 {
 					n = 16
 				}
-				fs.chargeCPU(p, fs.c.Config().Costs.FSMetaCPU)
-				reqs = append(reqs, fs.c.OrderlessWrite(p, 0, base+uint64(off), uint32(n),
+				fs.chargeCPU(p, fs.in.Costs().FSMetaCPU)
+				reqs = append(reqs, fs.in.OrderlessWrite(p, 0, base+uint64(off), uint32(n),
 					fs.nextStamp(), payloads[off:off+n]))
 			}
 		}
 		writeRun(lba, meta)
 		for _, r := range reqs {
-			fs.c.Wait(p, r)
+			fs.in.Wait(p, r)
 		}
 		// Barrier: metadata durable before the commit records exist.
-		fs.c.FlushDevice(p, 0)
+		fs.in.FlushDevice(p, 0)
 		reqs = reqs[:0]
 		writeRun(lba+uint64(len(meta)), commits)
 		for _, r := range reqs {
-			fs.c.Wait(p, r)
+			fs.in.Wait(p, r)
 		}
 		// Barrier: commit records durable before fsync returns.
-		fs.c.FlushDevice(p, 0)
+		fs.in.FlushDevice(p, 0)
 		for _, join := range batch {
 			fs.commitTxn(j, join.txn)
 			join.done.Fire()
@@ -387,7 +387,7 @@ func (fs *FS) checkpoint(p *sim.Proc, j *journalArea) {
 			continue // unlinked before checkpoint
 		}
 		lba := fs.inodeHome(ino)
-		reqs = append(reqs, fs.c.OrderlessWrite(p, j.id, lba, 1, fs.nextStamp(),
+		reqs = append(reqs, fs.in.OrderlessWrite(p, j.id, lba, 1, fs.nextStamp(),
 			[][]byte{encodeInode(in)}))
 	}
 	for _, dir := range sortedKeys(j.touchedDirs) {
@@ -397,7 +397,7 @@ func (fs *FS) checkpoint(p *sim.Proc, j *journalArea) {
 		reqs = append(reqs, fs.writeDirHome(p, j.id, dir)...)
 	}
 	for _, r := range reqs {
-		fs.c.Wait(p, r)
+		fs.in.Wait(p, r)
 	}
 	// Superblock records the new generation; barrier makes it all stick.
 	j.gen++
@@ -405,10 +405,10 @@ func (fs *FS) checkpoint(p *sim.Proc, j *journalArea) {
 	j.txns = map[uint64]*txnRecord{}
 	j.touchedInodes = map[uint64]bool{}
 	j.touchedDirs = map[uint64]bool{}
-	sb := fs.c.OrderlessWrite(p, j.id, fs.superLBA, 1, fs.nextStamp(),
+	sb := fs.in.OrderlessWrite(p, j.id, fs.superLBA, 1, fs.nextStamp(),
 		[][]byte{fs.encodeSuper()})
-	fs.c.Wait(p, sb)
-	fs.c.FlushDevice(p, j.id)
+	fs.in.Wait(p, sb)
+	fs.in.FlushDevice(p, j.id)
 }
 
 // inodeHome is the fixed home block of an inode.
@@ -439,7 +439,7 @@ func (fs *FS) writeDirHome(p *sim.Proc, stream int, dir uint64) []*blockdev.Requ
 		if blk >= dirHomeBlocks {
 			panic(fmt.Sprintf("fs: directory %d exceeds home region", dir))
 		}
-		reqs = append(reqs, fs.c.OrderlessWrite(p, stream, base+blk, 1, fs.nextStamp(),
+		reqs = append(reqs, fs.in.OrderlessWrite(p, stream, base+blk, 1, fs.nextStamp(),
 			[][]byte{payload[off:end]}))
 	}
 	return reqs
@@ -447,7 +447,7 @@ func (fs *FS) writeDirHome(p *sim.Proc, stream int, dir uint64) []*blockdev.Requ
 
 func (fs *FS) chargeCPU(p *sim.Proc, d sim.Time) {
 	if d > 0 {
-		fs.c.UseCPU(p, d)
+		fs.in.UseCPU(p, d)
 	}
 }
 

@@ -96,21 +96,31 @@ type RecoverStats struct {
 	InodesAlive int
 }
 
-// Recover mounts the file system from durable media after a crash: it
+// Recover is the legacy cluster-scoped remount: it rebuilds the file
+// system on initiator 0.
+//
+// Deprecated: use Remount with an explicit initiator.
+func Recover(p *sim.Proc, c *stack.Cluster, cfg Config) (*FS, RecoverStats) {
+	return Remount(p, c.Init(0), cfg)
+}
+
+// Remount mounts the file system from durable media after a crash: it
 // reads the superblock, reloads checkpointed inodes and directories, then
 // replays committed journal transactions in order. For RioFS the storage
 // order guarantee means a durable commit record implies its whole
 // transaction (D, JM) is durable — no checksums or scanning heuristics are
-// needed, which is exactly the property Rio sells (§4.8).
-func Recover(p *sim.Proc, c *stack.Cluster, cfg Config) (*FS, RecoverStats) {
-	fs := New(c, cfg)
+// needed, which is exactly the property Rio sells (§4.8). The remounted
+// file system is bound to in, which need not be the initiator that wrote
+// the state — any live server can reclaim a crashed tenant's volume.
+func Remount(p *sim.Proc, in *stack.Initiator, opts Options) (*FS, RecoverStats) {
+	fs := Open(in, opts)
 	var st RecoverStats
 
 	// Superblock.
-	sb := c.Read(p, fs.superLBA, 1)
+	sb := in.Read(p, fs.superLBA, 1)
 	super := superState{}
 	if len(sb) == 1 && sb[0].Data != nil {
-		super = decodeSuper(sb[0].Data, cfg.Journals)
+		super = decodeSuper(sb[0].Data, fs.cfg.Journals)
 	}
 	if super.ok {
 		fs.nextIno = super.nextIno
@@ -126,7 +136,7 @@ func Recover(p *sim.Proc, c *stack.Cluster, cfg Config) (*FS, RecoverStats) {
 			if ino == rootIno {
 				continue
 			}
-			recs := c.Read(p, fs.inodeHome(ino), 1)
+			recs := in.Read(p, fs.inodeHome(ino), 1)
 			if len(recs) == 1 && recs[0].Data != nil {
 				if in, ok := decodeInode(recs[0].Data); ok && in.Ino == ino {
 					fs.inodes[ino] = in
@@ -161,7 +171,7 @@ func Recover(p *sim.Proc, c *stack.Cluster, cfg Config) (*FS, RecoverStats) {
 		commits := map[uint64]bool{}
 		var pending *openTxn
 		for blk := uint64(0); blk < j.size; blk++ {
-			recs := c.Read(p, j.base+blk, 1)
+			recs := in.Read(p, j.base+blk, 1)
 			if len(recs) != 1 || recs[0].Data == nil {
 				pending = nil
 				continue
@@ -257,7 +267,7 @@ func (fs *FS) loadDirHome(p *sim.Proc, dir uint64) {
 	base := fs.dirHome(dir)
 	var payload []byte
 	for blk := uint64(0); blk < dirHomeBlocks; blk++ {
-		recs := fs.c.Read(p, base+blk, 1)
+		recs := fs.in.Read(p, base+blk, 1)
 		if len(recs) != 1 || recs[0].Data == nil {
 			break
 		}

@@ -17,26 +17,56 @@ import (
 	"repro/internal/sim"
 )
 
-// Config sizes the store.
-type Config struct {
-	MemtableBytes   int      // flush threshold
-	KeySize         int      // bytes per key
-	ValueSize       int      // bytes per value
-	IndexCPU        sim.Time // memtable insert/lookup cost
-	CompactCPUBlock sim.Time // compaction CPU per 4 KB
-	MaxL0Files      int      // L0 files before compaction triggers
+// Options sizes the store. The zero value of a field selects the
+// DefaultOptions value, mirroring rio.Options: kv.Open(p, fsys,
+// kv.Options{}) is a working db_bench-fillsync store.
+type Options struct {
+	MemtableBytes   int      // flush threshold (0 = 4 MB)
+	KeySize         int      // bytes per key (0 = 16)
+	ValueSize       int      // bytes per value (0 = 1024)
+	IndexCPU        sim.Time // memtable insert/lookup cost (0 = 900 ns)
+	CompactCPUBlock sim.Time // compaction CPU per 4 KB (0 = 2 us)
+	MaxL0Files      int      // L0 files before compaction triggers (0 = 8)
 }
 
-// DefaultConfig mirrors db_bench fillsync: 16-byte keys, 1024-byte values.
-func DefaultConfig() Config {
-	return Config{
-		MemtableBytes:   4 << 20,
-		KeySize:         16,
-		ValueSize:       1024,
-		IndexCPU:        900,
-		CompactCPUBlock: 2 * sim.Microsecond,
-		MaxL0Files:      8,
+// Config is the legacy name of Options.
+//
+// Deprecated: use Options with kv.Open.
+type Config = Options
+
+// withDefaults fills zero fields with the DefaultOptions values.
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = 4 << 20
 	}
+	if o.KeySize == 0 {
+		o.KeySize = 16
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = 1024
+	}
+	if o.IndexCPU == 0 {
+		o.IndexCPU = 900
+	}
+	if o.CompactCPUBlock == 0 {
+		o.CompactCPUBlock = 2 * sim.Microsecond
+	}
+	if o.MaxL0Files == 0 {
+		o.MaxL0Files = 8
+	}
+	return o
+}
+
+// DefaultOptions mirrors db_bench fillsync: 16-byte keys, 1024-byte values.
+func DefaultOptions() Options {
+	return Options{}.withDefaults()
+}
+
+// DefaultConfig is the legacy name of DefaultOptions.
+//
+// Deprecated: use DefaultOptions.
+func DefaultConfig() Config {
+	return DefaultOptions()
 }
 
 // Stats counts store activity.
@@ -49,10 +79,14 @@ type Stats struct {
 	SSTFiles    int64
 }
 
-// DB is one key-value store instance.
+// DB is one key-value store instance. It inherits its file system's
+// initiator binding: WAL fsyncs, SST flushes, compaction I/O and all
+// in-memory indexing CPU run in that initiator's ordering domain, so a
+// tenant's engine work never leaks onto another tenant's cores.
 type DB struct {
-	fsys *fs.FS
-	cfg  Config
+	fsys   *fs.FS
+	cfg    Options
+	closed bool
 
 	wal      *fs.File
 	walBytes int
@@ -78,8 +112,11 @@ type sstFile struct {
 	max  string
 }
 
-// Open creates a fresh DB (and its WAL) on the file system.
-func Open(p *sim.Proc, fsys *fs.FS, cfg Config) (*DB, error) {
+// Open creates a fresh DB (and its WAL) on the file system. Zero-valued
+// options select the DefaultOptions sizing. The store inherits fsys's
+// initiator binding.
+func Open(p *sim.Proc, fsys *fs.FS, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
 	if err := fsys.Mkdir(p, "db"); err != nil {
 		return nil, err
 	}
@@ -89,15 +126,31 @@ func Open(p *sim.Proc, fsys *fs.FS, cfg Config) (*DB, error) {
 	}
 	return &DB{
 		fsys:      fsys,
-		cfg:       cfg,
+		cfg:       opts,
 		wal:       wal,
 		mem:       map[string]uint64{},
-		flushCond: sim.NewCond(fsys.Cluster().Eng),
+		flushCond: sim.NewCond(fsys.Eng()),
 	}, nil
 }
 
 // Stats returns store counters.
 func (db *DB) Stats() Stats { return db.stats }
+
+// Options returns the effective (default-filled) options.
+func (db *DB) Options() Options { return db.cfg }
+
+// FS returns the file system the store lives on.
+func (db *DB) FS() *fs.FS { return db.fsys }
+
+// Close drains background memtable flushes and retires the store,
+// returning the final counters. Further Puts/Gets are a bug.
+func (db *DB) Close(p *sim.Proc) Stats {
+	for db.flushing || len(db.imm) > 0 {
+		db.flushCond.Wait(p)
+	}
+	db.closed = true
+	return db.stats
+}
 
 // Put inserts key→value with fillsync durability: append to the WAL,
 // fsync, then update the memtable. core selects the journal/stream of the
@@ -111,7 +164,7 @@ func (db *DB) Put(p *sim.Proc, core int, key string, valueLen int) error {
 	db.stats.WALBytes += int64(rec)
 
 	// Memtable insert (in-memory indexing CPU).
-	db.fsys.Cluster().UseCPU(p, db.cfg.IndexCPU)
+	db.fsys.UseCPU(p, db.cfg.IndexCPU)
 	db.seq++
 	db.mem[key] = db.seq
 	db.memBytes += rec
@@ -126,7 +179,7 @@ func (db *DB) Put(p *sim.Proc, core int, key string, valueLen int) error {
 // Get looks a key up (memtable, then SSTs newest-first). The value itself
 // is synthetic; the charged work is the index CPU plus SST reads.
 func (db *DB) Get(p *sim.Proc, key string) bool {
-	db.fsys.Cluster().UseCPU(p, db.cfg.IndexCPU)
+	db.fsys.UseCPU(p, db.cfg.IndexCPU)
 	db.stats.Gets++
 	if _, ok := db.mem[key]; ok {
 		return true
@@ -170,7 +223,7 @@ func (db *DB) rotate(p *sim.Proc, core int) {
 		db.wal = wal
 	}
 	db.nextID++
-	eng := db.fsys.Cluster().Eng
+	eng := db.fsys.Eng()
 	id := db.nextID
 	eng.Go(fmt.Sprintf("kv/flush%d", id), func(fp *sim.Proc) {
 		db.flushMemtable(fp, core, sealed)
@@ -199,7 +252,7 @@ func (db *DB) flushMemtable(p *sim.Proc, core int, sealed map[string]uint64) {
 			if n > 16*fs.BlockSize {
 				n = 16 * fs.BlockSize
 			}
-			db.fsys.Cluster().UseCPU(p, db.cfg.CompactCPUBlock)
+			db.fsys.UseCPU(p, db.cfg.CompactCPUBlock)
 			db.fsys.Append(p, f, n)
 		}
 		db.fsys.Fsync(p, f, core)
@@ -254,7 +307,7 @@ func (db *DB) compact(p *sim.Proc, core int) {
 			if n > 16*fs.BlockSize {
 				n = 16 * fs.BlockSize
 			}
-			db.fsys.Cluster().UseCPU(p, db.cfg.CompactCPUBlock*2)
+			db.fsys.UseCPU(p, db.cfg.CompactCPUBlock*2)
 			db.fsys.Append(p, f, n)
 		}
 		db.fsys.Fsync(p, f, core)
@@ -287,13 +340,14 @@ func equalMaps(a, b map[string]uint64) bool {
 // records survive: WAL records (across all rotated WAL files) plus records
 // already flushed to durable SST files. Crash tests use it to show that
 // every fillsync put acknowledged before the cut is durable somewhere.
-func RecoverCount(p *sim.Proc, fsys *fs.FS, cfg Config) (int, error) {
+func RecoverCount(p *sim.Proc, fsys *fs.FS, opts Options) (int, error) {
+	opts = opts.withDefaults()
 	names, err := fsys.List(p, "db")
 	if err != nil {
 		return 0, err
 	}
-	rec := cfg.KeySize + cfg.ValueSize + 16
-	sstRec := cfg.KeySize + cfg.ValueSize
+	rec := opts.KeySize + opts.ValueSize + 16
+	sstRec := opts.KeySize + opts.ValueSize
 	total := 0
 	for _, name := range names {
 		f, err := fsys.Open(p, "db/"+name)

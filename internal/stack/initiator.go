@@ -111,6 +111,10 @@ func (in *Initiator) Sequencer() *core.Sequencer { return in.seq }
 // Cluster returns the cluster this initiator belongs to.
 func (in *Initiator) Cluster() *Cluster { return in.c }
 
+// Costs exposes the calibrated cost model so upper layers (fs, kv)
+// charge the same per-operation CPU the stack itself uses.
+func (in *Initiator) Costs() CostModel { return in.costs }
+
 // Util snapshots this initiator's CPU for utilization windows.
 func (in *Initiator) Util() metrics.UtilSnapshot {
 	return metrics.SnapUtil(in.cores, in.Eng.Now())

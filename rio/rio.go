@@ -21,9 +21,12 @@
 package rio
 
 import (
+	"fmt"
+
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/fs"
+	"repro/internal/kv"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stack"
@@ -320,16 +323,74 @@ func (c *Cluster) WriteQuorum() int { return c.inner.WriteQuorum() }
 // domains would produce.
 func (c *Cluster) OrderAudit() int { return c.inner.OrderAudit() }
 
-// PowerCut models a whole-cluster power failure: volatile state is lost,
-// media and PMR survive.
-func (c *Cluster) PowerCut() { c.inner.PowerCutAll() }
+// Scope names the blast radius of a fault or recovery: the whole
+// cluster, one target server, or one initiator server. Build one with
+// ClusterScope, TargetScope or InitiatorScope and hand it to
+// Cluster.Fault / Ctx.Recover — the single crash surface that replaces
+// the per-shape PowerCut*/Recover* method family.
+type Scope struct {
+	kind scopeKind
+	idx  int
+}
+
+type scopeKind int
+
+const (
+	scopeCluster scopeKind = iota
+	scopeTarget
+	scopeInitiator
+)
+
+// ClusterScope is the whole deployment: every server loses volatile
+// state at once (a datacenter power event). Media and PMR survive.
+func ClusterScope() Scope { return Scope{kind: scopeCluster} }
+
+// TargetScope is a single target server (and the replica-set member it
+// hosts, on a replicated cluster).
+func TargetScope(i int) Scope { return Scope{kind: scopeTarget, idx: i} }
+
+// InitiatorScope is a single initiator server; the other initiators'
+// ordering domains continue undisturbed.
+func InitiatorScope(i int) Scope { return Scope{kind: scopeInitiator, idx: i} }
+
+func (s Scope) String() string {
+	switch s.kind {
+	case scopeTarget:
+		return fmt.Sprintf("target(%d)", s.idx)
+	case scopeInitiator:
+		return fmt.Sprintf("initiator(%d)", s.idx)
+	default:
+		return "cluster"
+	}
+}
+
+// Fault power-cuts the given scope: volatile state inside the scope is
+// lost, media and PMR survive. Pair with Ctx.Recover on the same scope.
+func (c *Cluster) Fault(s Scope) {
+	switch s.kind {
+	case scopeTarget:
+		c.inner.PowerCutTarget(s.idx)
+	case scopeInitiator:
+		c.inner.PowerCutInitiator(s.idx)
+	default:
+		c.inner.PowerCutAll()
+	}
+}
+
+// PowerCut models a whole-cluster power failure.
+//
+// Deprecated: use Fault(ClusterScope()).
+func (c *Cluster) PowerCut() { c.Fault(ClusterScope()) }
 
 // PowerCutTarget crashes a single target server.
-func (c *Cluster) PowerCutTarget(i int) { c.inner.PowerCutTarget(i) }
+//
+// Deprecated: use Fault(TargetScope(i)).
+func (c *Cluster) PowerCutTarget(i int) { c.Fault(TargetScope(i)) }
 
-// PowerCutInitiator crashes a single initiator server; the other
-// initiators' ordering domains continue undisturbed.
-func (c *Cluster) PowerCutInitiator(i int) { c.inner.PowerCutInitiator(i) }
+// PowerCutInitiator crashes a single initiator server.
+//
+// Deprecated: use Fault(InitiatorScope(i)).
+func (c *Cluster) PowerCutInitiator(i int) { c.Fault(InitiatorScope(i)) }
 
 // Report is the recovery outcome: per-stream durable prefixes.
 type Report struct {
@@ -348,29 +409,51 @@ func (r *Report) DurablePrefixFor(initiator, stream int) uint64 {
 	return r.inner.PrefixFor(uint16(initiator), uint16(stream))
 }
 
-// Recover runs initiator recovery (§4.4.1) after PowerCut and returns the
-// global ordering report. The cluster is usable again afterwards.
-func (ctx *Ctx) Recover() *Report {
-	rep, tm := ctx.c.inner.RecoverFull(ctx.p)
-	return &Report{inner: rep, Timing: tm}
+// Recover runs the §4.4 recovery algorithm over each given scope, in
+// order, and returns the ordering report of the last one. No scope means
+// ClusterScope: full recovery after a whole-cluster PowerCut, so legacy
+// ctx.Recover() calls keep their meaning. Scope semantics:
+//
+//   - ClusterScope: every initiator replays its PMR-durable requests and
+//     rolls the volume forward to the per-stream durable prefixes.
+//   - TargetScope(i): every surviving initiator replays its own
+//     in-flight requests against the repaired target (§4.4.1 target
+//     recovery); on a replicated cluster this is instead a background
+//     resync — the member replays the delta from a peer replica's
+//     PMR+media and rejoins its set; no stream stalled and no initiator
+//     replays anything.
+//   - InitiatorScope(i): the crashed initiator recovers from its own PMR
+//     partitions; no other initiator's state is read or rolled back.
+func (ctx *Ctx) Recover(scope ...Scope) *Report {
+	if len(scope) == 0 {
+		scope = []Scope{ClusterScope()}
+	}
+	var out *Report
+	for _, s := range scope {
+		var rep *core.Report
+		var tm stack.RecoveryTiming
+		switch s.kind {
+		case scopeTarget:
+			rep, tm = ctx.c.inner.RecoverTarget(ctx.p, s.idx)
+		case scopeInitiator:
+			rep, tm = ctx.c.inner.RecoverInitiator(ctx.p, s.idx)
+		default:
+			rep, tm = ctx.c.inner.RecoverFull(ctx.p)
+		}
+		out = &Report{inner: rep, Timing: tm}
+	}
+	return out
 }
 
-// RecoverTarget repairs a single crashed target: every surviving
-// initiator replays its own in-flight requests (§4.4.1 target recovery).
-// On a replicated cluster this is instead a background resync — the
-// member replays the delta from a peer replica's PMR+media and rejoins
-// its set; no stream stalled and no initiator replays anything.
-func (ctx *Ctx) RecoverTarget(i int) *Report {
-	rep, tm := ctx.c.inner.RecoverTarget(ctx.p, i)
-	return &Report{inner: rep, Timing: tm}
-}
+// RecoverTarget repairs a single crashed target.
+//
+// Deprecated: use Recover(TargetScope(i)).
+func (ctx *Ctx) RecoverTarget(i int) *Report { return ctx.Recover(TargetScope(i)) }
 
-// RecoverInitiator recovers a single crashed initiator from its own PMR
-// partitions; no other initiator's state is read or rolled back.
-func (ctx *Ctx) RecoverInitiator(i int) *Report {
-	rep, tm := ctx.c.inner.RecoverInitiator(ctx.p, i)
-	return &Report{inner: rep, Timing: tm}
-}
+// RecoverInitiator recovers a single crashed initiator.
+//
+// Deprecated: use Recover(InitiatorScope(i)).
+func (ctx *Ctx) RecoverInitiator(i int) *Report { return ctx.Recover(InitiatorScope(i)) }
 
 // FSDesign selects a file-system journaling design (§4.7).
 type FSDesign = fs.Design
@@ -382,8 +465,50 @@ const (
 	RioFSFS   = fs.RioFS
 )
 
-// NewFS formats a file system on the cluster. journals is the per-core
+// FSOptions sizes and places a file system (see fs.Options): zero
+// fields pick defaults, BaseLBA stacks tenants on a shared volume.
+type FSOptions = fs.Options
+
+// KVOptions sizes a key-value store (see kv.Options).
+type KVOptions = kv.Options
+
+// FS formats a file system bound to this context's initiator: its
+// journal streams, data writes and CPU charges all run in that
+// initiator's ordering domain. Zero-valued options give RioFS defaults.
+func (ctx *Ctx) FS(opts FSOptions) *fs.FS {
+	return fs.Open(ctx.in, opts)
+}
+
+// RemountFS mounts an existing file system from durable media after a
+// fault — the §4.8 replay: committed journal transactions are applied,
+// uncommitted ones vanish atomically. opts must match the options the
+// file system was formatted with (including BaseLBA).
+func (ctx *Ctx) RemountFS(opts FSOptions) (*fs.FS, fs.RecoverStats) {
+	return fs.Remount(ctx.p, ctx.in, opts)
+}
+
+// KV opens a RocksDB-style store on fsys. The store inherits the file
+// system's initiator binding: WAL fsyncs, flushes, compactions and
+// indexing CPU are charged to that server.
+func (ctx *Ctx) KV(fsys *fs.FS, opts KVOptions) (*kv.DB, error) {
+	return kv.Open(ctx.p, fsys, opts)
+}
+
+// KVRecoverCount scans a remounted file system (RemountFS) and counts
+// the KV records that survived the fault — WAL records plus records
+// already flushed to SSTs. Crash tests compare it against the puts
+// acknowledged before the cut: fillsync durability means none may be
+// missing, and WAL sizes divide evenly by the record size (no torn
+// record can follow a durable commit under ordered writes).
+func (ctx *Ctx) KVRecoverCount(fsys *fs.FS, opts KVOptions) (int, error) {
+	return kv.RecoverCount(ctx.p, fsys, opts)
+}
+
+// NewFS formats a file system on initiator 0. journals is the per-core
 // journal count (ignored for Ext4).
+//
+// Deprecated: use Ctx.FS, which binds the file system to the calling
+// context's initiator and takes full FSOptions.
 func (c *Cluster) NewFS(design FSDesign, journals int) *fs.FS {
-	return fs.New(c.inner, fs.DefaultConfig(design, journals))
+	return fs.Open(c.inner.Init(0), fs.DefaultOptions(design, journals))
 }
