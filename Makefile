@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test race vet fmt fmt-check staticcheck lint bench bench-json bench-gate coverage examples ci
+.PHONY: all build test race vet fmt fmt-check staticcheck lint lint-deprecated bench bench-json bench-gate coverage examples ci
 
 all: build test
 
@@ -36,8 +36,14 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# The lint gate CI runs: formatting, vet, staticcheck.
-lint: fmt-check vet staticcheck
+# Grep gate against re-introducing deprecated API surface (PowerCut*/
+# Recover* wrappers, fs.New/Config, kv.Config) outside the wrapper
+# definitions themselves.
+lint-deprecated:
+	sh scripts/lint_deprecated.sh
+
+# The lint gate CI runs: formatting, vet, staticcheck, deprecated-API grep.
+lint: fmt-check vet staticcheck lint-deprecated
 
 # Quick smoke of every experiment (same command CI runs).
 bench: build
@@ -45,7 +51,7 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve -quick -json BENCH_6.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read -quick -json BENCH_7.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).
@@ -56,7 +62,7 @@ examples: build
 # The CI perf gate: run the gated experiments fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
 bench-gate: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
 # Coverage profile over the ordering engine and the stack that drives it

@@ -108,9 +108,9 @@ func BenchmarkFsync(b *testing.B) {
 				eng := sim.New(1)
 				cfg := stack.DefaultConfig(d.mode, stack.OptaneTarget())
 				c := stack.New(eng, cfg)
-				fcfg := fs.DefaultConfig(d.design, 8)
+				fcfg := fs.DefaultOptions(d.design, 8)
 				fcfg.JournalBlocks = 2048
-				fsys := fs.New(c, fcfg)
+				fsys := fs.Open(c.Init(0), fcfg)
 				r := workload.RunFioFsync(eng, fsys, 1, 200*sim.Microsecond, 2*sim.Millisecond)
 				lat = r.Lat
 				eng.Shutdown()
@@ -156,7 +156,7 @@ func time1ms() sim.Time { return sim.Millisecond }
 // sanity: ensure figure names stay wired to the harness.
 func TestBenchNamesMatchHarness(t *testing.T) {
 	for _, n := range bench.Names() {
-		if !strings.HasPrefix(n, "fig") && n != "recovery" && n != "ablation" && n != "tcp" && n != "scale" && n != "replication" && n != "policy" && n != "serve" {
+		if !strings.HasPrefix(n, "fig") && n != "recovery" && n != "ablation" && n != "tcp" && n != "scale" && n != "replication" && n != "policy" && n != "serve" && n != "read" {
 			t.Errorf("unexpected experiment name %q", n)
 		}
 	}

@@ -38,11 +38,13 @@ type gate struct {
 // latency, the completion-path coalescing headline (capsules per op must
 // not creep back toward one-per-command), the replication headlines
 // — 3-way throughput at fixed hardware and the worst failover blip when
-// a replica member is power-cut mid-measurement — and the serve
+// a replica member is power-cut mid-measurement — the serve
 // (application-tier) headlines: aggregate KV throughput, tail latency,
 // and the per-tenant fairness spread, which must stay near 1.0 (one
 // tenant's ordering domain starving another's is a regression even when
-// aggregate throughput holds).
+// aggregate throughput holds) — and the read-path headlines: block-cache
+// hit rate, read-heavy throughput and tail latency at the largest cache,
+// which must keep beating the feature-off baseline PR over PR.
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
@@ -54,6 +56,9 @@ var gates = []gate{
 	{"serve.rio.kiops", true},
 	{"serve.rio.p99_us", false},
 	{"serve.rio.fairness_spread", false},
+	{"read.rio.hit_rate", true},
+	{"read.rio.kiops", true},
+	{"read.rio.p99_us", false},
 }
 
 // check compares one gated metric. For higher-is-better metrics a

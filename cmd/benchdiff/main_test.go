@@ -18,6 +18,9 @@ func baseMetrics() map[string]float64 {
 		"serve.rio.kiops":                  200,
 		"serve.rio.p99_us":                 70,
 		"serve.rio.fairness_spread":        1.05,
+		"read.rio.hit_rate":                0.92,
+		"read.rio.kiops":                   5000,
+		"read.rio.p99_us":                  5,
 	}
 }
 
@@ -56,6 +59,9 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"serve throughput -15%", "serve.rio.kiops", 200 * 0.85},
 		{"serve p99 +20%", "serve.rio.p99_us", 70 * 1.20},
 		{"tenant fairness decays (one tenant starved)", "serve.rio.fairness_spread", 1.05 * 1.6},
+		{"cache hit rate -20% (invalidation too eager)", "read.rio.hit_rate", 0.92 * 0.80},
+		{"read throughput -15%", "read.rio.kiops", 5000 * 0.85},
+		{"read p99 +25% (cache misses on the hot path)", "read.rio.p99_us", 5 * 1.25},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()

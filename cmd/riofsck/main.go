@@ -97,11 +97,11 @@ func run(cfg fsckConfig, out io.Writer) int {
 		scfg.Replicas = cfg.replicas
 	}
 	c := stack.New(eng, scfg)
-	fcfg := fs.DefaultConfig(d, 8)
+	fcfg := fs.DefaultOptions(d, 8)
 	fcfg.JournalBlocks = 1024
 	fcfg.MaxInodes = 1 << 12
 	fcfg.DataBlocks = 1 << 16
-	fsys := fs.New(c, fcfg)
+	fsys := fs.Open(c.Init(0), fcfg)
 
 	type acked struct {
 		name string

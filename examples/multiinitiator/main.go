@@ -84,7 +84,7 @@ func main() {
 			survivors[ii] = last
 		})
 	}
-	c.Engine().At(100*sim.Microsecond, func() { c.PowerCutInitiator(2) })
+	c.Engine().At(100*sim.Microsecond, func() { c.Fault(rio.InitiatorScope(2)) })
 	c.Run()
 	ok := 0
 	for ii, h := range survivors {
@@ -100,7 +100,7 @@ func main() {
 	// Phase 3: the victim recovers from its own PMR partitions; peers
 	// are neither scanned nor rolled back.
 	c.GoOn(2, func(ctx *rio.Ctx) {
-		rep := ctx.RecoverInitiator(2)
+		rep := ctx.Recover(rio.InitiatorScope(2))
 		fmt.Printf("phase 3: initiator 2 recovered: durable prefix on its stream 1 = %d of %d submitted (order rebuild %v, data recovery %v)\n",
 			rep.DurablePrefixFor(2, 1), victimSubmitted,
 			rep.Timing.OrderRebuild, rep.Timing.DataRecovery)

@@ -53,12 +53,12 @@ func main() {
 	})
 	c.Engine().At(50*sim.Microsecond, func() {
 		fmt.Println("!! target 1 loses power mid-stream")
-		c.PowerCutTarget(1)
+		c.Fault(rio.TargetScope(1))
 	})
 	c.RunFor(2 * sim.Millisecond)
 
 	c.Go(func(ctx *rio.Ctx) {
-		rep := ctx.RecoverTarget(1)
+		rep := ctx.Recover(rio.TargetScope(1))
 		fmt.Printf("target recovery: replayed %d commands in %v\n",
 			rep.Timing.Replayed, rep.Timing.DataRecovery)
 	})

@@ -60,7 +60,7 @@ func main() {
 			ctx.Sleep(sim.Microsecond)
 		}
 	})
-	c.Engine().At(80*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	c.Engine().At(80*sim.Microsecond, func() { c.Fault(rio.TargetScope(1)) })
 	c.Run()
 	stalled := 0
 	for _, h := range handles {
@@ -77,7 +77,7 @@ func main() {
 	// Phase 3: background resync — the member replays the delta from a
 	// peer's media and rejoins; the set converges byte-identically.
 	c.Go(func(ctx *rio.Ctx) {
-		rep := ctx.RecoverTarget(1)
+		rep := ctx.Recover(rio.TargetScope(1))
 		fmt.Printf("phase 3: member 1 resynced (peer PMR scan %v, delta copy %v, %d blocks replayed) — in sync: %v, set epoch %d\n",
 			rep.Timing.OrderRebuild, rep.Timing.DataRecovery, rep.Timing.Replayed,
 			c.InSync(1), c.SetEpoch(0))

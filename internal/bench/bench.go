@@ -90,6 +90,7 @@ var Experiments = map[string]Runner{
 	"fig15a":      Fig15aVarmail,
 	"fig15b":      Fig15bRocksDB,
 	"policy":      PolicySweep,
+	"read":        ReadSweep,
 	"recovery":    RecoveryTimes,
 	"replication": ReplicationSweep,
 	"scale":       ScaleSweep,
@@ -394,11 +395,11 @@ func newFS(o Options, mode stack.Mode, design fs.Design, targets []stack.TargetC
 	eng := sim.New(o.seed())
 	cfg := stack.DefaultConfig(mode, targets...)
 	c := stack.New(eng, cfg)
-	fcfg := fs.DefaultConfig(design, 24)
+	fcfg := fs.DefaultOptions(design, 24)
 	fcfg.JournalBlocks = 4096
 	fcfg.MaxInodes = 1 << 14
 	fcfg.DataBlocks = 1 << 20
-	return eng, fs.New(c, fcfg)
+	return eng, fs.Open(c.Init(0), fcfg)
 }
 
 // Fig13Filesystem: 4 KB append+fsync, threads 1..16, on a remote Optane

@@ -27,6 +27,13 @@ type Options struct {
 	IndexCPU        sim.Time // memtable insert/lookup cost (0 = 900 ns)
 	CompactCPUBlock sim.Time // compaction CPU per 4 KB (0 = 2 us)
 	MaxL0Files      int      // L0 files before compaction triggers (0 = 8)
+
+	// NegativeLookup maintains a bloom filter over the live keys so gets
+	// of absent keys answer at the initiator without probing any SST
+	// over the fabric. false (the zero value) = off.
+	NegativeLookup bool
+	BloomBits      int      // filter size in bits (0 = 1 Mi)
+	BloomCPU       sim.Time // filter probe/update cost per op (0 = 200 ns)
 }
 
 // Config is the legacy name of Options.
@@ -54,6 +61,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxL0Files == 0 {
 		o.MaxL0Files = 8
 	}
+	if o.BloomBits == 0 {
+		o.BloomBits = 1 << 20
+	}
+	if o.BloomCPU == 0 {
+		o.BloomCPU = 200
+	}
 	return o
 }
 
@@ -71,12 +84,14 @@ func DefaultConfig() Config {
 
 // Stats counts store activity.
 type Stats struct {
-	Puts        int64
-	Gets        int64
-	WALBytes    int64
-	Flushes     int64 // memtable -> SST
-	Compactions int64
-	SSTFiles    int64
+	Puts         int64
+	Gets         int64
+	Deletes      int64
+	WALBytes     int64
+	Flushes      int64 // memtable -> SST
+	Compactions  int64
+	SSTFiles     int64
+	NegativeHits int64 // gets answered "absent" by the bloom filter alone
 }
 
 // DB is one key-value store instance. It inherits its file system's
@@ -91,7 +106,7 @@ type DB struct {
 	wal      *fs.File
 	walBytes int
 
-	mem      map[string]uint64 // key -> value stamp (values are synthetic)
+	mem      map[string]uint64 // key -> value stamp (values are synthetic; tombstone marks a delete)
 	memBytes int
 	imm      []map[string]uint64 // immutable memtables being flushed
 
@@ -99,17 +114,24 @@ type DB struct {
 	l1     []*sstFile
 	nextID int
 
+	filter *bloom // negative-lookup filter (nil = off)
+
 	flushing  bool
 	flushCond *sim.Cond
 	stats     Stats
 	seq       uint64
 }
 
+// tombstone is the memtable stamp marking a deleted key (live stamps
+// start at 1).
+const tombstone = 0
+
 type sstFile struct {
 	name string
-	keys []string
+	keys []string // live keys, sorted
 	min  string
 	max  string
+	dead map[string]bool // tombstones flushed with this file (nil = none)
 }
 
 // Open creates a fresh DB (and its WAL) on the file system. Zero-valued
@@ -124,13 +146,64 @@ func Open(p *sim.Proc, fsys *fs.FS, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		fsys:      fsys,
 		cfg:       opts,
 		wal:       wal,
 		mem:       map[string]uint64{},
 		flushCond: sim.NewCond(fsys.Eng()),
-	}, nil
+	}
+	if opts.NegativeLookup {
+		db.filter = newBloom(opts.BloomBits)
+	}
+	return db, nil
+}
+
+// Reopen attaches a store handle to an existing "db" directory after a
+// crash and file-system remount. The in-memory indexes (memtable, SST
+// key lists) died with the process and the durable files persist only
+// sizes, so a reopened store serves fresh puts normally but cannot
+// enumerate pre-crash keys; WAL appends continue in a new file so every
+// durable record is preserved for RecoverCount. What Reopen restores
+// exactly is the negative-lookup contract: if ANY durable record
+// exists, the bloom filter is saturated — every pre-crash key answers
+// "maybe" — which is the only available superset of the live keys.
+func Reopen(p *sim.Proc, fsys *fs.FS, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	names, err := fsys.List(p, "db")
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		fsys:      fsys,
+		cfg:       opts,
+		mem:       map[string]uint64{},
+		flushCond: sim.NewCond(fsys.Eng()),
+		nextID:    len(names) + 1, // past every existing WAL.<n>/sst<n> name
+	}
+	wal, err := fsys.Create(p, fmt.Sprintf("db/WAL.r%d", db.nextID))
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal
+	if opts.NegativeLookup {
+		db.filter = newBloom(opts.BloomBits)
+		if n, err := RecoverCount(p, fsys, opts); err == nil && n > 0 {
+			db.filter.saturate()
+		}
+	}
+	return db, nil
+}
+
+// MayContain reports whether the store might hold key: false is a
+// definite absence (bloom negative). Without a filter every key may
+// exist. The crash tests assert this stays a superset of the acked
+// puts across recovery.
+func (db *DB) MayContain(key string) bool {
+	if db.filter == nil {
+		return true
+	}
+	return db.filter.mayContain(key)
 }
 
 // Stats returns store counters.
@@ -169,6 +242,10 @@ func (db *DB) Put(p *sim.Proc, core int, key string, valueLen int) error {
 	db.mem[key] = db.seq
 	db.memBytes += rec
 	db.stats.Puts++
+	if db.filter != nil {
+		db.fsys.UseCPU(p, db.cfg.BloomCPU)
+		db.filter.add(key)
+	}
 
 	if db.memBytes >= db.cfg.MemtableBytes {
 		db.rotate(p, core)
@@ -176,39 +253,83 @@ func (db *DB) Put(p *sim.Proc, core int, key string, valueLen int) error {
 	return nil
 }
 
-// Get looks a key up (memtable, then SSTs newest-first). The value itself
-// is synthetic; the charged work is the index CPU plus SST reads.
-func (db *DB) Get(p *sim.Proc, key string) bool {
-	db.fsys.UseCPU(p, db.cfg.IndexCPU)
-	db.stats.Gets++
-	if _, ok := db.mem[key]; ok {
-		return true
+// Delete removes a key with fillsync durability: the tombstone record
+// is WAL-appended at the same size as a put (keeping the RecoverCount
+// arithmetic exact), fsynced, and recorded in the memtable. The bloom
+// filter is NOT narrowed — bits cannot be cleared — so it
+// over-approximates until the next compaction rebuilds it from the
+// merged live key set.
+func (db *DB) Delete(p *sim.Proc, core int, key string) error {
+	rec := db.cfg.KeySize + db.cfg.ValueSize + 16
+	if err := db.fsys.Append(p, db.wal, rec); err != nil {
+		return err
 	}
-	for _, imm := range db.imm {
-		if _, ok := imm[key]; ok {
-			return true
+	db.fsys.Fsync(p, db.wal, core)
+	db.stats.WALBytes += int64(rec)
+
+	db.fsys.UseCPU(p, db.cfg.IndexCPU)
+	db.mem[key] = tombstone
+	db.memBytes += rec
+	db.stats.Deletes++
+
+	if db.memBytes >= db.cfg.MemtableBytes {
+		db.rotate(p, core)
+	}
+	return nil
+}
+
+// Get looks a key up (bloom filter, then memtable, then SSTs
+// newest-first; the first occurrence — live or tombstone — decides).
+// The value itself is synthetic; the charged work is the filter and
+// index CPU plus SST reads.
+func (db *DB) Get(p *sim.Proc, key string) bool {
+	db.stats.Gets++
+	if db.filter != nil {
+		db.fsys.UseCPU(p, db.cfg.BloomCPU)
+		if !db.filter.mayContain(key) {
+			db.stats.NegativeHits++
+			return false
+		}
+	}
+	db.fsys.UseCPU(p, db.cfg.IndexCPU)
+	if v, ok := db.mem[key]; ok {
+		return v != tombstone
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if v, ok := db.imm[i][key]; ok {
+			return v != tombstone
 		}
 	}
 	for i := len(db.l0) - 1; i >= 0; i-- {
-		if db.sstContains(p, db.l0[i], key) {
-			return true
+		if found, live := db.sstLookup(p, db.l0[i], key); found {
+			return live
 		}
 	}
 	for _, f := range db.l1 {
-		if key >= f.min && key <= f.max && db.sstContains(p, f, key) {
-			return true
+		if key >= f.min && key <= f.max {
+			if found, live := db.sstLookup(p, f, key); found {
+				return live
+			}
 		}
 	}
 	return false
 }
 
-func (db *DB) sstContains(p *sim.Proc, f *sstFile, key string) bool {
-	// One index-block read charge per probe.
+// sstLookup probes one SST file (one index-block read charge) and
+// reports whether the file decides the key: found with live=false is a
+// flushed tombstone shadowing older files.
+func (db *DB) sstLookup(p *sim.Proc, f *sstFile, key string) (found, live bool) {
 	if file, err := db.fsys.Open(p, f.name); err == nil {
 		db.fsys.Read(p, file, 0, fs.BlockSize)
 	}
+	if f.dead[key] {
+		return true, false
+	}
 	i := sort.SearchStrings(f.keys, key)
-	return i < len(f.keys) && f.keys[i] == key
+	if i < len(f.keys) && f.keys[i] == key {
+		return true, true
+	}
+	return false, false
 }
 
 // rotate seals the memtable and flushes it to an L0 SST file in the
@@ -237,7 +358,15 @@ func (db *DB) flushMemtable(p *sim.Proc, core int, sealed map[string]uint64) {
 	}
 	db.flushing = true
 	keys := make([]string, 0, len(sealed))
-	for k := range sealed {
+	var dead map[string]bool
+	for k, v := range sealed {
+		if v == tombstone {
+			if dead == nil {
+				dead = map[string]bool{}
+			}
+			dead[k] = true
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -256,7 +385,7 @@ func (db *DB) flushMemtable(p *sim.Proc, core int, sealed map[string]uint64) {
 			db.fsys.Append(p, f, n)
 		}
 		db.fsys.Fsync(p, f, core)
-		sst := &sstFile{name: name, keys: keys}
+		sst := &sstFile{name: name, keys: keys, dead: dead}
 		if len(keys) > 0 {
 			sst.min, sst.max = keys[0], keys[len(keys)-1]
 		}
@@ -271,30 +400,48 @@ func (db *DB) flushMemtable(p *sim.Proc, core int, sealed map[string]uint64) {
 			break
 		}
 	}
-	db.flushing = false
-	db.flushCond.Broadcast()
+	// Compact under the flushing latch: compaction yields during its
+	// I/O, and a concurrent flush appending to L0 in that window would
+	// be wiped by the final L0 swap — losing its keys entirely.
 	if len(db.l0) >= db.cfg.MaxL0Files {
 		db.compact(p, core)
 	}
+	db.flushing = false
+	db.flushCond.Broadcast()
 }
 
-// compact merges all L0 files (plus overlapping L1) into fresh L1 files.
+// compact merges all L0 files (plus overlapping L1) into fresh L1
+// files, newest-first so the most recent occurrence of a key — live or
+// tombstone — decides, and drops the dead keys. It is also the
+// re-exactification point of the bloom filter: the compactor holds the
+// full merged live key set, so the over-approximation deletes (and
+// evictions of their bits) accumulated is rebuilt away.
 func (db *DB) compact(p *sim.Proc, core int) {
 	db.stats.Compactions++
-	merged := map[string]bool{}
-	for _, f := range db.l0 {
+	merged := map[string]bool{} // key -> live (first occurrence decides)
+	decide := func(f *sstFile) {
 		for _, k := range f.keys {
-			merged[k] = true
+			if _, ok := merged[k]; !ok {
+				merged[k] = true
+			}
 		}
+		for k := range f.dead {
+			if _, ok := merged[k]; !ok {
+				merged[k] = false
+			}
+		}
+	}
+	for i := len(db.l0) - 1; i >= 0; i-- {
+		decide(db.l0[i])
 	}
 	for _, f := range db.l1 {
-		for _, k := range f.keys {
-			merged[k] = true
-		}
+		decide(f)
 	}
 	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
+	for k, live := range merged {
+		if live {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	// Compaction I/O: rewrite everything once (read+write), CPU per block.
@@ -321,6 +468,38 @@ func (db *DB) compact(p *sim.Proc, core int) {
 		}
 		db.l0 = nil
 		db.l1 = []*sstFile{sst}
+	}
+	// Re-exactify the negative-lookup filter from the merged live key
+	// set plus whatever is still in the memtables. A saturated filter
+	// stays saturated: pre-crash durable keys are unknowable, so any
+	// rebuild here would under-approximate and break the superset
+	// invariant. The rebuild is pure CPU-side bookkeeping (no yields),
+	// so it cannot reorder simulation events.
+	if db.filter != nil && !db.filter.sat {
+		nb := newBloom(db.cfg.BloomBits)
+		for _, f := range db.l1 {
+			for _, k := range f.keys {
+				nb.add(k)
+			}
+		}
+		for _, f := range db.l0 {
+			for _, k := range f.keys {
+				nb.add(k)
+			}
+		}
+		for k, v := range db.mem {
+			if v != tombstone {
+				nb.add(k)
+			}
+		}
+		for _, m := range db.imm {
+			for k, v := range m {
+				if v != tombstone {
+					nb.add(k)
+				}
+			}
+		}
+		db.filter = nb
 	}
 }
 

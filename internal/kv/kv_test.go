@@ -9,7 +9,7 @@ import (
 	"repro/internal/stack"
 )
 
-func testDB(seed int64) (*sim.Engine, *fs.FS, Config) {
+func testDB(seed int64) (*sim.Engine, *fs.FS, Options) {
 	eng := sim.New(seed)
 	scfg := stack.DefaultConfig(stack.ModeRio, stack.OptaneTarget())
 	scfg.Streams = 4
@@ -17,12 +17,12 @@ func testDB(seed int64) (*sim.Engine, *fs.FS, Config) {
 	scfg.InitiatorCores = 8
 	scfg.TargetCores = 8
 	c := stack.New(eng, scfg)
-	fcfg := fs.DefaultConfig(fs.RioFS, 4)
+	fcfg := fs.DefaultOptions(fs.RioFS, 4)
 	fcfg.JournalBlocks = 512
 	fcfg.MaxInodes = 1 << 10
 	fcfg.DataBlocks = 1 << 16
-	fsys := fs.New(c, fcfg)
-	kcfg := DefaultConfig()
+	fsys := fs.Open(c.Init(0), fcfg)
+	kcfg := DefaultOptions()
 	kcfg.MemtableBytes = 64 << 10 // small: exercise flush
 	return eng, fsys, kcfg
 }
@@ -146,7 +146,7 @@ func TestWALSurvivesCrash(t *testing.T) {
 	}
 	eng.Go("recover", func(p *sim.Proc) {
 		c.RecoverFull(p)
-		fcfg := fs.DefaultConfig(fs.RioFS, 4)
+		fcfg := fs.DefaultOptions(fs.RioFS, 4)
 		fcfg.JournalBlocks = 512
 		fcfg.MaxInodes = 1 << 10
 		fcfg.DataBlocks = 1 << 16

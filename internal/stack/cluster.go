@@ -139,6 +139,8 @@ type ClusterStats struct {
 	WireMessages int64
 	FusedCmds    int64 // commands eliminated by merging
 	Holdbacks    int64 // target-side in-order submission stalls
+	ReadCmds     int64 // read commands issued over the fabric
+	ReadMsgs     int64 // read messages (cached path batches commands per target)
 
 	// Pool tracks the dispatch hot path's object traffic: tickets, wire
 	// commands and wire tracking lists. Misses are heap allocations, so
@@ -177,6 +179,8 @@ func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
 		WireMessages: s.WireMessages - old.WireMessages,
 		FusedCmds:    s.FusedCmds - old.FusedCmds,
 		Holdbacks:    s.Holdbacks - old.Holdbacks,
+		ReadCmds:     s.ReadCmds - old.ReadCmds,
+		ReadMsgs:     s.ReadMsgs - old.ReadMsgs,
 		Pool:         s.Pool.Sub(old.Pool),
 		Batch:        s.Batch.Sub(old.Batch),
 		CplBatch:     s.CplBatch.Sub(old.CplBatch),
@@ -193,6 +197,8 @@ func (s ClusterStats) Add(o ClusterStats) ClusterStats {
 		WireMessages: s.WireMessages + o.WireMessages,
 		FusedCmds:    s.FusedCmds + o.FusedCmds,
 		Holdbacks:    s.Holdbacks + o.Holdbacks,
+		ReadCmds:     s.ReadCmds + o.ReadCmds,
+		ReadMsgs:     s.ReadMsgs + o.ReadMsgs,
 		Pool:         s.Pool.Add(o.Pool),
 		Batch:        s.Batch.Add(o.Batch),
 		CplBatch:     s.CplBatch.Add(o.CplBatch),
@@ -392,6 +398,20 @@ func (c *Cluster) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks uin
 // Read performs a synchronous read through initiator 0.
 func (c *Cluster) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
 	return c.inits[0].Read(p, lba, blocks)
+}
+
+// ReadCacheStats returns initiator i's read-cache counters (zero when
+// the cache is off).
+func (c *Cluster) ReadCacheStats(i int) RCacheStats { return c.inits[i].ReadCacheStats() }
+
+// ReadCacheStatsAll returns the sum of every initiator's read-cache
+// counters.
+func (c *Cluster) ReadCacheStatsAll() RCacheStats {
+	var s RCacheStats
+	for _, in := range c.inits {
+		s = s.Add(in.ReadCacheStats())
+	}
+	return s
 }
 
 // FlushDevice issues a standalone FLUSH from initiator 0.

@@ -83,6 +83,8 @@ type CostModel struct {
 	WakeCPU  sim.Time // CPU burned waking it (IRQ + scheduler)
 	WakeLat  sim.Time // scheduling latency until the woken thread runs
 
+	CacheBlockCPU sim.Time // read-cache lookup/insert work per 4 KB block
+
 	FSDataCPU sim.Time // file-system data-path work per 4 KB (page cache)
 	FSMetaCPU sim.Time // file-system metadata/journal work per transaction
 }
@@ -102,20 +104,21 @@ func TCPCosts() CostModel {
 // DefaultCosts returns the calibrated cost model.
 func DefaultCosts() CostModel {
 	return CostModel{
-		SubmitBio:    700,
-		CmdBuild:     400,
-		PostMsg:      700,
-		RecvMsg:      700,
-		CmdProcess:   500,
-		CplHandle:    500,
-		MergeCheck:   80,
-		PMRAppendCPU: 300,
-		PMRToggleCPU: 200,
-		BlockCPU:     1200,
-		WakeCPU:      1500,
-		WakeLat:      8 * sim.Microsecond,
-		FSDataCPU:    5 * sim.Microsecond,
-		FSMetaCPU:    1 * sim.Microsecond,
+		SubmitBio:     700,
+		CmdBuild:      400,
+		PostMsg:       700,
+		RecvMsg:       700,
+		CmdProcess:    500,
+		CplHandle:     500,
+		MergeCheck:    80,
+		PMRAppendCPU:  300,
+		PMRToggleCPU:  200,
+		BlockCPU:      1200,
+		WakeCPU:       1500,
+		WakeLat:       8 * sim.Microsecond,
+		CacheBlockCPU: 150,
+		FSDataCPU:     5 * sim.Microsecond,
+		FSMetaCPU:     1 * sim.Microsecond,
 	}
 }
 
@@ -151,6 +154,17 @@ type Config struct {
 
 	Fabric fabric.Config
 	Costs  CostModel
+
+	// CacheBlocks bounds the per-initiator read cache (4 KB blocks,
+	// CLOCK replacement, populated on read completion and write
+	// submission, fenced by the crash epochs). 0 = no cache, and the
+	// read path is byte-identical to the uncached stack.
+	CacheBlocks int
+	// ReadAhead is the default sequential prefetch depth (blocks) once a
+	// per-(initiator, stream) ascending-LBA run is detected. 0 = off.
+	// Read-ahead requires CacheBlocks > 0 (prefetched blocks land in the
+	// cache).
+	ReadAhead int
 
 	ChunkBlocks     int  // volume stripe chunk (blocks); 1 = paper's round-robin
 	MergeEnabled    bool // Rio I/O scheduler merging (and orderless plug merging)

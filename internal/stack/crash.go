@@ -77,6 +77,12 @@ func (c *Cluster) PowerCutTarget(i int) {
 	if c.cfg.Replicas > 1 {
 		c.degradeMember(i)
 	}
+	// Read path: every initiator drops its cached blocks of the dead
+	// member's set (recovery may roll their content back) and reroutes
+	// its in-flight reads toward the member to a surviving peer.
+	for _, in := range c.inits {
+		in.abortTargetReads(i)
+	}
 }
 
 // PowerCutInitiator crashes initiator server i: its volatile state
@@ -305,6 +311,14 @@ func (c *Cluster) rollback(p *sim.Proc, report *core.Report, onlyServer int) int
 			erases[k] = append(erases[k], e)
 		}
 	}
+	// Rolled-back blocks may be cached on ANY initiator (population
+	// happens at write submission): fence every touched set out of every
+	// read cache before the erases land.
+	for _, k := range keys {
+		for _, in := range c.inits {
+			in.invalidateSetReads(c.SetOf(k.server))
+		}
+	}
 	total := 0
 	wg := sim.NewWaitGroup(c.Eng)
 	for _, k := range keys {
@@ -403,6 +417,13 @@ func (c *Cluster) RecoverTarget(p *sim.Proc, i int) (*core.Report, RecoveryTimin
 		}
 	}
 	tm.DataRecovery = p.Now() - start
+	// Belt and braces for the read caches: the cut already dropped this
+	// target's blocks, but writes populated into a cache while the links
+	// were down may have died un-replayed — drop the target again now
+	// that its content is final.
+	for _, in := range c.inits {
+		in.invalidateSetReads(c.SetOf(i))
+	}
 	return report, tm
 }
 

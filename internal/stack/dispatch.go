@@ -197,6 +197,9 @@ func (in *Initiator) submitLinux(p *sim.Proc, req *blockdev.Request) {
 	in.useInitCPU(p, in.costs.SubmitBio)
 	in.linuxMu.Acquire(p)
 	wires := in.buildWires(nil, req)
+	// The Linux path never runs assignOrderState; its media stamps are
+	// the request stamps, which buildWires already placed.
+	in.rcachePopulateWires(p, wires)
 	in.postByTarget(p, wires, req.Stream)
 	for _, ws := range wires {
 		in.blockingWait(p, ws.hwDone)
@@ -307,6 +310,10 @@ func (in *Initiator) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Re
 		return
 	}
 	in.assignOrderState(wires)
+	// Read-cache write population happens after order assignment (the
+	// media stamps are final here) and before posting, so a thread that
+	// re-reads its own write hits even while the write is in flight.
+	in.rcachePopulateWires(p, wires)
 	in.useInitCPU(p, in.costs.CmdBuild*sim.Time(len(wires)))
 	in.postByTarget(p, wires, stream)
 	sh.putBatchBuf(wires)

@@ -57,6 +57,14 @@ type Initiator struct {
 	attrBuf  []core.Attr
 	blockBuf []uint32
 
+	// Read path (nil/empty with CacheBlocks == 0: the read path is then
+	// byte-identical to the uncached stack). pendingReads tracks in-flight
+	// cached-path read commands by a monotonic id so crash sweeps can
+	// reroute or abandon them deterministically.
+	rcache       *rcache
+	pendingReads map[uint64]*pendingRead
+	nextReadID   uint64
+
 	stats ClusterStats
 }
 
@@ -79,6 +87,10 @@ func newInitiator(c *Cluster, id int) *Initiator {
 		alive:       true,
 	}
 	in.fuseTails = make([]fuseTail, c.vol.Devices())
+	if c.cfg.CacheBlocks > 0 {
+		in.rcache = newRCache(c.cfg.CacheBlocks, c.cfg.Streams)
+		in.pendingReads = make(map[uint64]*pendingRead)
+	}
 	for s := 0; s < c.cfg.Streams; s++ {
 		sh := newShard(in, s)
 		in.shards = append(in.shards, sh)
@@ -248,17 +260,48 @@ func (in *Initiator) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks 
 }
 
 // Read performs a synchronous read of [lba, lba+blocks) and returns the
-// observed records.
+// observed records (stream 0's sequential detector, default read-ahead).
 func (in *Initiator) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
+	return in.ReadStreamAhead(p, 0, lba, blocks, 0)
+}
+
+// ReadStream is Read with an explicit stream for the sequential-read
+// detector (read-ahead state is per (initiator, stream)).
+func (in *Initiator) ReadStream(p *sim.Proc, stream int, lba uint64, blocks uint32) []ssd.Rec {
+	return in.ReadStreamAhead(p, stream, lba, blocks, 0)
+}
+
+// ReadStreamAhead is the full read entry point: ahead overrides the
+// configured read-ahead depth for this access (0 = the cluster default,
+// negative = disabled). With no cache configured it falls through to
+// the direct path, which is simulation-identical to the original
+// uncached read.
+func (in *Initiator) ReadStreamAhead(p *sim.Proc, stream int, lba uint64, blocks uint32, ahead int) []ssd.Rec {
+	if stream < 0 || stream >= in.cfg.Streams {
+		stream = stream % in.cfg.Streams
+		if stream < 0 {
+			stream += in.cfg.Streams
+		}
+	}
+	if in.rcache != nil {
+		return in.readCached(p, stream, lba, blocks, ahead)
+	}
+	return in.readDirect(p, lba, blocks)
+}
+
+// readDirect is the uncached read path: issue one command per extent to
+// the serving replica member, wait for all of them.
+func (in *Initiator) readDirect(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
 	in.useInitCPU(p, in.costs.SubmitBio)
 	out := make([]ssd.Rec, blocks)
 	done := sim.NewWaitGroup(in.Eng)
 	for _, ext := range in.vol.Extents(lba, blocks) {
 		ext := ext
 		ref := in.vol.Dev(ext.Dev)
-		// Replication: reads are served from any in-sync member of the
-		// set (readReplica picks the lowest; -1 means the set is down).
-		ti := in.c.readReplica(ref.Server)
+		// Replication: reads are served from an in-sync member of the set
+		// whose resync backlog does not cover this extent (-1 means the
+		// set is down).
+		ti := in.c.readMemberFor(ref.Server, ref.SSD, ext.DevLBA, ext.Blocks)
 		if ti < 0 {
 			continue
 		}
@@ -266,6 +309,9 @@ func (in *Initiator) Read(p *sim.Proc, lba uint64, blocks uint32) []ssd.Rec {
 		if !t.alive {
 			continue
 		}
+		in.stats.ReadCmds++
+		in.stats.ReadMsgs++
+		t.stats.Reads++
 		done.Add(1)
 		cmd := &ssd.Command{
 			Op: ssd.OpRead, LBA: ext.DevLBA, Blocks: ext.Blocks,
@@ -398,6 +444,9 @@ func (in *Initiator) crashVolatile() {
 	for _, sh := range in.shards {
 		sh.crashReset()
 	}
+	// The read cache and in-flight reads are volatile state of the dead
+	// incarnation too.
+	in.abortAllReads()
 }
 
 func (in *Initiator) seqStreams() []*core.StreamSeq {

@@ -1,0 +1,139 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// --- Extent-level read routing: a member whose resync backlog still
+// holds an extent must not serve reads of that extent, even while its
+// in-sync flag is already set. ---
+
+func TestReadMemberForSkipsBackloggedExtent(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, replConfig(2))
+	defer eng.Shutdown()
+	rs := c.replSets[0]
+
+	// Healthy set: the first in-sync member serves, matching readReplica.
+	if m := c.readMemberFor(0, 0, 100, 4); m != rs.members[0] {
+		t.Fatalf("healthy set routed to %d, want member %d", m, rs.members[0])
+	}
+	if got, want := c.readMemberFor(0, 0, 100, 4), c.readReplica(0); got != want {
+		t.Fatalf("extent-level choice %d != set-level choice %d on a clean set", got, want)
+	}
+
+	// Force the white-box shape of the hazard: member 0 claims in-sync
+	// while extent [100,104) of ssd 0 is still queued for it.
+	rs.dirty[0] = append(rs.dirty[0], dirtyExtent{ssdIdx: 0, lba: 100, blocks: 4})
+
+	for _, tc := range []struct {
+		lba    uint64
+		blocks uint32
+		want   int
+	}{
+		{100, 4, rs.members[1]}, // exact overlap: skip member 0
+		{102, 1, rs.members[1]}, // inside the dirty extent
+		{98, 3, rs.members[1]},  // straddles the start
+		{103, 8, rs.members[1]}, // straddles the end
+		{104, 4, rs.members[0]}, // adjacent after: clean on member 0
+		{96, 4, rs.members[0]},  // adjacent before: clean on member 0
+	} {
+		if m := c.readMemberFor(0, 0, tc.lba, tc.blocks); m != tc.want {
+			t.Errorf("extent [%d,+%d): routed to %d, want %d", tc.lba, tc.blocks, m, tc.want)
+		}
+	}
+	// Another SSD of the same member is unaffected by the backlog.
+	if m := c.readMemberFor(0, 1, 100, 4); m != rs.members[0] {
+		t.Errorf("ssd 1 read routed to %d despite a clean ssd-1 state", m)
+	}
+	// When every in-sync member holds the extent dirty, fall back to the
+	// first one (the copy source is an in-sync peer in that case).
+	rs.dirty[1] = append(rs.dirty[1], dirtyExtent{ssdIdx: 0, lba: 100, blocks: 4})
+	if m := c.readMemberFor(0, 0, 100, 4); m != rs.members[0] {
+		t.Errorf("all-dirty fallback routed to %d, want first in-sync member %d", m, rs.members[0])
+	}
+}
+
+// TestDegradedReadsFreshDuringResync is the black-box regression for the
+// stale-read hazard: writes land while a member is down, and every read
+// issued while the background resync is still draining must return the
+// post-cut content, never the rejoining member's stale media.
+func TestDegradedReadsFreshDuringResync(t *testing.T) {
+	eng := sim.New(7)
+	c := New(eng, replConfig(2))
+	defer eng.Shutdown()
+	const n = 48
+
+	// Phase 1: baseline content on both members.
+	eng.Go("app", func(p *sim.Proc) {
+		for i := uint64(0); i < n; i++ {
+			r := c.OrderedWrite(p, 0, i, 1, 0, nil, true, i == n-1, false)
+			if i == n-1 {
+				c.Wait(p, r)
+			}
+		}
+	})
+	eng.Run()
+
+	// Phase 2: member 1 dies; overwrite everything degraded.
+	c.PowerCutTarget(1)
+	eng.Go("app2", func(p *sim.Proc) {
+		for i := uint64(0); i < n; i++ {
+			r := c.OrderedWrite(p, 1, i, 1, 0, nil, true, i == n-1, false)
+			if i == n-1 {
+				c.Wait(p, r)
+			}
+		}
+	})
+	eng.Run()
+	if c.ResyncBacklog(1) == 0 {
+		t.Fatal("no resync backlog accumulated while member 1 was down")
+	}
+
+	// Snapshot the fresh truth from the surviving member's media.
+	want := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		dev, devLBA := c.Volume().Map(i)
+		ref := c.Volume().Dev(dev)
+		rec, ok := c.Target(0).SSD(ref.SSD).Visible(devLBA)
+		if !ok || rec.Stamp == 0 {
+			t.Fatalf("survivor lost lba %d", i)
+		}
+		want[i] = rec.Stamp
+	}
+
+	// Phase 3: background resync and concurrent reads. Every read while
+	// the drain is in flight must see the overwritten stamps.
+	stale := 0
+	eng.Go("resync", func(p *sim.Proc) { c.RecoverTarget(p, 1) })
+	eng.Go("reader", func(p *sim.Proc) {
+		for round := 0; round < 40 && !c.InSync(1); round++ {
+			for i := uint64(0); i < n; i++ {
+				recs := c.Read(p, i, 1)
+				if len(recs) != 1 || recs[0].Stamp != want[i] {
+					stale++
+				}
+			}
+			p.Sleep(2 * sim.Microsecond)
+		}
+	})
+	eng.Run()
+	if stale != 0 {
+		t.Fatalf("%d stale or lost reads during background resync", stale)
+	}
+	if !c.InSync(1) {
+		t.Fatal("member 1 never rejoined")
+	}
+	mediaIdentical(t, c, func() []uint64 {
+		lbas := make([]uint64, n)
+		for i := range lbas {
+			lbas[i] = uint64(i)
+		}
+		return lbas
+	}())
+	if v := c.OrderAudit(); v != 0 {
+		t.Fatalf("order audit: %d violations", v)
+	}
+}

@@ -213,6 +213,41 @@ func (c *Cluster) readReplica(set int) int {
 	return c.replSets[set].firstInSync(-1)
 }
 
+// readMemberFor picks the member serving a read of one device extent.
+// Unlike readReplica's set-level choice this is extent-level: a member
+// that rejoined mid-resync (inSync set while its backlog drains, or a
+// white-box test forcing the flag) is skipped for extents still queued
+// in its resync backlog — those blocks are not on its media yet, so
+// reading them there would return stale bytes. Falls back to the
+// set-level choice when every in-sync member still has the extent
+// pending (the copy source is then an in-sync peer anyway).
+func (c *Cluster) readMemberFor(set, ssdIdx int, lba uint64, blocks uint32) int {
+	if c.cfg.Replicas <= 1 {
+		return set
+	}
+	rs := c.replSets[set]
+	fallback := -1
+	for k, m := range rs.members {
+		if !rs.inSync[k] {
+			continue
+		}
+		if fallback < 0 {
+			fallback = m
+		}
+		dirty := false
+		for _, d := range rs.dirty[k] {
+			if d.ssdIdx == ssdIdx && d.lba < lba+uint64(blocks) && lba < d.lba+uint64(d.blocks) {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			return m
+		}
+	}
+	return fallback
+}
+
 // assignReplicated is assignOrderState for a replicated cluster: per
 // wire command it snapshots the set's in-sync membership, mints a dense
 // per-member ServerIdx chain (same attributes otherwise — stamps derive
@@ -530,9 +565,13 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 
 	start = p.Now()
 	for len(rs.dirty[pos]) > 0 {
+		// Peek-copy-then-pop: the extent stays visible in the backlog
+		// while copyExtent yields, so extent-level read selection
+		// (readMemberFor) keeps steering reads of these blocks away from
+		// the member until the copy has actually landed.
 		d := rs.dirty[pos][0]
-		rs.dirty[pos] = rs.dirty[pos][1:]
 		tm.Replayed += c.copyExtent(p, rs, m, d)
+		rs.dirty[pos] = rs.dirty[pos][1:]
 	}
 	tm.DataRecovery = p.Now() - start
 
@@ -540,6 +579,12 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 	rs.inSync[pos] = true
 	rs.epoch++
 	c.appendEpochMarks(rs, m)
+	// Belt and braces: any block of this set cached before the cut was
+	// already invalidated at the cut; drop the set again so nothing
+	// cached during the degraded window can straddle the rejoin.
+	for _, in := range c.inits {
+		in.invalidateSetReads(rs.id)
+	}
 	return report, tm
 }
 

@@ -24,6 +24,7 @@ type TargetStats struct {
 	Flushes    int64
 	Vectors    int64 // vectored command batches validated intact
 	Allocs     int64 // hot-path heap allocations (completion events, slot/stamp bursts, decoded attr chains) not served from the free lists
+	Reads      int64 // read commands served (demand misses and prefetches)
 }
 
 // AllocsPerCmd returns target-side hot-path allocations per processed
@@ -49,6 +50,7 @@ func (s TargetStats) Sub(old TargetStats) TargetStats {
 		Flushes:    s.Flushes - old.Flushes,
 		Vectors:    s.Vectors - old.Vectors,
 		Allocs:     s.Allocs - old.Allocs,
+		Reads:      s.Reads - old.Reads,
 	}
 }
 
@@ -66,6 +68,7 @@ func (s TargetStats) Add(o TargetStats) TargetStats {
 		Flushes:    s.Flushes + o.Flushes,
 		Vectors:    s.Vectors + o.Vectors,
 		Allocs:     s.Allocs + o.Allocs,
+		Reads:      s.Reads + o.Reads,
 	}
 }
 

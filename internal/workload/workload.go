@@ -377,7 +377,7 @@ func RunVarmail(eng *sim.Engine, fsys *fs.FS, threads int, warmup, measure sim.T
 // 16-byte keys and 1024-byte values (§6.4).
 func RunFillsync(eng *sim.Engine, fsys *fs.FS, threads int, warmup, measure sim.Time) FsResult {
 	m := &Meter{}
-	cfg := kv.DefaultConfig()
+	cfg := kv.DefaultOptions()
 	var db *kv.DB
 	eng.Go("wl/dbopen", func(p *sim.Proc) {
 		var err error

@@ -92,11 +92,11 @@ func fsSetup(eng *sim.Engine, mode stack.Mode, design fs.Design) *fs.FS {
 	cfg.Streams = 16
 	cfg.QPs = 16
 	c := stack.New(eng, cfg)
-	fcfg := fs.DefaultConfig(design, 16)
+	fcfg := fs.DefaultOptions(design, 16)
 	fcfg.JournalBlocks = 2048
 	fcfg.MaxInodes = 1 << 14
 	fcfg.DataBlocks = 1 << 20
-	return fs.New(c, fcfg)
+	return fs.Open(c.Init(0), fcfg)
 }
 
 func TestRunFioFsync(t *testing.T) {

@@ -87,12 +87,39 @@ type Options struct {
 	// WriteQuorum: 0 = majority of Replicas; Replicas = full-set
 	// durability (writes stall while the set is degraded).
 	WriteQuorum int
+
+	// Read configures the initiator-side read path (block cache,
+	// read-ahead, KV negative lookups). The zero value turns every read
+	// feature off, leaving the read path identical to earlier releases.
+	Read ReadOptions
+}
+
+// ReadOptions configures the initiator-side read path. Every field
+// follows the zero-is-off convention, so existing Options literals are
+// unaffected.
+type ReadOptions struct {
+	// CacheBlocks bounds the per-initiator block cache (4 KiB blocks,
+	// CLOCK replacement). 0 disables caching: reads always cross the
+	// fabric, exactly as before.
+	CacheBlocks int
+	// ReadAhead is the default prefetch depth (blocks) once an
+	// ascending-LBA stream is detected. 0 disables read-ahead; it is
+	// also inert while CacheBlocks is 0 (prefetched blocks need
+	// somewhere to land). File systems can override it per mount with
+	// FSOptions.ReadAhead.
+	ReadAhead int
+	// NegativeLookup turns on the per-store bloom filter for every KV
+	// store opened through Ctx.KV, answering definitely-absent Gets at
+	// the initiator with zero fabric traffic. Individual stores can
+	// still opt in via KVOptions.NegativeLookup.
+	NegativeLookup bool
 }
 
 // Cluster is a running simulated deployment.
 type Cluster struct {
 	eng   *sim.Engine
 	inner *stack.Cluster
+	read  ReadOptions
 }
 
 // NewCluster builds and starts the stack.
@@ -140,8 +167,10 @@ func NewCluster(o Options) *Cluster {
 		cfg.Seed = o.Seed
 	}
 	cfg.KeepHistory = o.History
+	cfg.CacheBlocks = o.Read.CacheBlocks
+	cfg.ReadAhead = o.Read.ReadAhead
 	eng := sim.New(cfg.Seed)
-	return &Cluster{eng: eng, inner: stack.New(eng, cfg)}
+	return &Cluster{eng: eng, inner: stack.New(eng, cfg), read: o.Read}
 }
 
 // Ctx is the execution context of simulated application code, bound to
@@ -282,6 +311,64 @@ func (ctx *Ctx) Read(lba uint64, blocks uint32) []ssd.Rec {
 
 // Flush issues a standalone device FLUSH barrier (block-reuse fallback).
 func (ctx *Ctx) Flush() { ctx.in.FlushDevice(ctx.p, 0) }
+
+// CacheStats is a snapshot of one initiator's block-cache counters.
+// All zeros when the cache is disabled (ReadOptions.CacheBlocks == 0).
+type CacheStats struct {
+	Hits          int64 // demand reads served from the cache
+	Misses        int64 // demand reads that crossed the fabric
+	Inserts       int64 // blocks populated (read completions and writes)
+	Evictions     int64 // blocks displaced by CLOCK replacement
+	Invalidations int64 // blocks fenced by faults, recovery or resync
+
+	ReadAheadIssued int64 // blocks prefetched
+	ReadAheadHits   int64 // prefetched blocks later hit by demand reads
+	ReadAheadWasted int64 // prefetched blocks evicted or fenced unused
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any read.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func cacheStatsFrom(rs stack.RCacheStats) CacheStats {
+	return CacheStats{
+		Hits:            rs.Hits,
+		Misses:          rs.Misses,
+		Inserts:         rs.Inserts,
+		Evictions:       rs.Evictions,
+		Invalidations:   rs.Invalidations,
+		ReadAheadIssued: rs.ReadAheadIssued,
+		ReadAheadHits:   rs.ReadAheadHits,
+		ReadAheadWasted: rs.ReadAheadWasted,
+	}
+}
+
+// CacheStats returns the block-cache counters of one initiator.
+func (c *Cluster) CacheStats(init int) CacheStats {
+	return cacheStatsFrom(c.inner.ReadCacheStats(init))
+}
+
+// CacheStatsAll sums the block-cache counters across every initiator.
+func (c *Cluster) CacheStatsAll() CacheStats {
+	return cacheStatsFrom(c.inner.ReadCacheStatsAll())
+}
+
+// CacheStats returns the block-cache counters of this context's
+// initiator.
+func (ctx *Ctx) CacheStats() CacheStats {
+	return cacheStatsFrom(ctx.in.ReadCacheStats())
+}
+
+// CacheAudit cross-checks every live cached block against the media of
+// the replica member a read would be routed to, returning the number of
+// stale entries — 0 on a correct cache. Crash tests call it after each
+// fault/recovery step: a nonzero count means a hit could serve a
+// rolled-back block or a dead incarnation's write.
+func (c *Cluster) CacheAudit() int { return c.inner.CacheAudit() }
 
 // Replication introspection: replica sets, membership health, degraded
 // epochs and resync progress.
@@ -489,9 +576,27 @@ func (ctx *Ctx) RemountFS(opts FSOptions) (*fs.FS, fs.RecoverStats) {
 
 // KV opens a RocksDB-style store on fsys. The store inherits the file
 // system's initiator binding: WAL fsyncs, flushes, compactions and
-// indexing CPU are charged to that server.
+// indexing CPU are charged to that server. A cluster built with
+// ReadOptions.NegativeLookup turns the bloom filter on for every store
+// opened here; KVOptions.NegativeLookup opts in a single store.
 func (ctx *Ctx) KV(fsys *fs.FS, opts KVOptions) (*kv.DB, error) {
+	if ctx.c.read.NegativeLookup {
+		opts.NegativeLookup = true
+	}
 	return kv.Open(ctx.p, fsys, opts)
+}
+
+// KVReopen re-attaches a store to its durable files after a fault (pair
+// with RemountFS): flushed SSTs are adopted, a fresh WAL generation is
+// started, and — because the exact pre-crash key set is unrecoverable —
+// a NegativeLookup filter comes back SATURATED (every key answers
+// "maybe", the only available superset) until the next compaction
+// rebuilds it exactly.
+func (ctx *Ctx) KVReopen(fsys *fs.FS, opts KVOptions) (*kv.DB, error) {
+	if ctx.c.read.NegativeLookup {
+		opts.NegativeLookup = true
+	}
+	return kv.Reopen(ctx.p, fsys, opts)
 }
 
 // KVRecoverCount scans a remounted file system (RemountFS) and counts

@@ -72,7 +72,7 @@ func TestPowerCutAndRecover(t *testing.T) {
 		h := s.Commit(0, 1)
 		h.Wait()
 		s.Close(1, 1) // in flight at the cut
-		c.PowerCut()
+		c.Fault(ClusterScope())
 	})
 	c.Run()
 	var prefix uint64
@@ -103,10 +103,10 @@ func TestTargetCrashRecover(t *testing.T) {
 			ctx.Sleep(2 * sim.Microsecond)
 		}
 	})
-	c.Engine().At(20*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	c.Engine().At(20*sim.Microsecond, func() { c.Fault(TargetScope(1)) })
 	c.RunFor(300 * sim.Microsecond)
 	c.Go(func(ctx *Ctx) {
-		rep := ctx.RecoverTarget(1)
+		rep := ctx.Recover(TargetScope(1))
 		if rep.Timing.Replayed == 0 {
 			t.Error("expected replayed requests")
 		}
@@ -122,9 +122,9 @@ func TestTargetCrashRecover(t *testing.T) {
 func TestFSOnPublicAPI(t *testing.T) {
 	c := NewCluster(Options{Seed: 6})
 	defer c.Close()
-	fsys := c.NewFS(RioFSFS, 4)
 	ok := false
 	c.Go(func(ctx *Ctx) {
+		fsys := ctx.FS(FSOptions{Design: RioFSFS, Journals: 4})
 		f, err := fsys.Create(ctx.Proc(), "hello")
 		if err != nil {
 			t.Error(err)

@@ -1,0 +1,36 @@
+#!/bin/sh
+# lint_deprecated.sh — CI gate against re-introducing deprecated API
+# surface. The PR-6/PR-7 migrations moved every in-repo caller off the
+# deprecated wrappers (rio.Cluster.PowerCut*/NewFS, Ctx.Recover*,
+# fs.New/fs.Config, kv.Config); this grep keeps them out. The wrapper
+# definitions themselves (rio/rio.go, internal/fs/fs.go,
+# internal/kv/kv.go) are excluded — they must keep compiling until the
+# wrappers are deleted.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1) Deprecated rio.Cluster / rio.Ctx methods, anywhere a file imports
+#    the public package (the stack-level methods of the same names are
+#    not deprecated, so plain internal/stack callers are fine). The
+#    package's own tests don't import it, so they are added explicitly.
+for f in $(grep -rl '"repro/rio"' --include='*.go' . | grep -v '^\./rio/rio\.go$') ./rio/*_test.go; do
+    if grep -nE '\.(PowerCut|PowerCutTarget|PowerCutInitiator|RecoverTarget|RecoverInitiator|NewFS)\(' "$f"; then
+        echo "lint_deprecated: $f calls a deprecated rio wrapper (use Fault/Recover with a Scope, or Ctx.FS)" >&2
+        fail=1
+    fi
+done
+
+# 2) Deprecated fs/kv config-style constructors, by qualified name so
+#    the in-package definitions do not match.
+if grep -rnE 'fs\.(New|DefaultConfig)\(|fs\.Config\{|kv\.DefaultConfig\(|kv\.Config\{' \
+    --include='*.go' . | grep -v '^\./internal/fs/fs\.go:' | grep -v '^\./internal/kv/kv\.go:'; then
+    echo "lint_deprecated: deprecated fs/kv constructors in use (use fs.Open/fs.Options, kv.Open/kv.Options)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "lint_deprecated: ok"
