@@ -44,7 +44,12 @@ type gate struct {
 // tenant's ordering domain starving another's is a regression even when
 // aggregate throughput holds) — and the read-path headlines: block-cache
 // hit rate, read-heavy throughput and tail latency at the largest cache,
-// which must keep beating the feature-off baseline PR over PR.
+// which must keep beating the feature-off baseline PR over PR — and the
+// open-loop saturation headlines: the knee of the latency-vs-offered-load
+// curve must not move left (knee_kiops), and the adaptive batching
+// governor must keep matching static-low's tail latency at low offered
+// load (adaptive_p99low_us) while sustaining static-high's throughput at
+// the knee (adaptive_kiops_knee).
 var gates = []gate{
 	{"scale.rio.kiops.s8", true},
 	{"scale.rio.allocs_per_req", false},
@@ -59,6 +64,9 @@ var gates = []gate{
 	{"read.rio.hit_rate", true},
 	{"read.rio.kiops", true},
 	{"read.rio.p99_us", false},
+	{"satload.rio.knee_kiops", true},
+	{"satload.rio.adaptive_p99low_us", false},
+	{"satload.rio.adaptive_kiops_knee", true},
 }
 
 // check compares one gated metric. For higher-is-better metrics a

@@ -21,6 +21,9 @@ func baseMetrics() map[string]float64 {
 		"read.rio.hit_rate":                0.92,
 		"read.rio.kiops":                   5000,
 		"read.rio.p99_us":                  5,
+		"satload.rio.knee_kiops":           1035,
+		"satload.rio.adaptive_p99low_us":   53,
+		"satload.rio.adaptive_kiops_knee":  1035,
 	}
 }
 
@@ -62,6 +65,9 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"cache hit rate -20% (invalidation too eager)", "read.rio.hit_rate", 0.92 * 0.80},
 		{"read throughput -15%", "read.rio.kiops", 5000 * 0.85},
 		{"read p99 +25% (cache misses on the hot path)", "read.rio.p99_us", 5 * 1.25},
+		{"knee moves left -15% (saturation earlier)", "satload.rio.knee_kiops", 1035 * 0.85},
+		{"adaptive low-load p99 +20% (governor stuck high)", "satload.rio.adaptive_p99low_us", 53 * 1.20},
+		{"adaptive knee throughput -12% (governor stuck low)", "satload.rio.adaptive_kiops_knee", 1035 * 0.88},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()

@@ -93,6 +93,7 @@ var Experiments = map[string]Runner{
 	"read":        ReadSweep,
 	"recovery":    RecoveryTimes,
 	"replication": ReplicationSweep,
+	"satload":     SatLoadSweep,
 	"scale":       ScaleSweep,
 	"serve":       ServeSweep,
 }

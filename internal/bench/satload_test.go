@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSatLoadDominance runs the full quick sweep and asserts the
+// experiment's acceptance claims: the adaptive governor matches
+// static-low's tail latency at low load AND static-high's throughput at
+// the knee (within 5% each), actually switches operating points, and
+// keeps the ordering invariants clean while saturated.
+func TestSatLoadDominance(t *testing.T) {
+	r, err := Run("satload", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	for _, k := range []string{
+		"satload.rio.knee_kiops", "satload.rio.adaptive_kiops_knee",
+		"satload.rio.adaptive_p99low_us", "satload.rio.p99low_ratio",
+		"satload.rio.knee_ratio", "satload.rio.order_violations",
+		"satload.rio.gov_switches", "satload.rio.bursty_kiops",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("missing metric %q in %v", k, m)
+		}
+	}
+	if ratio := m["satload.rio.p99low_ratio"]; ratio > 1.05 {
+		t.Fatalf("adaptive p99 at low load is %.3fx static-low (must be within 5%%)", ratio)
+	}
+	if ratio := m["satload.rio.knee_ratio"]; ratio < 0.95 {
+		t.Fatalf("adaptive throughput at the knee is %.3fx static-high (must be within 5%%)", ratio)
+	}
+	if m["satload.rio.order_violations"] != 0 {
+		t.Fatalf("ordering violations under saturation: %v", m["satload.rio.order_violations"])
+	}
+	if m["satload.rio.gov_switches"] == 0 {
+		t.Fatal("the governor never switched operating points across the sweep")
+	}
+	// The knee point must sit strictly inside the sweep: delivered
+	// throughput at the knee must exceed the low point's offered load,
+	// or the sweep failed to reach saturation.
+	if m["satload.rio.adaptive_kiops_knee"] < 500 {
+		t.Fatalf("knee throughput %.1f kiops implausibly low — sweep never saturated",
+			m["satload.rio.adaptive_kiops_knee"])
+	}
+	out := r.Render()
+	for _, want := range []string{"staticlow", "statichigh", "adaptive", "knee"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("satload output missing %q", want)
+		}
+	}
+}

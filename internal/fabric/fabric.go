@@ -44,6 +44,14 @@ type Config struct {
 	PropDelay   sim.Time // one-way propagation + NIC pipeline latency
 	QPJitterMax sim.Time // max extra delivery skew across QPs
 	NumQPs      int      // queue pairs per direction
+
+	// TxDepth bounds the per-direction transmit queue (messages accepted
+	// but not yet serialized onto the link). 0 leaves it unbounded — the
+	// historical behavior, which closed-loop workloads never notice but
+	// which lets an open-loop driver grow the TX queue without limit past
+	// link saturation. When set, senders that care about backpressure call
+	// WaitTxSpace before Send.
+	TxDepth int
 }
 
 // DefaultConfig models one 200 Gb/s ConnectX-6-class port.
@@ -86,6 +94,7 @@ type Stats struct {
 	BulkOps   int64 // one-sided READ/WRITE transfers
 	BulkBytes int64
 	Dropped   int64 // messages lost to Disconnect
+	TxStalls  int64 // WaitTxSpace blocks against a full TX queue
 }
 
 type wireItem struct {
@@ -103,6 +112,7 @@ type Conn struct {
 	cfg      Config
 	handlers [2]Handler
 	wires    [2]*sim.Queue[wireItem] // index = destination side
+	txSpace  [2]*sim.Cond            // index = destination side; TxDepth waiters
 	lastQP   [2][]sim.Time           // per destination, per QP: last delivery time
 	epoch    uint64
 	up       bool
@@ -114,9 +124,13 @@ func NewConn(e *sim.Engine, cfg Config) *Conn {
 	if cfg.NumQPs <= 0 || cfg.BytesPerNs <= 0 {
 		panic("fabric: invalid config")
 	}
+	if cfg.TxDepth < 0 {
+		panic("fabric: TxDepth must be >= 0")
+	}
 	c := &Conn{eng: e, cfg: cfg, up: true}
 	for d := 0; d < 2; d++ {
 		c.wires[d] = sim.NewQueue[wireItem](e)
+		c.txSpace[d] = sim.NewCond(e)
 		c.lastQP[d] = make([]sim.Time, cfg.NumQPs)
 		dir := Side(d)
 		e.Go(fmt.Sprintf("wire->%s", dir), func(p *sim.Proc) { c.wireLoop(p, dir) })
@@ -151,11 +165,30 @@ func (c *Conn) Send(from Side, m Message) {
 	c.wires[from.other()].Push(wireItem{msg: m, epoch: c.epoch, to: from.other()})
 }
 
+// WaitTxSpace blocks the calling process until the TX queue toward the
+// remote side of `from` has room under TxDepth (no-op when TxDepth is 0
+// or the connection is down — Send then drops the message anyway). This
+// is how link saturation propagates upstream: a sender that calls it
+// stalls at wire speed instead of queueing unboundedly.
+func (c *Conn) WaitTxSpace(p *sim.Proc, from Side) {
+	if c.cfg.TxDepth <= 0 {
+		return
+	}
+	dir := from.other()
+	for c.up && c.wires[dir].Len() >= c.cfg.TxDepth {
+		c.stats[dir].TxStalls++
+		c.txSpace[dir].Wait(p)
+	}
+}
+
 // wireLoop serializes messages onto the link toward side `to` and schedules
 // their deliveries, keeping per-QP FIFO order while allowing cross-QP skew.
 func (c *Conn) wireLoop(p *sim.Proc, to Side) {
 	for {
 		it := c.wires[to].Pop(p)
+		if c.cfg.TxDepth > 0 && c.wires[to].Len() < c.cfg.TxDepth {
+			c.txSpace[to].Broadcast()
+		}
 		if it.epoch != c.epoch {
 			c.stats[to].Dropped++
 			continue
@@ -259,6 +292,7 @@ func (c *Conn) Disconnect() {
 		n := c.wires[d].Len()
 		c.stats[d].Dropped += int64(n)
 		c.wires[d].Drain()
+		c.txSpace[d].Broadcast() // down connections never block senders
 	}
 }
 

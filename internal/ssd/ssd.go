@@ -66,6 +66,16 @@ type Config struct {
 	MaxTransferBlocks int // per-command limit (128 KB => 32)
 
 	KeepHistory bool // retain per-LBA history for crash tests
+
+	// Saturation model. With SatKnee > 0, a channel whose backlog exceeds
+	// the knee inflates media time for the segment at hand: the effective
+	// latency grows linearly with the excess depth (M/M/1-style service
+	// degradation from contention inside the device — ECC retries, mapping
+	// table pressure, write amplification) and is capped at SatFactorMax×
+	// the nominal latency. 0 disables the model entirely; the stock
+	// profiles leave it off, so calibrated behavior is untouched.
+	SatKnee      int     // per-channel queue depth where inflation starts
+	SatFactorMax float64 // latency inflation ceiling; 0 selects 8 when SatKnee > 0
 }
 
 // FlashConfig returns the default flash profile, calibrated so a saturated
@@ -158,6 +168,7 @@ type Stats struct {
 	AbortedCmds  int64    // commands in flight at a power cut
 	StaleSegs    int64    // segments discarded by epoch checks
 	MaxDirtySeen int
+	SatStall     sim.Time // extra media time charged by the saturation model
 }
 
 type segment struct {
@@ -201,6 +212,12 @@ func New(e *sim.Engine, cfg Config) *SSD {
 	}
 	if cfg.FrontWidth <= 0 {
 		cfg.FrontWidth = 1
+	}
+	if cfg.SatKnee < 0 {
+		panic("ssd: SatKnee must be >= 0")
+	}
+	if cfg.SatKnee > 0 && cfg.SatFactorMax <= 1 {
+		cfg.SatFactorMax = 8
 	}
 	s := &SSD{
 		eng:         e,
@@ -426,11 +443,25 @@ func (s *SSD) channelLoop(p *sim.Proc, q *sim.Queue[segment]) {
 			continue
 		}
 		s.chanBusy.Acquire(p)
+		lat := s.cfg.MediaWriteLat
 		if seg.read {
-			p.Sleep(s.cfg.MediaReadLat)
-		} else {
-			p.Sleep(s.cfg.MediaWriteLat)
+			lat = s.cfg.MediaReadLat
 		}
+		// Queue-depth-dependent service degradation: deterministic (no RNG
+		// draw — the saturation model must not perturb seeded runs that
+		// leave it off, and q.Len() is itself reproducible).
+		if s.cfg.SatKnee > 0 {
+			if depth := q.Len(); depth > s.cfg.SatKnee {
+				f := 1 + float64(depth-s.cfg.SatKnee)/float64(s.cfg.SatKnee)
+				if f > s.cfg.SatFactorMax {
+					f = s.cfg.SatFactorMax
+				}
+				stall := sim.Time(float64(lat) * (f - 1))
+				s.stats.SatStall += stall
+				lat += stall
+			}
+		}
+		p.Sleep(lat)
 		s.chanBusy.Release()
 		if seg.epoch != s.epoch {
 			s.stats.StaleSegs++

@@ -156,6 +156,13 @@ type ClusterStats struct {
 	// ReapCPU is the initiator CPU spent in the per-shard completion reap
 	// loops (the softirq-context cost the coalesced path amortizes).
 	ReapCPU sim.Time
+
+	// SubmitStalls counts submissions that blocked on the MaxInflight
+	// bound — the submit-side pushback the saturation tier surfaces to
+	// open-loop drivers. GovSwitches counts initiator-side adaptive
+	// governor operating-point transitions. Both stay 0 on stock configs.
+	SubmitStalls int64
+	GovSwitches  int64
 }
 
 // AllocsPerReq returns hot-path allocations per submitted request.
@@ -185,6 +192,8 @@ func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
 		Batch:        s.Batch.Sub(old.Batch),
 		CplBatch:     s.CplBatch.Sub(old.CplBatch),
 		ReapCPU:      s.ReapCPU - old.ReapCPU,
+		SubmitStalls: s.SubmitStalls - old.SubmitStalls,
+		GovSwitches:  s.GovSwitches - old.GovSwitches,
 	}
 }
 
@@ -203,6 +212,8 @@ func (s ClusterStats) Add(o ClusterStats) ClusterStats {
 		Batch:        s.Batch.Add(o.Batch),
 		CplBatch:     s.CplBatch.Add(o.CplBatch),
 		ReapCPU:      s.ReapCPU + o.ReapCPU,
+		SubmitStalls: s.SubmitStalls + o.SubmitStalls,
+		GovSwitches:  s.GovSwitches + o.GovSwitches,
 	}
 }
 
@@ -249,6 +260,18 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	c := &Cluster{Eng: eng, cfg: cfg, costs: cfg.Costs}
 	if c.cfg.CQECoalesce && c.cfg.CQEBatch <= 0 {
 		c.cfg.CQEBatch = 16
+	}
+	if c.cfg.CQEHold < 0 {
+		panic("stack: CQEHold must be > 0 when CQECoalesce is on")
+	}
+	if c.cfg.CQECoalesce && c.cfg.CQEHold == 0 {
+		c.cfg.CQEHold = 2 * sim.Microsecond
+	}
+	if c.cfg.MaxInflight < 0 {
+		panic("stack: MaxInflight must be >= 0")
+	}
+	if c.cfg.Governor.Enabled {
+		c.cfg.Governor = withGovernorDefaults(c.cfg.Governor, c.cfg)
 	}
 	c.writeQuorum = 1
 	if r := c.cfg.Replicas; r > 1 {

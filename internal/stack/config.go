@@ -166,16 +166,30 @@ type Config struct {
 	// cache).
 	ReadAhead int
 
-	ChunkBlocks     int  // volume stripe chunk (blocks); 1 = paper's round-robin
-	MergeEnabled    bool // Rio I/O scheduler merging (and orderless plug merging)
-	StreamAffinity  bool // Principle 2: pin each stream to one QP
-	Pooling         bool // shard free-list pooling of hot-path objects (off = allocate per call, as the seed dispatch did)
-	CQECoalesce     bool // target-side completion coalescing into vectored response capsules (off = one bare 16-byte CQE capsule per command, as the seed target did)
-	CQEBatch        int  // max CQEs per coalesced response capsule (flush threshold)
-	InlineThreshold int  // max bytes of in-capsule data per command
-	MaxPlug         int  // dispatch batch size
+	ChunkBlocks     int      // volume stripe chunk (blocks); 1 = paper's round-robin
+	MergeEnabled    bool     // Rio I/O scheduler merging (and orderless plug merging)
+	StreamAffinity  bool     // Principle 2: pin each stream to one QP
+	Pooling         bool     // shard free-list pooling of hot-path objects (off = allocate per call, as the seed dispatch did)
+	CQECoalesce     bool     // target-side completion coalescing into vectored response capsules (off = one bare 16-byte CQE capsule per command, as the seed target did)
+	CQEBatch        int      // max CQEs per coalesced response capsule (flush threshold)
+	CQEHold         sim.Time // max age of a coalescing batch before the hold timer flushes it (must be > 0 with CQECoalesce; 0 selects the 2 µs default)
+	InlineThreshold int      // max bytes of in-capsule data per command
+	MaxPlug         int      // dispatch batch size
 	DeviceBlocks    uint64
 	KeepHistory     bool // retain media history for crash tests
+
+	// MaxInflight bounds the submitted-but-undelivered requests per
+	// initiator. When the fleet saturates (SSD knee, fabric stalls) the
+	// completion rate drops, the bound fills, and further submissions
+	// block in the caller's context — the submit-side pushback that turns
+	// offered overload into visible queueing instead of unbounded
+	// in-flight growth. 0 = unbounded (the stock closed-loop behavior).
+	MaxInflight int
+
+	// Governor configures the adaptive batching governor. Disabled (the
+	// zero value) the hot path uses the static CQEHold/CQEBatch/MaxPlug
+	// knobs exactly as before, event for event.
+	Governor GovernorConfig
 
 	Seed int64
 }
@@ -200,6 +214,7 @@ func DefaultConfig(mode Mode, targets ...TargetConfig) Config {
 		Pooling:         true,
 		CQECoalesce:     true,
 		CQEBatch:        16,
+		CQEHold:         2 * sim.Microsecond,
 		InlineThreshold: 8192,
 		MaxPlug:         32,
 		DeviceBlocks:    1 << 22, // 16 GiB per SSD

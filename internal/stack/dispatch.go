@@ -50,8 +50,38 @@ func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
 		// the application already considers lost.
 		return
 	}
+	in.waitSubmitSlot(p, req.Stream)
+	if !in.alive {
+		return // power-cut while stalled on the inflight bound
+	}
 	in.attachTicket(req, in.seq.Stream(req.Stream))
 	in.plugAdd(p, req)
+}
+
+// waitSubmitSlot blocks the submitting thread while the initiator's
+// in-flight count exceeds the configured bound — the submit-side half of
+// the backpressure chain (device saturation → fabric TX stalls → here).
+// Closed-loop callers never trip it; open-loop drivers stall instead of
+// growing unbounded queues. Skipped inside an explicit plug window: the
+// staged batch only drains from this same thread, so blocking here would
+// deadlock against our own plug.
+func (in *Initiator) waitSubmitSlot(p *sim.Proc, stream int) {
+	if in.cfg.MaxInflight <= 0 || in.shards[stream].held {
+		return
+	}
+	for in.alive && in.inflight > in.cfg.MaxInflight {
+		in.stats.SubmitStalls++
+		in.inflightCond.Wait(p)
+	}
+}
+
+// maxPlugNow is the dispatch batching ceiling for this instant: the
+// static MaxPlug, or the governor's current operating point.
+func (in *Initiator) maxPlugNow() int {
+	if in.gov != nil {
+		return in.gov.plug()
+	}
+	return in.cfg.MaxPlug
 }
 
 // submitOrderless adds to the plug list; completion is delivered as soon
@@ -60,6 +90,10 @@ func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 	in.useInitCPU(p, in.costs.SubmitBio)
 	if !in.alive {
 		return // power-cut mid-submission: the request dies un-staged
+	}
+	in.waitSubmitSlot(p, req.Stream)
+	if !in.alive {
+		return // power-cut while stalled on the inflight bound
 	}
 	in.plugAdd(p, req)
 }
@@ -71,9 +105,12 @@ func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 const plugHold = 2 * sim.Microsecond
 
 func (in *Initiator) plugAdd(p *sim.Proc, req *blockdev.Request) {
+	if in.gov != nil && in.gov.observe(p.Now()) {
+		in.stats.GovSwitches++
+	}
 	sh := in.shards[req.Stream]
 	sh.plugged = append(sh.plugged, req)
-	if len(sh.plugged) >= in.cfg.MaxPlug {
+	if len(sh.plugged) >= in.maxPlugNow() {
 		in.dispatchPlug(p, sh)
 		return
 	}
@@ -236,6 +273,12 @@ func (in *Initiator) submitLinux(p *sim.Proc, req *blockdev.Request) {
 // the request's wire commands once their last origin request is out.
 func (in *Initiator) deliver(req *blockdev.Request) {
 	req.DeliverAt = in.Eng.Now()
+	if in.inflight > 0 {
+		in.inflight--
+		if in.cfg.MaxInflight > 0 && in.inflight < in.cfg.MaxInflight {
+			in.inflightCond.Broadcast()
+		}
+	}
 	if wl, ok := req.DispatchScratch.(*wireList); ok {
 		sh := in.shards[req.Stream]
 		for _, ws := range wl.ws {
@@ -275,7 +318,7 @@ func (in *Initiator) dispatchLoop(p *sim.Proc, sh *shard) {
 	for {
 		first := sh.q.Pop(p)
 		batch := append(sh.loopBatch[:0], first)
-		for len(batch) < in.cfg.MaxPlug {
+		for len(batch) < in.maxPlugNow() {
 			r, ok := sh.q.TryPop()
 			if !ok {
 				break
@@ -615,6 +658,7 @@ func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 		}
 		size := nvmeof.VectorCapsuleSize(len(cp.cmds), cp.inline)
 		in.useInitCPU(p, in.costs.PostMsg)
+		in.targets[ti].conns[in.id].WaitTxSpace(p, fabric.Initiator)
 		in.targets[ti].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 		in.stats.WireMessages++
 		in.stats.Batch.Ring(len(cp.cmds))

@@ -65,6 +65,14 @@ type Initiator struct {
 	pendingReads map[uint64]*pendingRead
 	nextReadID   uint64
 
+	// Submit-side pushback (Config.MaxInflight > 0): inflight counts
+	// submitted-but-undelivered requests; submissions beyond the bound
+	// block on inflightCond until deliveries drain it. gov, when non-nil,
+	// adapts the dispatch plug depth to the submission arrival rate.
+	inflight     int
+	inflightCond *sim.Cond
+	gov          *governor
+
 	stats ClusterStats
 }
 
@@ -85,6 +93,10 @@ func newInitiator(c *Cluster, id int) *Initiator {
 		linuxMu:     sim.NewResource(c.Eng, 1),
 		retireMark:  make([]uint64, c.cfg.Streams*len(c.targets)),
 		alive:       true,
+	}
+	in.inflightCond = sim.NewCond(c.Eng)
+	if c.cfg.Governor.Enabled {
+		in.gov = newGovernor(c.cfg.Governor, c.Eng.Now())
 	}
 	in.fuseTails = make([]fuseTail, c.vol.Devices())
 	if c.cfg.CacheBlocks > 0 {
@@ -230,6 +242,9 @@ func (in *Initiator) OrderedWrite(p *sim.Proc, stream int, lba uint64, blocks ui
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
+	if in.alive {
+		in.inflight++
+	}
 	start := p.Now()
 	switch in.cfg.Mode {
 	case ModeRio:
@@ -255,6 +270,9 @@ func (in *Initiator) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks 
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
+	if in.alive {
+		in.inflight++
+	}
 	in.submitOrderless(p, req)
 	return req
 }
@@ -444,6 +462,10 @@ func (in *Initiator) crashVolatile() {
 	for _, sh := range in.shards {
 		sh.crashReset()
 	}
+	// In-flight accounting dies with the incarnation: wake any submitter
+	// stalled on the bound so its alive re-check can drop the request.
+	in.inflight = 0
+	in.inflightCond.Broadcast()
 	// The read cache and in-flight reads are volatile state of the dead
 	// incarnation too.
 	in.abortAllReads()

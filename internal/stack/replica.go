@@ -365,6 +365,7 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 			}
 			size := nvmeof.VectorCapsuleSize(len(cmds), inline)
 			in.useInitCPU(p, in.costs.PostMsg)
+			in.targets[m].conns[in.id].WaitTxSpace(p, fabric.Initiator)
 			in.targets[m].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 			in.stats.WireMessages++
 			in.stats.Batch.Ring(len(cmds))

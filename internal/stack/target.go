@@ -25,6 +25,17 @@ type TargetStats struct {
 	Vectors    int64 // vectored command batches validated intact
 	Allocs     int64 // hot-path heap allocations (completion events, slot/stamp bursts, decoded attr chains) not served from the free lists
 	Reads      int64 // read commands served (demand misses and prefetches)
+
+	// Coalescing hold-timer observability (the governor's decision trail):
+	// CQETimerFlushes counts batches the hold timer shipped (completions
+	// that waited the full hold without filling a capsule — the latency
+	// cost of throughput bias), CQERearms counts timers that fired on an
+	// already-consumed batch and re-armed for the younger one behind it.
+	CQETimerFlushes int64
+	CQERearms       int64
+	// GovSwitches counts adaptive-governor operating-point transitions on
+	// this target (0 with the governor disabled).
+	GovSwitches int64
 }
 
 // AllocsPerCmd returns target-side hot-path allocations per processed
@@ -51,6 +62,10 @@ func (s TargetStats) Sub(old TargetStats) TargetStats {
 		Vectors:    s.Vectors - old.Vectors,
 		Allocs:     s.Allocs - old.Allocs,
 		Reads:      s.Reads - old.Reads,
+
+		CQETimerFlushes: s.CQETimerFlushes - old.CQETimerFlushes,
+		CQERearms:       s.CQERearms - old.CQERearms,
+		GovSwitches:     s.GovSwitches - old.GovSwitches,
 	}
 }
 
@@ -69,6 +84,10 @@ func (s TargetStats) Add(o TargetStats) TargetStats {
 		Vectors:    s.Vectors + o.Vectors,
 		Allocs:     s.Allocs + o.Allocs,
 		Reads:      s.Reads + o.Reads,
+
+		CQETimerFlushes: s.CQETimerFlushes + o.CQETimerFlushes,
+		CQERearms:       s.CQERearms + o.CQERearms,
+		GovSwitches:     s.GovSwitches + o.GovSwitches,
 	}
 }
 
@@ -153,6 +172,10 @@ type Target struct {
 	cqeArmed    [][]bool
 	cqeInflight [][]int // per (initiator, QP): submitted-not-yet-responded commands
 
+	// gov, when non-nil, adapts the CQE hold time and flush threshold to
+	// the completion arrival rate (one EWMA per target; see governor.go).
+	gov *governor
+
 	alive bool
 	epoch int
 	stats TargetStats
@@ -188,6 +211,9 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	for _, sc := range tc.SSDs {
 		sc.KeepHistory = c.cfg.KeepHistory
 		t.ssds = append(t.ssds, ssd.New(c.Eng, sc))
+	}
+	if c.cfg.Governor.Enabled {
+		t.gov = newGovernor(c.cfg.Governor, c.Eng.Now())
 	}
 	t.resetOrderingState()
 	// One connection (with its own QP set) per initiator, and one receive
@@ -801,10 +827,24 @@ func (t *Target) markPersist(p *sim.Proc, init int, slot uint64, tEpoch, initEpo
 	t.stats.PMRToggles++
 }
 
-// cqeHold is how long a lone completion may wait for companions before
-// the coalescing buffer is flushed anyway (the reverse-path analog of the
-// submission plug's hold timer).
-const cqeHold = 2 * sim.Microsecond
+// cqeHoldTime returns how long a lone completion may wait for companions
+// before the coalescing buffer is flushed anyway (the reverse-path analog
+// of the submission plug's hold timer): the static Config.CQEHold, or the
+// governor's operating point when adaptive.
+func (t *Target) cqeHoldTime() sim.Time {
+	if t.gov != nil {
+		return t.gov.hold()
+	}
+	return t.c.cfg.CQEHold
+}
+
+// cqeBatchSize returns the coalescing flush threshold in effect.
+func (t *Target) cqeBatchSize() int {
+	if t.gov != nil {
+		return t.gov.batch()
+	}
+	return t.c.cfg.CQEBatch
+}
 
 // respond queues one completion toward the owning initiator. With
 // CQECoalesce the CQE joins its (initiator, queue pair) pending response
@@ -824,6 +864,9 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 	init, qp := ws.init, ws.qp
 	if t.cqeInflight[init][qp] > 0 {
 		t.cqeInflight[init][qp]--
+	}
+	if t.gov != nil && t.gov.observe(t.c.Eng.Now()) {
+		t.stats.GovSwitches++
 	}
 	cqe := nvmeof.NewCQE(ws.id)
 	if !t.c.cfg.CQECoalesce {
@@ -848,21 +891,21 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 	// immediately (no hold-timer latency on the application's critical
 	// path). The timer is the backstop for commands that stay in flight
 	// longer than the hold.
-	if len(t.cqePend[init][qp]) >= t.c.cfg.CQEBatch || t.cqeInflight[init][qp] == 0 {
+	if len(t.cqePend[init][qp]) >= t.cqeBatchSize() || t.cqeInflight[init][qp] == 0 {
 		t.flushCQEs(p, init, qp)
 		return
 	}
 	if !t.cqeArmed[init][qp] {
-		t.armCQETimer(init, qp, cqeHold)
+		t.armCQETimer(init, qp, t.cqeHoldTime())
 	}
 }
 
 // armCQETimer schedules a hold-timer check for one (initiator, queue
 // pair) pending response capsule. Eng.At events cannot be cancelled, so
-// the timer checks batch age when it fires: a batch younger than cqeHold
-// (the one this timer was armed for was consumed by a threshold flush)
-// re-arms for the remainder instead of shipping early, keeping occupancy
-// honest.
+// the timer checks batch age when it fires: a batch younger than the
+// hold (the one this timer was armed for was consumed by a threshold
+// flush) re-arms for the remainder instead of shipping early, keeping
+// occupancy honest.
 func (t *Target) armCQETimer(init, qp int, d sim.Time) {
 	t.cqeArmed[init][qp] = true
 	epoch := t.epoch
@@ -877,14 +920,16 @@ func (t *Target) armCQETimer(init, qp int, d sim.Time) {
 		if epoch != t.epoch || !t.alive || len(t.cqePend[init][qp]) == 0 {
 			return
 		}
-		if wait := t.cqeFirst[init][qp] + cqeHold - t.c.Eng.Now(); wait > 0 {
+		if wait := t.cqeFirst[init][qp] + t.cqeHoldTime() - t.c.Eng.Now(); wait > 0 {
 			// The batch this timer was armed for was consumed by a
 			// threshold flush; re-arm for the younger one now pending.
+			t.stats.CQERearms++
 			t.armCQETimer(init, qp, wait)
 			return
 		}
 		// Flush in completion context (the engine context here cannot be
 		// charged CPU).
+		t.stats.CQETimerFlushes++
 		fd := t.getDone()
 		fd.flushQP, fd.flushInit, fd.epoch = qp+1, init, t.initEpoch(init)
 		t.doneQ.Push(fd)
