@@ -175,8 +175,12 @@ func (c *Conn) WaitTxSpace(p *sim.Proc, from Side) {
 		return
 	}
 	dir := from.other()
+	stalled := false
 	for c.up && c.wires[dir].Len() >= c.cfg.TxDepth {
-		c.stats[dir].TxStalls++
+		if !stalled {
+			stalled = true
+			c.stats[dir].TxStalls++
+		}
 		c.txSpace[dir].Wait(p)
 	}
 }
@@ -187,7 +191,11 @@ func (c *Conn) wireLoop(p *sim.Proc, to Side) {
 	for {
 		it := c.wires[to].Pop(p)
 		if c.cfg.TxDepth > 0 && c.wires[to].Len() < c.cfg.TxDepth {
-			c.txSpace[to].Broadcast()
+			// One freed slot admits one waiter: a Broadcast would wake
+			// every parked sender, and since each Send happens only after
+			// WaitTxSpace returns, all of them would pass the re-check and
+			// overshoot TxDepth by waiters-1.
+			c.txSpace[to].Signal()
 		}
 		if it.epoch != c.epoch {
 			c.stats[to].Dropped++

@@ -128,6 +128,38 @@ func TestBackpressureLoadStep(t *testing.T) {
 	}
 }
 
+// TestSubmitGateSmallBound regression-tests the inflight-gate wakeup
+// with MaxInflight smaller than the number of concurrent submitters.
+// Waiters count their own request into inflight, so a wakeup fired only
+// when inflight drops BELOW the bound never reaches them once blocked
+// submitters >= MaxInflight — with the bound at 1 and four writers, the
+// second write would park forever. Every request must still complete.
+func TestSubmitGateSmallBound(t *testing.T) {
+	for _, bound := range []int{1, 2} {
+		eng := sim.New(1)
+		cfg := backpressureConfig()
+		cfg.MaxInflight = bound
+		c := New(eng, cfg)
+		var reqs []*blockdev.Request
+		for s := 0; s < 4; s++ {
+			s := s
+			eng.Go("small", func(p *sim.Proc) {
+				stamp := uint64(s+1) << 32
+				for i := uint64(0); i < 50; i++ {
+					stamp++
+					reqs = append(reqs, c.Init(0).OrderedWrite(
+						p, s, uint64(s)<<20|i, 1, stamp, nil, true, false, false))
+				}
+			})
+		}
+		eng.Run()
+		drainAndAudit(t, c, reqs)
+		if st := c.StatsAll(); st.SubmitStalls == 0 {
+			t.Fatalf("MaxInflight=%d with 4 writers never stalled a submitter", bound)
+		}
+	}
+}
+
 // TestSubmitGateReleasesOnCrash parks writers on a full inflight bound,
 // power-cuts the initiator, and verifies the stalled submitters wake and
 // exit instead of deadlocking, and that a recovered initiator starts

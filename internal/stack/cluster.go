@@ -262,7 +262,7 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		c.cfg.CQEBatch = 16
 	}
 	if c.cfg.CQEHold < 0 {
-		panic("stack: CQEHold must be > 0 when CQECoalesce is on")
+		panic("stack: CQEHold must be >= 0")
 	}
 	if c.cfg.CQECoalesce && c.cfg.CQEHold == 0 {
 		c.cfg.CQEHold = 2 * sim.Microsecond

@@ -172,18 +172,19 @@ type Config struct {
 	Pooling         bool     // shard free-list pooling of hot-path objects (off = allocate per call, as the seed dispatch did)
 	CQECoalesce     bool     // target-side completion coalescing into vectored response capsules (off = one bare 16-byte CQE capsule per command, as the seed target did)
 	CQEBatch        int      // max CQEs per coalesced response capsule (flush threshold)
-	CQEHold         sim.Time // max age of a coalescing batch before the hold timer flushes it (must be > 0 with CQECoalesce; 0 selects the 2 µs default)
+	CQEHold         sim.Time // max age of a coalescing batch before the hold timer flushes it (must be >= 0; 0 selects the 2 µs default under CQECoalesce)
 	InlineThreshold int      // max bytes of in-capsule data per command
 	MaxPlug         int      // dispatch batch size
 	DeviceBlocks    uint64
 	KeepHistory     bool // retain media history for crash tests
 
-	// MaxInflight bounds the submitted-but-undelivered requests per
-	// initiator. When the fleet saturates (SSD knee, fabric stalls) the
-	// completion rate drops, the bound fills, and further submissions
-	// block in the caller's context — the submit-side pushback that turns
-	// offered overload into visible queueing instead of unbounded
-	// in-flight growth. 0 = unbounded (the stock closed-loop behavior).
+	// MaxInflight bounds the admitted-but-undelivered requests per
+	// initiator (submitters blocked on the gate are not counted). When
+	// the fleet saturates (SSD knee, fabric stalls) the completion rate
+	// drops, the bound fills, and further submissions block in the
+	// caller's context — the submit-side pushback that turns offered
+	// overload into visible queueing instead of unbounded in-flight
+	// growth. 0 = unbounded (the stock closed-loop behavior).
 	MaxInflight int
 
 	// Governor configures the adaptive batching governor. Disabled (the

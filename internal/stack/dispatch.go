@@ -58,21 +58,29 @@ func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
 	in.plugAdd(p, req)
 }
 
-// waitSubmitSlot blocks the submitting thread while the initiator's
-// in-flight count exceeds the configured bound — the submit-side half of
-// the backpressure chain (device saturation → fabric TX stalls → here).
-// Closed-loop callers never trip it; open-loop drivers stall instead of
-// growing unbounded queues. Skipped inside an explicit plug window: the
+// waitSubmitSlot blocks the submitting thread while the initiator sits
+// at its in-flight bound, then counts the request in flight — the
+// submit-side half of the backpressure chain (device saturation → fabric
+// TX stalls → here). Parked submitters are NOT counted: inflight holds
+// admitted-but-undelivered requests only, so each delivery frees exactly
+// one slot no matter how many submitters queue on the gate (a waiter
+// counting its own request would wedge the gate shut as soon as the
+// number of blocked submitters reached the bound). Closed-loop callers
+// never block here; open-loop drivers stall instead of growing unbounded
+// queues. The wait is skipped inside an explicit plug window — the
 // staged batch only drains from this same thread, so blocking here would
-// deadlock against our own plug.
+// deadlock against our own plug — but the request still counts in flight.
 func (in *Initiator) waitSubmitSlot(p *sim.Proc, stream int) {
-	if in.cfg.MaxInflight <= 0 || in.shards[stream].held {
-		return
+	if in.cfg.MaxInflight > 0 && !in.shards[stream].held {
+		for in.alive && in.inflight >= in.cfg.MaxInflight {
+			in.stats.SubmitStalls++
+			in.inflightCond.Wait(p)
+		}
+		if !in.alive {
+			return // the crash reset owns the count now
+		}
 	}
-	for in.alive && in.inflight > in.cfg.MaxInflight {
-		in.stats.SubmitStalls++
-		in.inflightCond.Wait(p)
-	}
+	in.inflight++
 }
 
 // maxPlugNow is the dispatch batching ceiling for this instant: the
@@ -275,6 +283,10 @@ func (in *Initiator) deliver(req *blockdev.Request) {
 	req.DeliverAt = in.Eng.Now()
 	if in.inflight > 0 {
 		in.inflight--
+		// A slot opened (waiters only count themselves in after passing
+		// the gate): wake the queue. Woken waiters re-check the bound and
+		// claim slots in wake order before any of them can yield, so the
+		// broadcast cannot overshoot the bound.
 		if in.cfg.MaxInflight > 0 && in.inflight < in.cfg.MaxInflight {
 			in.inflightCond.Broadcast()
 		}

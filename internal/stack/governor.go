@@ -1,6 +1,10 @@
 package stack
 
-import "repro/internal/sim"
+import (
+	"math"
+
+	"repro/internal/sim"
+)
 
 // GovernorConfig configures the load-adaptive batching governor. The
 // hand-tuned batching knobs trade latency against CPU efficiency: short
@@ -124,6 +128,14 @@ func (g *governor) observe(now sim.Time) bool {
 	el := now - g.winStart
 	if el < g.gc.Window {
 		return false
+	}
+	// An idle gap spanning several windows is several zero-count samples,
+	// not one: decay the EWMA once per missed window before folding this
+	// sample, so the first event after an idle period sees the downswitch
+	// (the caller consults the knobs after observe) instead of paying the
+	// stale throughput-biased hold/plug tax.
+	if missed := int64(el/g.gc.Window) - 1; missed > 0 && g.seeded {
+		g.ewma *= math.Pow(1-g.gc.Alpha, float64(missed))
 	}
 	rate := float64(g.count) / el.Seconds()
 	if g.seeded {

@@ -96,6 +96,37 @@ func TestGovernorHysteresis(t *testing.T) {
 	}
 }
 
+// TestGovernorIdleDecay verifies an idle gap is treated as the string of
+// empty windows it is: a throughput-biased governor that sees no traffic
+// for many windows falls back to the latency-biased point at the first
+// post-idle observe — which runs before the caller consults the knobs —
+// so the first request after the gap is not charged the stale high
+// operating point's hold/plug tax.
+func TestGovernorIdleDecay(t *testing.T) {
+	cfg := DefaultConfig(ModeRio, optane1()...)
+	gc := withGovernorDefaults(govBase(), cfg)
+	g := newGovernor(gc, 0)
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += sim.Microsecond
+		g.observe(now)
+	}
+	if !g.throughputBiased() {
+		t.Fatal("setup: 1M ops/s burst did not reach the throughput-biased point")
+	}
+	// 10 ms of silence (500 empty windows), then one lone request.
+	now += 10 * sim.Millisecond
+	if !g.observe(now) {
+		t.Fatal("first post-idle observe did not switch the operating point back")
+	}
+	if g.throughputBiased() {
+		t.Fatal("governor still throughput-biased after a long idle gap")
+	}
+	if g.hold() != gc.LowHold || g.batch() != gc.LowBatch || g.plug() != gc.LowPlug {
+		t.Fatalf("post-idle knobs still high: hold %v batch %d plug %d", g.hold(), g.batch(), g.plug())
+	}
+}
+
 // TestGovernorStableBetweenFolds verifies the decision only moves at
 // window boundaries: observations inside a window never switch the
 // operating point, no matter how fast they arrive.

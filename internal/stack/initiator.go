@@ -66,9 +66,11 @@ type Initiator struct {
 	nextReadID   uint64
 
 	// Submit-side pushback (Config.MaxInflight > 0): inflight counts
-	// submitted-but-undelivered requests; submissions beyond the bound
-	// block on inflightCond until deliveries drain it. gov, when non-nil,
-	// adapts the dispatch plug depth to the submission arrival rate.
+	// admitted-but-undelivered requests (waitSubmitSlot increments it
+	// only after the gate opens — parked submitters are not counted);
+	// submissions at the bound block on inflightCond until deliveries
+	// drain it. gov, when non-nil, adapts the dispatch plug depth to the
+	// submission arrival rate.
 	inflight     int
 	inflightCond *sim.Cond
 	gov          *governor
@@ -242,9 +244,6 @@ func (in *Initiator) OrderedWrite(p *sim.Proc, stream int, lba uint64, blocks ui
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
-	if in.alive {
-		in.inflight++
-	}
 	start := p.Now()
 	switch in.cfg.Mode {
 	case ModeRio:
@@ -270,9 +269,6 @@ func (in *Initiator) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks 
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
-	if in.alive {
-		in.inflight++
-	}
 	in.submitOrderless(p, req)
 	return req
 }

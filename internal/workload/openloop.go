@@ -229,11 +229,17 @@ func RunSatLoad(eng *sim.Engine, c *stack.Cluster, job SatJob, warmup, measure s
 					g.issued++
 					g.pending = append(g.pending, satPending{req: req, at: a.at})
 					// Ordered delivery is FIFO per stream: completed
-					// requests accumulate at the front.
+					// requests accumulate at the front. Pruning is lazy, so
+					// an op that completed during warmup may only be pruned
+					// after the meter warms — gate on the delivery time, not
+					// the prune time, to keep warmup completions out of the
+					// measurement window.
 					for len(g.pending) > 0 && g.pending[0].req.Done.Fired() {
 						pe := g.pending[0]
 						g.pending = g.pending[1:]
-						m.Op(4096, pe.req.DeliverAt-pe.at)
+						if pe.req.DeliverAt >= m.started {
+							m.Op(4096, pe.req.DeliverAt-pe.at)
+						}
 					}
 				}
 			})
@@ -269,11 +275,14 @@ func RunSatLoad(eng *sim.Engine, c *stack.Cluster, job SatJob, warmup, measure s
 		res.Dropped += g.dropped
 		res.BacklogEnd += g.q.Len()
 		// Sweep completions the issuer has not pruned yet (it only prunes
-		// when issuing, and the engine is stopped now).
+		// when issuing, and the engine is stopped now). Only deliveries
+		// inside the measurement window count; one delivered during warmup
+		// is neither a measured completion nor backlog.
 		for _, pe := range g.pending {
-			if pe.req.Done.Fired() && pe.req.DeliverAt <= end {
+			switch {
+			case pe.req.Done.Fired() && pe.req.DeliverAt >= m.started && pe.req.DeliverAt <= end:
 				m.Op(4096, pe.req.DeliverAt-pe.at)
-			} else {
+			case !pe.req.Done.Fired():
 				res.BacklogEnd++
 			}
 		}
