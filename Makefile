@@ -51,7 +51,7 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload -quick -json BENCH_8.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload,trace -quick -json BENCH_9.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).
@@ -62,7 +62,7 @@ examples: build
 # The CI perf gate: run the gated experiments fresh and fail on >10%
 # regression in the gated metrics vs the committed baseline.
 bench-gate: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload -quick -json /tmp/bench-gate.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload,trace -quick -json /tmp/bench-gate.json
 	$(GO) run ./cmd/benchdiff -new /tmp/bench-gate.json
 
 # Coverage profile over the ordering engine and the stack that drives it

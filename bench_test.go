@@ -156,7 +156,7 @@ func time1ms() sim.Time { return sim.Millisecond }
 // sanity: ensure figure names stay wired to the harness.
 func TestBenchNamesMatchHarness(t *testing.T) {
 	for _, n := range bench.Names() {
-		if !strings.HasPrefix(n, "fig") && n != "recovery" && n != "ablation" && n != "tcp" && n != "scale" && n != "replication" && n != "policy" && n != "serve" && n != "read" && n != "satload" {
+		if !strings.HasPrefix(n, "fig") && n != "recovery" && n != "ablation" && n != "tcp" && n != "scale" && n != "replication" && n != "policy" && n != "serve" && n != "read" && n != "satload" && n != "trace" {
 			t.Errorf("unexpected experiment name %q", n)
 		}
 	}

@@ -20,16 +20,44 @@ import (
 	"strconv"
 )
 
-// report mirrors the riobench -json schema.
+// report mirrors the riobench -json schema. Metric values are either a
+// plain number (single run) or {"mean":…,"std":…} (riobench -repeat N);
+// the gate compares the mean.
 type report struct {
-	Schema  int                `json:"schema"`
-	Metrics map[string]float64 `json:"metrics"`
+	Schema  int                    `json:"schema"`
+	Metrics map[string]metricValue `json:"metrics"`
 }
 
-// gate is one metric the CI perf gate enforces.
+// metricValue accepts both riobench metric encodings.
+type metricValue struct {
+	Value float64
+}
+
+func (m *metricValue) UnmarshalJSON(buf []byte) error {
+	var v float64
+	if err := json.Unmarshal(buf, &v); err == nil {
+		m.Value = v
+		return nil
+	}
+	var agg struct {
+		Mean float64 `json:"mean"`
+	}
+	if err := json.Unmarshal(buf, &agg); err != nil {
+		return fmt.Errorf("metric value is neither a number nor {mean,std}: %s", buf)
+	}
+	m.Value = agg.Mean
+	return nil
+}
+
+// gate is one metric the CI perf gate enforces. absMax > 0 switches the
+// gate to absolute mode: the fresh value must stay at or below absMax
+// regardless of the baseline (for metrics whose budget is a contract,
+// not a trajectory — e.g. tracing overhead must stay ≤2% even if a
+// baseline regression had already eaten part of the budget).
 type gate struct {
 	key          string
 	higherBetter bool
+	absMax       float64
 }
 
 // gates are the metrics ISSUE acceptance tracks PR-over-PR: throughput at
@@ -51,22 +79,28 @@ type gate struct {
 // load (adaptive_p99low_us) while sustaining static-high's throughput at
 // the knee (adaptive_kiops_knee).
 var gates = []gate{
-	{"scale.rio.kiops.s8", true},
-	{"scale.rio.allocs_per_req", false},
-	{"scale.rio.p99_us", false},
-	{"scale.rio.completion_msgs_per_op", false},
-	{"replication.rio.kiops.r3", true},
-	{"replication.rio.failover_blip_us", false},
-	{"policy.rio.target_allocs_per_op", false},
-	{"serve.rio.kiops", true},
-	{"serve.rio.p99_us", false},
-	{"serve.rio.fairness_spread", false},
-	{"read.rio.hit_rate", true},
-	{"read.rio.kiops", true},
-	{"read.rio.p99_us", false},
-	{"satload.rio.knee_kiops", true},
-	{"satload.rio.adaptive_p99low_us", false},
-	{"satload.rio.adaptive_kiops_knee", true},
+	{"scale.rio.kiops.s8", true, 0},
+	{"scale.rio.allocs_per_req", false, 0},
+	{"scale.rio.p99_us", false, 0},
+	{"scale.rio.completion_msgs_per_op", false, 0},
+	{"replication.rio.kiops.r3", true, 0},
+	{"replication.rio.failover_blip_us", false, 0},
+	{"policy.rio.target_allocs_per_op", false, 0},
+	{"serve.rio.kiops", true, 0},
+	{"serve.rio.p99_us", false, 0},
+	{"serve.rio.fairness_spread", false, 0},
+	{"read.rio.hit_rate", true, 0},
+	{"read.rio.kiops", true, 0},
+	{"read.rio.p99_us", false, 0},
+	{"satload.rio.knee_kiops", true, 0},
+	{"satload.rio.adaptive_p99low_us", false, 0},
+	{"satload.rio.adaptive_kiops_knee", true, 0},
+	// Tracing must stay free: the stage tracer records host memory only,
+	// so a traced run's event schedule is identical to an untraced one
+	// and the measured overhead is 0 by construction. The 2-point
+	// absolute budget exists so any future change that lets tracing
+	// perturb the simulation (a sleep, an RNG draw, an event) fails CI.
+	{"trace.rio.overhead_pct", false, 2.0},
 }
 
 // check compares one gated metric. For higher-is-better metrics a
@@ -81,6 +115,9 @@ var gates = []gate{
 func check(g gate, base, fresh, threshold float64) (ok bool, detail string) {
 	var limit float64
 	switch {
+	case g.absMax > 0:
+		ok = fresh <= g.absMax
+		detail = fmt.Sprintf("%-32s base %12.3f  new %12.3f  (max %12.3f abs budget)", g.key, base, fresh, g.absMax)
 	case g.higherBetter && base <= 0:
 		ok = false
 		detail = fmt.Sprintf("%-32s base %12.3f unusable (non-positive baseline for a higher-is-better gate)", g.key, base)
@@ -175,6 +212,16 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
+// values flattens a parsed metric map to the comparable numbers (plain
+// value or repeat mean).
+func values(ms map[string]metricValue) map[string]float64 {
+	out := make(map[string]float64, len(ms))
+	for k, v := range ms {
+		out[k] = v.Value
+	}
+	return out
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "baseline BENCH_*.json (default: highest-numbered in .)")
@@ -205,7 +252,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", *newPath, *baselinePath, 100**threshold)
-	lines, failures := compare(base.Metrics, fresh.Metrics, *threshold)
+	lines, failures := compare(values(base.Metrics), values(fresh.Metrics), *threshold)
 	for _, l := range lines {
 		fmt.Println(l)
 	}

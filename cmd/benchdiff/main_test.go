@@ -24,6 +24,7 @@ func baseMetrics() map[string]float64 {
 		"satload.rio.knee_kiops":           1035,
 		"satload.rio.adaptive_p99low_us":   53,
 		"satload.rio.adaptive_kiops_knee":  1035,
+		"trace.rio.overhead_pct":           0,
 	}
 }
 
@@ -68,6 +69,7 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"knee moves left -15% (saturation earlier)", "satload.rio.knee_kiops", 1035 * 0.85},
 		{"adaptive low-load p99 +20% (governor stuck high)", "satload.rio.adaptive_p99low_us", 53 * 1.20},
 		{"adaptive knee throughput -12% (governor stuck low)", "satload.rio.adaptive_kiops_knee", 1035 * 0.88},
+		{"tracing perturbs the simulation (overhead past the 2% budget)", "trace.rio.overhead_pct", 2.5},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()
@@ -117,6 +119,49 @@ func TestGateFailsOnUnusableBaseline(t *testing.T) {
 	base["scale.rio.kiops.s8"] = -5
 	if _, failures := compare(base, baseMetrics(), 0.10); len(failures) == 0 {
 		t.Fatal("negative higher-is-better baseline passed the gate")
+	}
+}
+
+// TestAbsoluteGateIgnoresBaseline: an absolute-budget gate enforces its
+// own ceiling — a baseline already inside the budget must not tighten
+// it, and a baseline outside it must not loosen it.
+func TestAbsoluteGateIgnoresBaseline(t *testing.T) {
+	base := baseMetrics()
+	base["trace.rio.overhead_pct"] = 1.5 // already ate most of the budget
+	fresh := baseMetrics()
+	fresh["trace.rio.overhead_pct"] = 1.9 // +27% relative, but inside 2.0 abs
+	if _, failures := compare(base, fresh, 0.10); len(failures) != 0 {
+		t.Fatalf("within-budget overhead failed the absolute gate: %v", failures)
+	}
+	fresh["trace.rio.overhead_pct"] = 2.1
+	if _, failures := compare(base, fresh, 0.10); len(failures) == 0 {
+		t.Fatal("over-budget overhead passed the absolute gate")
+	}
+}
+
+// TestLoadRepeatSchema: a -repeat N report encodes every metric as
+// {"mean","std"}; benchdiff must read the mean, and mixed encodings in
+// one file must both parse.
+func TestLoadRepeatSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rep.json")
+	body := `{"schema":1,"metrics":{
+		"scale.rio.kiops.s8":{"mean":1200,"std":14.2},
+		"scale.rio.p99_us":90
+	}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := values(r.Metrics)
+	if vs["scale.rio.kiops.s8"] != 1200 {
+		t.Fatalf("mean not extracted: got %v", vs["scale.rio.kiops.s8"])
+	}
+	if vs["scale.rio.p99_us"] != 90 {
+		t.Fatalf("plain value not extracted: got %v", vs["scale.rio.p99_us"])
 	}
 }
 

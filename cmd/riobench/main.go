@@ -8,12 +8,15 @@
 //	riobench -exp fig10b
 //	riobench -exp all -quick
 //	riobench -exp scale,replication,policy -quick -json BENCH_5.json
+//	riobench -exp scale -quick -trace 16          # append stage breakdowns
+//	riobench -exp scale -quick -repeat 5 -json out.json   # mean/std metrics
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -24,13 +27,15 @@ import (
 
 // jsonReport is the schema riobench -json writes: headline metrics keyed
 // by experiment, so BENCH_*.json files track the perf trajectory
-// PR-over-PR.
+// PR-over-PR. With -repeat 1 (the default) each metric is a plain
+// number; with -repeat N>1 it is {"mean":…,"std":…} over N runs with
+// distinct seeds (population std; benchdiff reads the mean).
 type jsonReport struct {
-	Schema      int                `json:"schema"`
-	Quick       bool               `json:"quick"`
-	Seed        int64              `json:"seed"`
-	Experiments []string           `json:"experiments"`
-	Metrics     map[string]float64 `json:"metrics"`
+	Schema      int            `json:"schema"`
+	Quick       bool           `json:"quick"`
+	Seed        int64          `json:"seed"`
+	Experiments []string       `json:"experiments"`
+	Metrics     map[string]any `json:"metrics"`
 }
 
 func main() {
@@ -40,6 +45,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		list     = flag.Bool("list", false, "list experiment ids")
 		jsonPath = flag.String("json", "", "write headline metrics to this file")
+		repeat   = flag.Int("repeat", 1, "run each experiment N times with seeds seed..seed+N-1; metrics become {mean,std}")
+		traceN   = flag.Int("trace", 0, "sample 1-in-N requests for stage-level tracing and append the breakdown (0 = off)")
 	)
 	flag.Parse()
 
@@ -53,24 +60,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "riobench: -exp required (or -list); e.g. riobench -exp fig10b")
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick, Seed: *seed}
+	if *repeat < 1 {
+		*repeat = 1
+	}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = bench.Names()
 	}
-	report := jsonReport{Schema: 1, Quick: *quick, Seed: *seed, Metrics: map[string]float64{}}
+	report := jsonReport{Schema: 1, Quick: *quick, Seed: *seed, Metrics: map[string]any{}}
+	samples := map[string][]float64{} // metric key -> one value per repeat
 	for _, n := range names {
 		start := time.Now()
-		r, err := bench.Run(n, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "riobench:", err)
-			os.Exit(1)
+		for rep := 0; rep < *repeat; rep++ {
+			opts := bench.Options{Quick: *quick, Seed: *seed + int64(rep), TraceSample: *traceN}
+			r, err := bench.Run(n, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "riobench:", err)
+				os.Exit(1)
+			}
+			if rep == 0 {
+				fmt.Print(r.Render())
+			}
+			for k, v := range r.Metrics {
+				samples[k] = append(samples[k], v)
+			}
 		}
-		fmt.Print(r.Render())
-		fmt.Printf("(%s wall time: %.1fs)\n\n", n, time.Since(start).Seconds())
+		if *repeat > 1 {
+			fmt.Printf("(%s wall time: %.1fs over %d seeded runs)\n\n", n, time.Since(start).Seconds(), *repeat)
+		} else {
+			fmt.Printf("(%s wall time: %.1fs)\n\n", n, time.Since(start).Seconds())
+		}
 		report.Experiments = append(report.Experiments, n)
-		for k, v := range r.Metrics {
-			report.Metrics[k] = v
+	}
+	for k, vs := range samples {
+		if *repeat == 1 {
+			report.Metrics[k] = vs[0]
+		} else {
+			m, s := meanStd(vs)
+			report.Metrics[k] = map[string]float64{"mean": m, "std": s}
 		}
 	}
 	if *jsonPath != "" {
@@ -87,4 +114,18 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d metrics)\n", *jsonPath, len(report.Metrics))
 	}
+}
+
+// meanStd returns the mean and population standard deviation.
+func meanStd(vs []float64) (float64, float64) {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	m := sum / float64(len(vs))
+	var ss float64
+	for _, v := range vs {
+		ss += (v - m) * (v - m)
+	}
+	return m, math.Sqrt(ss / float64(len(vs)))
 }

@@ -31,7 +31,31 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stack"
+	"repro/internal/trace"
 )
+
+// auditTrace checks the tracing ledger after a crash/recovery cycle:
+// every sampled span must have resolved to a terminal state — finished,
+// or dropped with a dropped@stage attribution — and none may dangle
+// open. Tracing runs at sample rate 1 here, so the fuzz exercises the
+// span lifecycle on every request the schedule produces.
+func auditTrace(c *stack.Cluster, fail func(string, ...interface{})) {
+	st := c.TraceStats()
+	fmt.Printf("trace: %d sampled, %d finished, %d dropped", st.Sampled, st.Finished, st.Dropped)
+	for m, n := range st.DroppedAt {
+		if n > 0 {
+			fmt.Printf(", dropped@%s: %d", trace.Milestone(m), n)
+		}
+	}
+	fmt.Println()
+	if st.Open != 0 {
+		fail("%d trace spans left open after recovery (every span must end finished or dropped@stage)\n", st.Open)
+	}
+	if st.Finished+st.Dropped != st.Sampled {
+		fail("trace ledger does not balance: %d finished + %d dropped != %d sampled\n",
+			st.Finished, st.Dropped, st.Sampled)
+	}
+}
 
 func main() {
 	var (
@@ -76,6 +100,9 @@ func main() {
 	cfg.Fabric.NumQPs = *streams
 	cfg.KeepHistory = true
 	cfg.MergeEnabled = false // 1:1 request→attribute, so media is checkable
+	// Trace every request: the crash fuzz doubles as the span-lifecycle
+	// audit (no dangling open span across any power-cut schedule).
+	cfg.Trace = trace.Config{SampleEvery: 1}
 	c := stack.New(eng, cfg)
 
 	type sub struct {
@@ -135,6 +162,7 @@ func main() {
 		if undelivered > 0 {
 			fail("%d requests lost by target recovery\n", undelivered)
 		}
+		auditTrace(c, fail)
 		return
 	}
 
@@ -164,6 +192,7 @@ func main() {
 	} else {
 		fail("%d violations\n", violations)
 	}
+	auditTrace(c, fail)
 }
 
 // replicaCrash drives the replication contract: R-way set, one member
@@ -181,7 +210,8 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 	cfg.Streams = streams
 	cfg.QPs = streams
 	cfg.Fabric.NumQPs = streams
-	cfg.MergeEnabled = false // 1:1 request→attribute, so media is checkable
+	cfg.MergeEnabled = false                 // 1:1 request→attribute, so media is checkable
+	cfg.Trace = trace.Config{SampleEvery: 1} // span-lifecycle audit rides along
 	c := stack.New(eng, cfg)
 
 	victim := eng.Rand().Intn(replicas)
@@ -281,4 +311,5 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 		fail("%d blocks diverge across replica members after resync\n", diverged)
 	}
 	fmt.Printf("replica contents byte-identical across all %d members after resync\n", replicas)
+	auditTrace(c, fail)
 }

@@ -37,7 +37,7 @@ func Ablations(o Options) *Result {
 		eng := sim.New(o.seed())
 		cfg := stack.DefaultConfig(stack.ModeRio, stack.OptaneTarget())
 		cfg.StreamAffinity = affinity
-		c := stack.New(eng, cfg)
+		c := o.newCluster(eng, cfg)
 		r := workload.RunBlock(eng, c,
 			workload.BlockJob{Threads: 8, Pattern: workload.PatternRandom4K, Ordered: true},
 			warm, meas)
@@ -58,7 +58,7 @@ func Ablations(o Options) *Result {
 		sc := ssd.OptaneConfig()
 		sc.PMRWriteLat = lat
 		cfg := stack.DefaultConfig(stack.ModeRio, stack.TargetConfig{SSDs: []ssd.Config{sc}})
-		c := stack.New(eng, cfg)
+		c := o.newCluster(eng, cfg)
 		r := workload.RunBlock(eng, c,
 			workload.BlockJob{Threads: 8, Pattern: workload.PatternRandom4K, Ordered: true},
 			warm, meas)

@@ -23,6 +23,12 @@ import (
 type Options struct {
 	Quick bool  // smaller windows and sweeps
 	Seed  int64 // base RNG seed
+	// TraceSample turns on stage-level request tracing in every cluster
+	// an experiment builds (1-in-N sampling; 0 = off) and appends the
+	// aggregated stage breakdown to the experiment's output. Tracing
+	// records host memory only, so every metric of a seeded run is
+	// identical with it on or off.
+	TraceSample int
 }
 
 func (o Options) seed() int64 {
@@ -96,6 +102,7 @@ var Experiments = map[string]Runner{
 	"satload":     SatLoadSweep,
 	"scale":       ScaleSweep,
 	"serve":       ServeSweep,
+	"trace":       TraceSweep,
 }
 
 // Names returns the experiment IDs in order.
@@ -108,13 +115,25 @@ func Names() []string {
 	return out
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment. With Options.TraceSample > 0 the
+// aggregated stage breakdown of every cluster the experiment built is
+// appended to its tables.
 func Run(name string, o Options) (*Result, error) {
 	r, ok := Experiments[name]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
 	}
-	return r(o), nil
+	if o.TraceSample > 0 {
+		tracedTracers = nil
+	}
+	res := r(o)
+	if o.TraceSample > 0 {
+		if agg := gatherTraces(); agg.Sampled > 0 {
+			res.Tables = append(res.Tables, agg.Table(fmt.Sprintf(
+				"%s stage breakdown (1-in-%d sampled)", name, o.TraceSample)))
+		}
+	}
+	return res, nil
 }
 
 // Cluster topologies of §6.1.
@@ -161,7 +180,7 @@ func runBlockPoint(o Options, sys system, targets []stack.TargetConfig,
 	if sys.noMerge {
 		cfg.MergeEnabled = false
 	}
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	job.Ordered = sys.ordered
 	warm, meas := o.windows()
 	res := workload.RunBlock(eng, c, job, warm, meas)
@@ -226,7 +245,7 @@ func Fig3MergingCPU(o Options) *Result {
 				eng := sim.New(o.seed())
 				cfg := stack.DefaultConfig(stack.ModeOrderless, dev.targets...)
 				cfg.MergeEnabled = merge
-				c := stack.New(eng, cfg)
+				c := o.newCluster(eng, cfg)
 				warm, meas := o.windows()
 				r := workload.RunBlock(eng, c, workload.BlockJob{
 					Threads: 1, Pattern: workload.PatternBatch, Batch: b,
@@ -395,7 +414,7 @@ var fsDesigns = []struct {
 func newFS(o Options, mode stack.Mode, design fs.Design, targets []stack.TargetConfig) (*sim.Engine, *fs.FS) {
 	eng := sim.New(o.seed())
 	cfg := stack.DefaultConfig(mode, targets...)
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	fcfg := fs.DefaultOptions(design, 24)
 	fcfg.JournalBlocks = 4096
 	fcfg.MaxInodes = 1 << 14
@@ -533,7 +552,7 @@ func RecoveryTimes(o Options) *Result {
 			cfg.Streams = 36
 			cfg.QPs = 36
 			cfg.Fabric.NumQPs = 36
-			c := stack.New(eng, cfg)
+			c := o.newCluster(eng, cfg)
 			stopped := false
 			for th := 0; th < 36; th++ {
 				th := th

@@ -7,7 +7,7 @@ import (
 
 func TestNamesComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig10a", "fig10b", "fig10c", "fig10d",
-		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp", "scale", "replication", "policy", "serve", "read", "satload"}
+		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "recovery", "ablation", "tcp", "scale", "replication", "policy", "serve", "read", "satload", "trace"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v", names)

@@ -37,7 +37,7 @@ func runPolicyPoint(o Options, sys system) (workload.BlockResult, int) {
 	cfg.Streams = 4
 	cfg.QPs = 4
 	cfg.Fabric.NumQPs = 4
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	r := workload.RunBlock(eng, c, workload.BlockJob{
 		Threads: 4, Pattern: workload.PatternRandom4K, Ordered: sys.ordered,

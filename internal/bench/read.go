@@ -69,7 +69,7 @@ func runReadPoint(o Options, cacheBlocks int) (workload.ReadResult, int) {
 		cfg.ReadAhead = readAheadDepth
 		job.KV.NegativeLookup = true
 	}
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	res := workload.RunRead(eng, c, job, warm, meas)
 	violations := c.OrderAudit()

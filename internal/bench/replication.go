@@ -43,7 +43,7 @@ func runReplicationPoint(o Options, replicas int, cutAt sim.Time, cutMember int)
 	cfg.Streams = 4
 	cfg.QPs = 4
 	cfg.Fabric.NumQPs = 4
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	if cutAt > 0 {
 		eng.At(cutAt, func() { c.PowerCutTarget(cutMember) })
@@ -140,7 +140,7 @@ func runResyncPhase(o Options) (stack.RecoveryTiming, int) {
 	cfg.Streams = 4
 	cfg.QPs = 4
 	cfg.Fabric.NumQPs = 4
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	const groups = 150
 	for s := 0; s < 4; s++ {
 		s := s

@@ -98,7 +98,7 @@ func runSatPoint(o Options, v satVariant, offeredKIOPS float64, arrival workload
 	cfg.Fabric.TxDepth = 256
 	cfg.MaxInflight = 512
 	v.apply(&cfg)
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	r := workload.RunSatLoad(eng, c, workload.SatJob{
 		Streams:      4,

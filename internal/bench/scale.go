@@ -59,7 +59,7 @@ func runScalePoint(o Options, sys scaleSystem, streams, targets int) workload.Bl
 	cfg.Fabric.NumQPs = streams
 	cfg.Pooling = !sys.noPool
 	cfg.CQECoalesce = !sys.noCQE
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	r := workload.RunBlock(eng, c, workload.BlockJob{
 		Threads: streams, Pattern: workload.PatternRandom4K, Ordered: sys.ordered,
@@ -78,7 +78,7 @@ func runInitiatorPoint(o Options, inits, streams, targets int) (workload.BlockRe
 	cfg.Streams = streams
 	cfg.QPs = streams
 	cfg.Fabric.NumQPs = streams
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	r := workload.RunBlock(eng, c, workload.BlockJob{
 		Threads: streams, Initiators: inits,

@@ -51,7 +51,7 @@ func runServePoint(o Options, readPct int) (workload.ServeResult, int) {
 	cfg.Streams = 4
 	cfg.QPs = 4
 	cfg.Fabric.NumQPs = 4
-	c := stack.New(eng, cfg)
+	c := o.newCluster(eng, cfg)
 	warm, meas := o.windows()
 	res := workload.RunServe(eng, c, serveJob(readPct), warm, meas)
 	violations := c.OrderAudit()

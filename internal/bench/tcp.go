@@ -32,7 +32,7 @@ func TCPTransport(o Options) *Result {
 			cfg := stack.DefaultConfig(sys.mode, oneOptane()...)
 			cfg.Fabric = fabric.TCPConfig(cfg.QPs)
 			cfg.Costs = stack.TCPCosts()
-			c := stack.New(eng, cfg)
+			c := o.newCluster(eng, cfg)
 			r := workload.RunBlock(eng, c, workload.BlockJob{
 				Threads: th, Pattern: workload.PatternRandom4K, Ordered: sys.ordered,
 			}, warm, meas)

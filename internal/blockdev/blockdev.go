@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Op is a block request opcode.
@@ -59,6 +60,14 @@ type Request struct {
 	CompleteAt  sim.Time // hardware completion observed at initiator
 	DeliverAt   sim.Time // completion delivered to the application
 	SubmitSpent sim.Time // synchronous CPU time the submit call itself took
+
+	// Trace is the stage-tracing span of a sampled request (nil for the
+	// unsampled vast majority). TraceSeq is the span generation captured
+	// at sampling time: every recorder passes it back, so a pointer that
+	// outlives a crash epoch can never touch the recycled span's next
+	// life. The block layer stores but never interprets either.
+	Trace    *trace.Span
+	TraceSeq uint64
 
 	remaining int         // outstanding wire fragments
 	ticket    core.Ticket // inline storage for Ticket (see TicketSlot)

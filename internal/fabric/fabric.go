@@ -87,6 +87,14 @@ type Message struct {
 // Handler consumes delivered SENDs in engine context.
 type Handler func(m Message)
 
+// TracedPayload is implemented by payloads that want fabric transit
+// stamps for stage tracing: the fabric calls it at delivery with the
+// virtual times the message was posted and delivered. Stamping is plain
+// host-memory accounting — it never changes the event schedule.
+type TracedPayload interface {
+	FabricDelivered(sent, delivered sim.Time)
+}
+
 // Stats counts per-direction traffic.
 type Stats struct {
 	Sends     int64
@@ -103,6 +111,7 @@ type wireItem struct {
 	bulk    bool          // one-sided transfer: counted separately, no handler
 	epoch   uint64
 	to      Side
+	sentAt  sim.Time // Send post time (TracedPayload stamping)
 }
 
 // Conn is a bidirectional RDMA connection between one initiator and one
@@ -162,27 +171,30 @@ func (c *Conn) Send(from Side, m Message) {
 	if m.QP < 0 || m.QP >= c.cfg.NumQPs {
 		panic(fmt.Sprintf("fabric: QP %d out of range", m.QP))
 	}
-	c.wires[from.other()].Push(wireItem{msg: m, epoch: c.epoch, to: from.other()})
+	c.wires[from.other()].Push(wireItem{msg: m, epoch: c.epoch, to: from.other(), sentAt: c.eng.Now()})
 }
 
 // WaitTxSpace blocks the calling process until the TX queue toward the
 // remote side of `from` has room under TxDepth (no-op when TxDepth is 0
 // or the connection is down — Send then drops the message anyway). This
 // is how link saturation propagates upstream: a sender that calls it
-// stalls at wire speed instead of queueing unboundedly.
-func (c *Conn) WaitTxSpace(p *sim.Proc, from Side) {
+// stalls at wire speed instead of queueing unboundedly. Returns how long
+// the caller was stalled (0 when it never blocked) for stage tracing.
+func (c *Conn) WaitTxSpace(p *sim.Proc, from Side) sim.Time {
 	if c.cfg.TxDepth <= 0 {
-		return
+		return 0
 	}
 	dir := from.other()
-	stalled := false
+	stalled := sim.Time(0)
+	start := p.Now()
 	for c.up && c.wires[dir].Len() >= c.cfg.TxDepth {
-		if !stalled {
-			stalled = true
+		if stalled == 0 {
 			c.stats[dir].TxStalls++
 		}
 		c.txSpace[dir].Wait(p)
+		stalled = p.Now() - start
 	}
+	return stalled
 }
 
 // wireLoop serializes messages onto the link toward side `to` and schedules
@@ -227,6 +239,9 @@ func (c *Conn) wireLoop(p *sim.Proc, to Side) {
 			} else {
 				c.stats[to].Sends++
 				c.stats[to].SendBytes += int64(item.msg.Size)
+			}
+			if tp, ok := item.msg.Payload.(TracedPayload); ok {
+				tp.FabricDelivered(item.sentAt, c.eng.Now())
 			}
 			if item.deliver != nil {
 				item.deliver(item.msg)

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// loopLeadingZeros is the seed's bit-at-a-time implementation, kept here
+// as the reference the intrinsic-backed replacement is cross-checked
+// against.
+func loopLeadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// TestLeadingZerosMatchesLoop cross-checks bits.LeadingZeros64 against
+// the original loop over the edge values the histogram bucketing cares
+// about, every power of two, and the values straddling them.
+func TestLeadingZerosMatchesLoop(t *testing.T) {
+	cases := []uint64{0, 1, 15, 16, 1 << 63, math.MaxInt64}
+	for shift := 0; shift < 64; shift++ {
+		v := uint64(1) << shift
+		cases = append(cases, v, v-1, v+1)
+	}
+	for _, v := range cases {
+		if got, want := leadingZeros(v), loopLeadingZeros(v); got != want {
+			t.Errorf("leadingZeros(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestBucketOfUnchanged pins the bucket mapping across the swap: the
+// histogram layout is part of every committed BENCH_*.json baseline.
+func TestBucketOfUnchanged(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {15, 15},
+		{16, 64}, // first value through the leadingZeros path
+		{17, 65},
+		{1 << 20, 20 * 16},
+		{math.MaxInt64, 62*16 + 15},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

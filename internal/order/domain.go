@@ -129,6 +129,7 @@ type Domain[P any] struct {
 	retired uint64 // retire watermark: slots <= retired are recycled
 
 	parked ring[P]
+	parkT  ring[int64]  // park instants (ParkAt; lazily initialized)
 	slots  ring[uint64] // live ServerIdx -> PMR log slot
 }
 
@@ -146,6 +147,7 @@ func (d *Domain[P]) Reset() {
 	d.next = 1
 	d.retired = 0
 	d.parked.reset()
+	d.parkT.reset()
 	d.slots.reset()
 }
 
@@ -167,6 +169,28 @@ func (d *Domain[P]) Advance(idx uint64) { d.next = idx + 1 }
 // TakeNext pops the parked command waiting at the frontier, if any —
 // the unpark drain loop calls it after every Advance.
 func (d *Domain[P]) TakeNext() (P, bool) { return d.parked.del(d.next) }
+
+// ParkAt is Park plus a park instant, recorded for gate-wait attribution
+// (stage tracing). The instant is the caller's clock; the engine stores
+// it opaquely.
+func (d *Domain[P]) ParkAt(idx uint64, v P, at int64) {
+	d.parked.put(idx, v)
+	if d.parkT.ents == nil {
+		d.parkT.init(len(d.parked.ents))
+	}
+	d.parkT.put(idx, at)
+}
+
+// TakeNextAt is TakeNext plus the park instant the command was ParkAt-ed
+// with (0 if it was parked via plain Park).
+func (d *Domain[P]) TakeNextAt() (P, int64, bool) {
+	v, ok := d.parked.del(d.next)
+	var at int64
+	if ok {
+		at, _ = d.parkT.del(d.next)
+	}
+	return v, at, ok
+}
 
 // ParkedLen returns the number of held-back commands.
 func (d *Domain[P]) ParkedLen() int { return d.parked.n }

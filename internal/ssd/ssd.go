@@ -152,6 +152,12 @@ type Command struct {
 	// Out is filled by reads: the per-block records observed.
 	Out []Rec
 
+	// SatWait accumulates the saturation-model stall charged to this
+	// command's segments (the share of service time past the knee) —
+	// stage-tracing attribution; plain accounting, never read by the
+	// device itself.
+	SatWait sim.Time
+
 	pending int
 	epoch   uint64
 }
@@ -458,6 +464,9 @@ func (s *SSD) channelLoop(p *sim.Proc, q *sim.Queue[segment]) {
 				}
 				stall := sim.Time(float64(lat) * (f - 1))
 				s.stats.SatStall += stall
+				if seg.cmd != nil {
+					seg.cmd.SatWait += stall
+				}
 				lat += stall
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 // wireState tracks one NVMe-oF command from build to completion. The
@@ -106,6 +107,16 @@ type capsule struct {
 	member int           // replication: destination member (sqes != nil)
 	sqes   []nvmeof.SQE  // replication: per-command member SQEs
 	attrs  [][]core.Attr // replication: per-command member attributes
+
+	// Fabric transit stamps (stage tracing): filled by the fabric at
+	// delivery, read by the target's receive loop. Capsules are built per
+	// post, so the stamps never alias across sends.
+	sentAt, deliveredAt sim.Time
+}
+
+// FabricDelivered implements fabric.TracedPayload.
+func (cp *capsule) FabricDelivered(sent, delivered sim.Time) {
+	cp.sentAt, cp.deliveredAt = sent, delivered
 }
 
 // completionMsg is the payload of one SEND back to an initiator: a
@@ -121,6 +132,18 @@ type completionMsg struct {
 	qp       int
 	epoch    int
 	from     int
+
+	// respondAt is the per-CQE instant the completion entered the
+	// coalescing buffer (parallel to cqes; nil when tracing is off), and
+	// sentAt/deliveredAt are the fabric transit stamps — together they
+	// attribute the reverse path: coalesce hold, wire, reap.
+	respondAt           []sim.Time
+	sentAt, deliveredAt sim.Time
+}
+
+// FabricDelivered implements fabric.TracedPayload.
+func (cm *completionMsg) FabricDelivered(sent, delivered sim.Time) {
+	cm.sentAt, cm.deliveredAt = sent, delivered
 }
 
 // horaeStage buffers a group's control entries and data requests until the
@@ -238,6 +261,10 @@ type Cluster struct {
 	replSets    []*replicaSet
 	setOf       []int
 	writeQuorum int
+
+	// tracer is the stage-tracing collector (nil when Config.Trace is the
+	// zero value — the data plane then carries only nil checks).
+	tracer *trace.Tracer
 }
 
 type fuseTail struct {
@@ -272,6 +299,9 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	}
 	if c.cfg.Governor.Enabled {
 		c.cfg.Governor = withGovernorDefaults(c.cfg.Governor, c.cfg)
+	}
+	if c.cfg.Trace.Enabled() {
+		c.tracer = trace.New(c.cfg.Trace, c.cfg.Initiators)
 	}
 	c.writeQuorum = 1
 	if r := c.cfg.Replicas; r > 1 {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 // Mode selects the storage ordering stack.
@@ -191,6 +192,13 @@ type Config struct {
 	// zero value) the hot path uses the static CQEHold/CQEBatch/MaxPlug
 	// knobs exactly as before, event for event.
 	Governor GovernorConfig
+
+	// Trace enables stage-level request tracing (internal/trace): 1-in-N
+	// sampled requests record milestone timestamps at every layer of the
+	// data plane. Off (the zero value) the stack carries only nil checks;
+	// on, recording is host-memory only — the event schedule, and hence
+	// every metric of a seeded run, is byte-identical either way.
+	Trace trace.Config
 
 	Seed int64
 }

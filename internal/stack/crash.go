@@ -66,6 +66,7 @@ func (c *Cluster) PowerCutTarget(i int) {
 	for init := range t.cqePend {
 		for qp := range t.cqePend[init] {
 			t.cqePend[init][qp] = nil
+			t.cqePendT[init][qp] = nil
 			t.cqeArmed[init][qp] = false
 			t.cqeInflight[init][qp] = 0
 		}
@@ -108,6 +109,7 @@ func (c *Cluster) PowerCutInitiator(i int) {
 		// lives in separate (initiator, QP) slots and is not touched.
 		for qp := range t.cqePend[i] {
 			t.cqePend[i][qp] = nil
+			t.cqePendT[i][qp] = nil
 			t.cqeArmed[i][qp] = false
 			t.cqeInflight[i][qp] = 0
 		}

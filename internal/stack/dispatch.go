@@ -6,6 +6,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/nvmeof"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // trackWires records that ws carries (part of) req, for the
@@ -50,10 +51,12 @@ func (in *Initiator) submitRio(p *sim.Proc, req *blockdev.Request) {
 		// the application already considers lost.
 		return
 	}
+	gateStart := p.Now()
 	in.waitSubmitSlot(p, req.Stream)
 	if !in.alive {
 		return // power-cut while stalled on the inflight bound
 	}
+	addWaitReq(req, trace.WaitGate, p.Now()-gateStart)
 	in.attachTicket(req, in.seq.Stream(req.Stream))
 	in.plugAdd(p, req)
 }
@@ -99,10 +102,12 @@ func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 	if !in.alive {
 		return // power-cut mid-submission: the request dies un-staged
 	}
+	gateStart := p.Now()
 	in.waitSubmitSlot(p, req.Stream)
 	if !in.alive {
 		return // power-cut while stalled on the inflight bound
 	}
+	addWaitReq(req, trace.WaitGate, p.Now()-gateStart)
 	in.plugAdd(p, req)
 }
 
@@ -113,6 +118,7 @@ func (in *Initiator) submitOrderless(p *sim.Proc, req *blockdev.Request) {
 const plugHold = 2 * sim.Microsecond
 
 func (in *Initiator) plugAdd(p *sim.Proc, req *blockdev.Request) {
+	markReq(req, trace.MStaged, p.Now())
 	if in.gov != nil && in.gov.observe(p.Now()) {
 		in.stats.GovSwitches++
 	}
@@ -229,6 +235,7 @@ func (in *Initiator) submitHorae(p *sim.Proc, req *blockdev.Request) {
 	}
 	// Control metadata persisted: release the group to the data path.
 	for _, r := range buf.reqs {
+		markReq(r, trace.MStaged, p.Now())
 		in.shards[r.Stream].q.Push(r)
 	}
 	buf.reqs = nil
@@ -281,6 +288,11 @@ func (in *Initiator) submitLinux(p *sim.Proc, req *blockdev.Request) {
 // the request's wire commands once their last origin request is out.
 func (in *Initiator) deliver(req *blockdev.Request) {
 	req.DeliverAt = in.Eng.Now()
+	if req.Trace != nil {
+		req.Trace.Mark(req.TraceSeq, trace.MDeliver, req.DeliverAt)
+		in.c.tracer.Finish(req.Trace, req.TraceSeq)
+		req.Trace = nil
+	}
 	if in.inflight > 0 {
 		in.inflight--
 		// A slot opened (waiters only count themselves in after passing
@@ -350,6 +362,7 @@ func (in *Initiator) dispatchBatch(p *sim.Proc, stream int, batch []*blockdev.Re
 	wires := sh.getBatchBuf()
 	for _, req := range batch {
 		req.DispatchAt = p.Now()
+		markReq(req, trace.MDispatched, req.DispatchAt)
 		wires = in.buildWires(wires, req)
 	}
 	if in.cfg.MergeEnabled && len(wires) > 1 {
@@ -670,7 +683,11 @@ func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 		}
 		size := nvmeof.VectorCapsuleSize(len(cp.cmds), cp.inline)
 		in.useInitCPU(p, in.costs.PostMsg)
-		in.targets[ti].conns[in.id].WaitTxSpace(p, fabric.Initiator)
+		if stall := in.targets[ti].conns[in.id].WaitTxSpace(p, fabric.Initiator); stall > 0 {
+			for _, ws := range cp.cmds {
+				addWaitWire(ws, trace.WaitTx, stall)
+			}
+		}
 		in.targets[ti].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 		in.stats.WireMessages++
 		in.stats.Batch.Ring(len(cp.cmds))
@@ -714,6 +731,13 @@ func (in *Initiator) reapLoop(p *sim.Proc, sh *shard) {
 			if ws == nil || ws.epoch != in.epoch {
 				continue
 			}
+			if in.c.tracer != nil {
+				var respAt sim.Time
+				if i < len(msg.respondAt) {
+					respAt = msg.respondAt[i]
+				}
+				markCpl(ws, msg, respAt)
+			}
 			if ws.repl != nil {
 				// Replicated command: quorum accounting per member ack.
 				in.replAck(p, ws, msg.from)
@@ -739,6 +763,7 @@ func (in *Initiator) deliverCompletions(p *sim.Proc, ws *wireState) {
 			continue
 		}
 		req.CompleteAt = p.Now()
+		markReq(req, trace.MCompleted, req.CompleteAt)
 		in.stats.Completed++
 		switch {
 		case req.Ordered && (in.cfg.Mode == ModeRio || in.cfg.Mode == ModeHorae):

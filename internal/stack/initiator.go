@@ -244,6 +244,7 @@ func (in *Initiator) OrderedWrite(p *sim.Proc, stream int, lba uint64, blocks ui
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
+	in.maybeTrace(req)
 	start := p.Now()
 	switch in.cfg.Mode {
 	case ModeRio:
@@ -269,6 +270,7 @@ func (in *Initiator) OrderlessWrite(p *sim.Proc, stream int, lba uint64, blocks 
 		Done: sim.NewSignal(in.Eng), SubmitAt: p.Now(),
 	}
 	in.stats.Submitted++
+	in.maybeTrace(req)
 	in.submitOrderless(p, req)
 	return req
 }
@@ -462,6 +464,12 @@ func (in *Initiator) crashVolatile() {
 	// stalled on the bound so its alive re-check can drop the request.
 	in.inflight = 0
 	in.inflightCond.Broadcast()
+	// Every open span of this initiator terminates as dropped@<stage>:
+	// the requests it was tracking died with the incarnation, and a
+	// sampled request must never leave a dangling open span behind.
+	if in.c.tracer != nil {
+		in.c.tracer.DropOpen(in.id)
+	}
 	// The read cache and in-flight reads are volatile state of the dead
 	// incarnation too.
 	in.abortAllReads()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 // Replication maps each stream's server-striping onto replica sets of R
@@ -113,6 +114,10 @@ type replState struct {
 	sqes  []nvmeof.SQE
 	attrs [][]core.Attr // nil per member for plain writes and flushes
 	idx   []uint64      // last ServerIdx per member (retire watermarks)
+
+	// firstAck is when the first member CQE arrived (stage tracing: the
+	// quorum-assembly wait is quorum-fire minus firstAck).
+	firstAck sim.Time
 }
 
 func (r *replState) reset() {
@@ -120,6 +125,7 @@ func (r *replState) reset() {
 	r.sqes = r.sqes[:0]
 	r.attrs = r.attrs[:0]
 	r.idx = r.idx[:0]
+	r.firstAck = 0
 }
 
 func (r *replState) addMember(m int, sqe nvmeof.SQE, attrs []core.Attr, idx uint64) {
@@ -365,7 +371,11 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 			}
 			size := nvmeof.VectorCapsuleSize(len(cmds), inline)
 			in.useInitCPU(p, in.costs.PostMsg)
-			in.targets[m].conns[in.id].WaitTxSpace(p, fabric.Initiator)
+			if stall := in.targets[m].conns[in.id].WaitTxSpace(p, fabric.Initiator); stall > 0 {
+				for _, ws := range cmds {
+					addWaitWire(ws, trace.WaitTx, stall)
+				}
+			}
 			in.targets[m].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 			in.stats.WireMessages++
 			in.stats.Batch.Ring(len(cmds))
@@ -383,8 +393,12 @@ func (in *Initiator) replAck(p *sim.Proc, ws *wireState, from int) {
 	if !r.q.Ack(k) {
 		return // duplicate, or a member cancelled by a power cut
 	}
+	if r.firstAck == 0 {
+		r.firstAck = p.Now()
+	}
 	if !r.q.Fired && r.q.Acks >= r.q.Need {
 		r.q.Fired = true
+		addWaitWire(ws, trace.WaitQuorum, p.Now()-r.firstAck)
 		ws.hwDone.Fire()
 		in.deliverCompletions(p, ws)
 	}

@@ -3,6 +3,7 @@ package stack
 import (
 	"repro/internal/blockdev"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // shard is one stream's submission lane through the initiator. It owns
@@ -43,6 +44,14 @@ type shard struct {
 	wireFree  []*wireState
 	listFree  []*wireList
 	batchFree [][]*wireState
+
+	// Stage-tracing sampling state: traceCount is the 1-in-N submission
+	// counter, tslab the shard's span allocator. Both survive crashReset —
+	// recycled spans are generation-guarded, so dead-epoch references
+	// cannot corrupt a span's next life, and the sampling cadence is not
+	// part of the simulated state.
+	traceCount int
+	tslab      *trace.Slab
 }
 
 // wireList tracks the wire commands that carry (parts of) one request,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/trace"
 )
 
 // TargetStats counts target-side events (aggregated over all initiators).
@@ -110,6 +111,12 @@ type tDone struct {
 	flushQP   int
 	flushInit int
 	epoch     int
+
+	// Stage-tracing stamps carried from the device's Done callback into
+	// completion context: when the device reported the command done, and
+	// how much of its service time was saturation-knee inflation.
+	doneAt  sim.Time
+	satWait sim.Time
 }
 
 // parkedCmd is one held-back command at an in-order gate, together with
@@ -172,6 +179,11 @@ type Target struct {
 	cqeArmed    [][]bool
 	cqeInflight [][]int // per (initiator, QP): submitted-not-yet-responded commands
 
+	// cqePendT mirrors cqePend with the instant each pending CQE entered
+	// the buffer (stage tracing only: the inner slices stay nil with the
+	// tracer off, so the untraced hot path allocates nothing here).
+	cqePendT [][][]sim.Time
+
 	// gov, when non-nil, adapts the CQE hold time and flush threshold to
 	// the completion arrival rate (one EWMA per target; see governor.go).
 	gov *governor
@@ -193,6 +205,7 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 	nInit := c.cfg.Initiators
 	t.rxQs = make([][]*sim.Queue[*capsule], nInit)
 	t.cqePend = make([][][]nvmeof.CQE, nInit)
+	t.cqePendT = make([][][]sim.Time, nInit)
 	t.cqeEpoch = make([][]int, nInit)
 	t.cqeFirst = make([][]sim.Time, nInit)
 	t.cqeArmed = make([][]bool, nInit)
@@ -203,6 +216,7 @@ func newTarget(c *Cluster, id int, tc TargetConfig) *Target {
 			t.rxQs[i][qp] = sim.NewQueue[*capsule](c.Eng)
 		}
 		t.cqePend[i] = make([][]nvmeof.CQE, c.cfg.QPs)
+		t.cqePendT[i] = make([][]sim.Time, c.cfg.QPs)
 		t.cqeEpoch[i] = make([]int, c.cfg.QPs)
 		t.cqeFirst[i] = make([]sim.Time, c.cfg.QPs)
 		t.cqeArmed[i] = make([]bool, c.cfg.QPs)
@@ -473,6 +487,8 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 			}
 			t.stats.Commands++
 			t.cores.Use(p, t.c.costs.CmdProcess)
+			markWire(ws, trace.MSent, cp.sentAt)
+			markWire(ws, trace.MRxDeliver, cp.deliveredAt)
 			if ws.flushWire {
 				t.submitFlushCmd(ws)
 				continue
@@ -583,7 +599,12 @@ func (t *Target) rioSubmitAttrsOwned(p *sim.Proc, ws *wireState, attrs []core.At
 	d := t.ord.Domain(int(attrs[0].Initiator), attrs[0].Stream)
 	if !d.Admit(attrs[0].ServerIdx) {
 		t.stats.Holdbacks++
-		d.Park(attrs[0].ServerIdx, parkedCmd{ws: ws, attrs: attrs, pooled: pooled})
+		pc := parkedCmd{ws: ws, attrs: attrs, pooled: pooled}
+		if t.c.tracer != nil {
+			d.ParkAt(attrs[0].ServerIdx, pc, int64(p.Now()))
+		} else {
+			d.Park(attrs[0].ServerIdx, pc)
+		}
 		return
 	}
 	t.rioProcess(p, ws, attrs, d)
@@ -592,9 +613,12 @@ func (t *Target) rioSubmitAttrsOwned(p *sim.Proc, ws *wireState, attrs []core.At
 	}
 	// Drain any parked successors.
 	for {
-		next, ok := d.TakeNext()
+		next, parkedAt, ok := d.TakeNextAt()
 		if !ok {
 			break
+		}
+		if parkedAt != 0 {
+			addWaitWire(next.ws, trace.WaitPark, p.Now()-sim.Time(parkedAt))
 		}
 		t.rioProcess(p, next.ws, next.attrs, d)
 		if next.pooled {
@@ -606,7 +630,9 @@ func (t *Target) rioSubmitAttrsOwned(p *sim.Proc, ws *wireState, attrs []core.At
 func (t *Target) rioProcess(p *sim.Proc, ws *wireState, attrs []core.Attr, d *order.Domain[parkedCmd]) {
 	slots := t.getSlots(len(attrs))
 	for _, a := range attrs {
+		pmrStart := p.Now()
 		slot, ok := t.appendPMR(p, a)
+		addWaitWire(ws, trace.WaitPMR, p.Now()-pmrStart)
 		if !ok {
 			// The command's ordering domain was reset while the append
 			// waited (its owner crash-recovered): the command belongs to
@@ -643,6 +669,7 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 	d := t.getDone()
 	d.ws, d.slots, d.epoch = ws, slots, t.initEpoch(ws.init)
 	t.cqeInflight[ws.init][ws.qp]++
+	markWire(ws, trace.MSSDSubmit, t.c.Eng.Now())
 	stamps := ws.wc.Stamps
 	if ws.wc.Ordered && t.pol.Tracked() {
 		stamps = t.getStamps(int(ws.wc.Blocks))
@@ -669,7 +696,9 @@ func (t *Target) submitWrite(ws *wireState, slots []uint64) {
 		Blocks: ws.wc.Blocks,
 		Stamps: stamps,
 		Data:   ws.wc.Data,
-		Done: func(*ssd.Command) {
+		Done: func(sc *ssd.Command) {
+			d.doneAt = t.c.Eng.Now()
+			d.satWait = sc.SatWait
 			t.doneQ.Push(d)
 		},
 	}
@@ -725,6 +754,10 @@ func (t *Target) doneOne(p *sim.Proc, d *tDone) {
 		return
 	}
 	t.cores.Use(p, t.c.costs.CplHandle)
+	if d.doneAt > 0 {
+		markWire(d.ws, trace.MSSDDone, d.doneAt)
+		addWaitWire(d.ws, trace.WaitSat, d.satWait)
+	}
 	ordered := d.ws.wc.Ordered && t.pol.Tracked()
 	plp := t.ssds[d.ws.ssdIdx].HasPLP()
 	init := d.ws.init
@@ -871,12 +904,16 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 	cqe := nvmeof.NewCQE(ws.id)
 	if !t.c.cfg.CQECoalesce {
 		cqe.MarkCQEVector(0, 1)
+		cm := &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: qp, epoch: ws.epoch, from: t.id}
+		if t.c.tracer != nil {
+			cm.respondAt = []sim.Time{t.c.Eng.Now()}
+		}
 		t.cores.Use(p, t.c.costs.PostMsg)
 		t.stats.Responses++
 		t.stats.CQEs++
 		t.conns[init].Send(fabric.Target, fabric.Message{
 			QP: qp, Size: nvmeof.ResponseSize,
-			Payload: &completionMsg{cqes: []nvmeof.CQE{cqe}, qp: qp, epoch: ws.epoch, from: t.id},
+			Payload: cm,
 		})
 		return
 	}
@@ -885,6 +922,9 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 		t.cqeFirst[init][qp] = t.c.Eng.Now()
 	}
 	t.cqePend[init][qp] = append(t.cqePend[init][qp], cqe)
+	if t.c.tracer != nil {
+		t.cqePendT[init][qp] = append(t.cqePendT[init][qp], t.c.Eng.Now())
+	}
 	// Flush when the capsule is full — or when the queue pair has no
 	// command left in flight, so a CQE only ever waits while more
 	// completions are coming to amortize against and an idle QP responds
@@ -949,6 +989,8 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	// Detach before charging CPU: Use yields, and the other completion
 	// context may append (or flush) concurrently.
 	t.cqePend[init][qp] = nil
+	batchT := t.cqePendT[init][qp]
+	t.cqePendT[init][qp] = nil
 	epoch := t.cqeEpoch[init][qp]
 	nvmeof.EncodeCQEVector(batch)
 	size := nvmeof.ResponseSize
@@ -963,7 +1005,7 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	t.stats.CQEs += int64(len(batch))
 	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: size,
-		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch, from: t.id},
+		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch, from: t.id, respondAt: batchT},
 	})
 }
 

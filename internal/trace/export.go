@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: every retained span renders as complete
+// ("ph":"X") events across four lanes — initiator, fabric, target,
+// device — so a request's life reads as a flame-style timeline in
+// chrome://tracing or Perfetto. Timestamps are virtual microseconds.
+
+// stageLane maps each budget stage to its component lane (pid).
+var stageLane = [NumStages]int{
+	0, // submit    — initiator
+	0, // plug      — initiator
+	0, // dispatch  — initiator
+	1, // wire      — fabric
+	2, // target    — target
+	3, // ssd       — device
+	2, // tcpl      — target
+	1, // cplwire   — fabric
+	0, // reap      — initiator
+	0, // odeliver  — initiator
+}
+
+var laneNames = []string{"initiator", "fabric", "target", "device"}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome emits recs as Chrome trace_event JSON. Lanes are
+// processes, streams are threads, and each stage of each span is one
+// complete event; dropped spans additionally emit an instant
+// "dropped@<milestone>" marker at their last recorded instant.
+func WriteChrome(w io.Writer, recs []SpanRecord) error {
+	tr := chromeTrace{DisplayTimeUnit: "ns"}
+	for pid, name := range laneNames {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, r := range recs {
+		args := map[string]any{
+			"id": r.ID, "init": r.Init, "stream": r.Stream,
+			"lba": r.LBA, "blocks": r.Blocks,
+		}
+		if r.Dropped {
+			at := r.MS[r.DropStage]
+			if at < 0 {
+				at = 0
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "dropped@" + r.DropStage.String(), Phase: "i",
+				PID: 0, TID: r.Stream, TS: us(at), Scope: "g", Args: args,
+			})
+			continue
+		}
+		for i := 0; i < NumStages; i++ {
+			d := r.StageDur(i)
+			if d <= 0 {
+				continue
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: stageNames[i], Phase: "X",
+				PID: stageLane[i], TID: r.Stream,
+				TS: us(r.MS[i]), Dur: us(d), Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}

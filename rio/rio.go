@@ -30,6 +30,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stack"
+	"repro/internal/trace"
 )
 
 // DeviceClass selects an SSD personality.
@@ -92,6 +93,25 @@ type Options struct {
 	// read-ahead, KV negative lookups). The zero value turns every read
 	// feature off, leaving the read path identical to earlier releases.
 	Read ReadOptions
+
+	// Trace configures stage-level request tracing. The zero value turns
+	// tracing off; a traced run of the same seed is event-identical to an
+	// untraced one (tracing records host memory only).
+	Trace TraceOptions
+}
+
+// TraceOptions configures stage-level request tracing: 1-in-SampleEvery
+// submitted writes record a milestone timestamp at every layer of the
+// data plane (submit, plug, dispatch, wire, target, ssd, completion,
+// reap, ordered delivery) plus the wait attribution (gate, TX stall,
+// gate park, PMR, device saturation, CQE hold, replica quorum).
+type TraceOptions struct {
+	// SampleEvery traces 1 in N submitted writes per shard (0 = off).
+	SampleEvery int
+	// Keep bounds the ring of retained per-span records for offline
+	// analysis (Chrome trace export, p99 stage budgets). 0 keeps only
+	// aggregates.
+	Keep int
 }
 
 // ReadOptions configures the initiator-side read path. Every field
@@ -169,6 +189,7 @@ func NewCluster(o Options) *Cluster {
 	cfg.KeepHistory = o.History
 	cfg.CacheBlocks = o.Read.CacheBlocks
 	cfg.ReadAhead = o.Read.ReadAhead
+	cfg.Trace = trace.Config{SampleEvery: o.Trace.SampleEvery, Keep: o.Trace.Keep}
 	eng := sim.New(cfg.Seed)
 	return &Cluster{eng: eng, inner: stack.New(eng, cfg), read: o.Read}
 }
@@ -362,6 +383,31 @@ func (c *Cluster) CacheStatsAll() CacheStats {
 func (ctx *Ctx) CacheStats() CacheStats {
 	return cacheStatsFrom(ctx.in.ReadCacheStats())
 }
+
+// TraceStats is the aggregated tracing view: sampled/finished/dropped
+// span counts, end-to-end and per-stage latency histograms, and the wait
+// attribution. All zeros when tracing is off (TraceOptions.SampleEvery
+// == 0). The concrete type is internal/trace.Stats; see its Table method
+// for a rendered stage-budget breakdown.
+type TraceStats = trace.Stats
+
+// TraceStats returns the cluster-wide tracing aggregates.
+func (c *Cluster) TraceStats() TraceStats { return c.inner.TraceStats() }
+
+// TraceSpans returns the retained per-span records (up to
+// TraceOptions.Keep, oldest first) for offline analysis — feed them to
+// internal/trace.WriteChrome for a chrome://tracing timeline or
+// internal/trace.BudgetP99 for a p99 stage budget.
+func (c *Cluster) TraceSpans() []trace.SpanRecord {
+	if tr := c.inner.Tracer(); tr != nil {
+		return tr.Retained()
+	}
+	return nil
+}
+
+// TraceStats returns the cluster-wide tracing aggregates (all zeros when
+// tracing is off).
+func (ctx *Ctx) TraceStats() TraceStats { return ctx.c.inner.TraceStats() }
 
 // CacheAudit cross-checks every live cached block against the media of
 // the replica member a read would be routed to, returning the number of
