@@ -51,7 +51,7 @@ bench: build
 
 # Regenerate the tracked perf-trajectory snapshot.
 bench-json: build
-	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload,trace -quick -json BENCH_9.json
+	$(GO) run ./cmd/riobench -exp scale,replication,policy,serve,read,satload,trace -quick -json BENCH_10.json
 
 # Run every example with its built-in tiny config (CI smoke: example
 # drift fails the build).

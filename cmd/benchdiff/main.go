@@ -85,6 +85,17 @@ var gates = []gate{
 	{"scale.rio.completion_msgs_per_op", false, 0},
 	{"replication.rio.kiops.r3", true, 0},
 	{"replication.rio.failover_blip_us", false, 0},
+	// Relay fast path (CPU-constrained initiator): throughput must hold
+	// its win over direct fan-out, initiator egress must stay collapsed
+	// (~1 capsule per batch instead of R), completion capsules per op must
+	// stay under the 1.5 absolute budget the ack aggregation bought
+	// (direct r3 runs ~2.5), and losing the relay HEAD mid-measurement
+	// must stay as survivable as losing a direct-path member.
+	{"replication.rio.kiops.r3.relay", true, 0},
+	{"replication.rio.tx_msgs_per_op.r3.relay", false, 0},
+	{"replication.rio.completion_msgs_per_op.r3.relay", false, 1.5},
+	{"replication.rio.failover_blip_us.relay", false, 0},
+	{"replication.rio.resync_divergence.relay", false, 0},
 	{"policy.rio.target_allocs_per_op", false, 0},
 	{"serve.rio.kiops", true, 0},
 	{"serve.rio.p99_us", false, 0},
@@ -92,6 +103,10 @@ var gates = []gate{
 	{"read.rio.hit_rate", true, 0},
 	{"read.rio.kiops", true, 0},
 	{"read.rio.p99_us", false, 0},
+	// Read-ahead must observably fire: reported at the mid-size cache
+	// point where the scan outruns residency (a zero here means the
+	// prefetcher is dead again, whatever the hit rate says).
+	{"read.rio.readahead_hits", true, 0},
 	{"satload.rio.knee_kiops", true, 0},
 	{"satload.rio.adaptive_p99low_us", false, 0},
 	{"satload.rio.adaptive_kiops_knee", true, 0},

@@ -8,23 +8,29 @@ import (
 
 func baseMetrics() map[string]float64 {
 	return map[string]float64{
-		"scale.rio.kiops.s8":               1200,
-		"scale.rio.allocs_per_req":         0,
-		"scale.rio.p99_us":                 90,
-		"scale.rio.completion_msgs_per_op": 0.8,
-		"replication.rio.kiops.r3":         630,
-		"replication.rio.failover_blip_us": 100,
-		"policy.rio.target_allocs_per_op":  0.003,
-		"serve.rio.kiops":                  200,
-		"serve.rio.p99_us":                 70,
-		"serve.rio.fairness_spread":        1.05,
-		"read.rio.hit_rate":                0.92,
-		"read.rio.kiops":                   5000,
-		"read.rio.p99_us":                  5,
-		"satload.rio.knee_kiops":           1035,
-		"satload.rio.adaptive_p99low_us":   53,
-		"satload.rio.adaptive_kiops_knee":  1035,
-		"trace.rio.overhead_pct":           0,
+		"scale.rio.kiops.s8":                              1200,
+		"scale.rio.allocs_per_req":                        0,
+		"scale.rio.p99_us":                                90,
+		"scale.rio.completion_msgs_per_op":                0.8,
+		"replication.rio.kiops.r3":                        630,
+		"replication.rio.failover_blip_us":                100,
+		"policy.rio.target_allocs_per_op":                 0.003,
+		"serve.rio.kiops":                                 200,
+		"serve.rio.p99_us":                                70,
+		"serve.rio.fairness_spread":                       1.05,
+		"read.rio.hit_rate":                               0.92,
+		"read.rio.kiops":                                  5000,
+		"read.rio.p99_us":                                 5,
+		"read.rio.readahead_hits":                         1025,
+		"replication.rio.kiops.r3.relay":                  570,
+		"replication.rio.tx_msgs_per_op.r3.relay":         0.74,
+		"replication.rio.completion_msgs_per_op.r3.relay": 0.92,
+		"replication.rio.failover_blip_us.relay":          83,
+		"replication.rio.resync_divergence.relay":         0,
+		"satload.rio.knee_kiops":                          1035,
+		"satload.rio.adaptive_p99low_us":                  53,
+		"satload.rio.adaptive_kiops_knee":                 1035,
+		"trace.rio.overhead_pct":                          0,
 	}
 }
 
@@ -70,6 +76,12 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 		{"adaptive low-load p99 +20% (governor stuck high)", "satload.rio.adaptive_p99low_us", 53 * 1.20},
 		{"adaptive knee throughput -12% (governor stuck low)", "satload.rio.adaptive_kiops_knee", 1035 * 0.88},
 		{"tracing perturbs the simulation (overhead past the 2% budget)", "trace.rio.overhead_pct", 2.5},
+		{"relay win decays -12% (fast path loses to direct)", "replication.rio.kiops.r3.relay", 570 * 0.88},
+		{"relay egress creeps +20% (fan-out leaks back to the initiator)", "replication.rio.tx_msgs_per_op.r3.relay", 0.74 * 1.20},
+		{"aggregation decays past the 1.5 cpl/op budget", "replication.rio.completion_msgs_per_op.r3.relay", 1.6},
+		{"relay head-cut blip +20% (degrade path slows)", "replication.rio.failover_blip_us.relay", 83 * 1.20},
+		{"relay resync diverges (head-cut repair lost a write)", "replication.rio.resync_divergence.relay", 3},
+		{"prefetcher stops firing (readahead hits collapse)", "read.rio.readahead_hits", 1025 * 0.85},
 	}
 	for _, tc := range cases {
 		fresh := baseMetrics()

@@ -17,7 +17,16 @@
 //
 // Usage:
 //
-//	riocrash [-streams 4] [-groups 200] [-cut 300] [-seed N] [-target] [-replicas 3]
+// With -relay (requires -replicas) the replica sets route writes over
+// the target-to-target relay fast path and the cut hits the set HEAD
+// mid-batch — the most adversarial schedule: relayed capsules and
+// buffered follower acks are in flight when the relay hub dies, and the
+// audit additionally requires that the degraded set kept completing via
+// direct fan-out with zero lost or duplicated completions.
+//
+// Usage:
+//
+//	riocrash [-streams 4] [-groups 200] [-cut 300] [-seed N] [-target] [-replicas 3] [-relay]
 package main
 
 import (
@@ -65,6 +74,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "RNG seed (0 = randomize and print)")
 		target   = flag.Bool("target", false, "crash one target instead of the whole cluster")
 		replicas = flag.Int("replicas", 0, "replicate across an R-way set and cut one member mid-stream")
+		relay    = flag.Bool("relay", false, "enable the target-to-target relay fast path and cut the set head")
 	)
 	flag.Parse()
 
@@ -82,12 +92,19 @@ func main() {
 		if *replicas > 1 {
 			fmt.Printf(" -replicas %d", *replicas)
 		}
+		if *relay {
+			fmt.Print(" -relay")
+		}
 		fmt.Println()
 		os.Exit(1)
 	}
 
+	if *relay && *replicas <= 1 {
+		fmt.Println("-relay requires -replicas >= 2")
+		os.Exit(2)
+	}
 	if *replicas > 1 {
-		replicaCrash(*streams, *groups, *cutUS, *seed, *replicas, fail)
+		replicaCrash(*streams, *groups, *cutUS, *seed, *replicas, *relay, fail)
 		return
 	}
 
@@ -199,7 +216,7 @@ func main() {
 // power-cut mid-stream, survivors must complete every write in order,
 // and after the background resync the rejoined member's media must be
 // byte-identical to its peers.
-func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail func(string, ...interface{})) {
+func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, relay bool, fail func(string, ...interface{})) {
 	eng := sim.New(seed)
 	targets := make([]stack.TargetConfig, replicas)
 	for i := range targets {
@@ -207,6 +224,7 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 	}
 	cfg := stack.DefaultConfig(stack.ModeRio, targets...)
 	cfg.Replicas = replicas
+	cfg.ReplRelay = relay
 	cfg.Streams = streams
 	cfg.QPs = streams
 	cfg.Fabric.NumQPs = streams
@@ -214,7 +232,12 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 	cfg.Trace = trace.Config{SampleEvery: 1} // span-lifecycle audit rides along
 	c := stack.New(eng, cfg)
 
+	// Relay schedule: cut the set HEAD so the repair path (exact-prefix
+	// re-post + survivor ack flush) is what keeps completions flowing.
 	victim := eng.Rand().Intn(replicas)
+	if relay {
+		victim = c.SetMembers(0)[0]
+	}
 	var reqs []*blockdev.Request
 	var lbas []uint64
 	for s := 0; s < streams; s++ {
@@ -311,5 +334,13 @@ func replicaCrash(streams, groups int, cutUS, seed int64, replicas int, fail fun
 		fail("%d blocks diverge across replica members after resync\n", diverged)
 	}
 	fmt.Printf("replica contents byte-identical across all %d members after resync\n", replicas)
+	if relay {
+		head := c.Target(c.SetMembers(0)[0])
+		fmt.Printf("relay path: %d capsules relayed, %d quorum acks aggregated\n",
+			head.Stats().Relays, head.Stats().AggFires)
+		if head.Stats().Relays == 0 {
+			fail("relay schedule relayed no capsules before the head cut\n")
+		}
+	}
 	auditTrace(c, fail)
 }

@@ -99,4 +99,45 @@ func main() {
 		}
 	})
 	c.Run()
+
+	// Phase 4: the relay fast path. Same topology with Relay on — the
+	// initiator posts one capsule per batch to the set HEAD, which relays
+	// follower copies over target-to-target links and aggregates follower
+	// acks into a single quorum CQE. Cutting the head mid-stream is the
+	// worst case: the set must degrade back to direct fan-out with no
+	// lost or duplicated completions.
+	rc := rio.NewCluster(rio.Options{
+		Seed:     22,
+		Streams:  4,
+		Replicas: 3,
+		Relay:    true,
+		Targets: []rio.TargetSpec{
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+			{SSDs: []rio.DeviceClass{rio.Optane}},
+		},
+	})
+	defer rc.Close()
+	head := rc.SetMembers(0)[0]
+	var relayHandles []*rio.Handle
+	rc.Go(func(ctx *rio.Ctx) {
+		s := ctx.Stream(0)
+		for g := 0; g < 200; g++ {
+			relayHandles = append(relayHandles, s.Close(uint64(2<<20|g), 1))
+			ctx.Sleep(sim.Microsecond)
+		}
+	})
+	rc.Engine().At(80*sim.Microsecond, func() { rc.Fault(rio.TargetScope(head)) })
+	rc.Run()
+	stalled = 0
+	for _, h := range relayHandles {
+		if !h.Done() {
+			stalled++
+		}
+	}
+	fmt.Printf("phase 4: relay head (member %d) power-cut mid-stream; %d/200 writes stalled (set degraded to direct fan-out)\n",
+		head, stalled)
+	if stalled > 0 {
+		panic("relay head failover stalled writes")
+	}
 }

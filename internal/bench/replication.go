@@ -54,6 +54,48 @@ func runReplicationPoint(o Options, replicas int, cutAt sim.Time, cutMember int)
 	return r, c, eng
 }
 
+// relayInitCores is the initiator CPU budget of the relay comparison.
+// The default 18-core initiator never saturates on this fleet, so the
+// R×→1× egress saving would vanish into idle cores; two cores make the
+// submission path the bottleneck — the regime the relay targets (the
+// initiator in the paper's asymmetric deployments is the scarce side).
+const relayInitCores = 2
+
+// runRelayPoint measures the 3-way fleet with the initiator pinned to
+// relayInitCores, with the relay fast path on or off. cutAt > 0
+// power-cuts the HEAD of set 0 mid-measurement (the relay hub — the
+// most adversarial member to lose).
+func runRelayPoint(o Options, relay bool, cutAt sim.Time) (workload.BlockResult, *stack.Cluster, *sim.Engine) {
+	eng := sim.New(o.seed())
+	cfg := stack.DefaultConfig(stack.ModeRio, replTargets(replFleet)...)
+	cfg.Replicas = 3
+	cfg.ReplRelay = relay
+	cfg.Streams = 4
+	cfg.QPs = 4
+	cfg.Fabric.NumQPs = 4
+	cfg.InitiatorCores = relayInitCores
+	c := o.newCluster(eng, cfg)
+	warm, meas := o.windows()
+	if cutAt > 0 {
+		head := c.SetMembers(0)[0]
+		eng.At(cutAt, func() { c.PowerCutTarget(head) })
+	}
+	r := workload.RunBlock(eng, c, workload.BlockJob{
+		Threads: 4, Pattern: workload.PatternRandom4K, Ordered: true,
+	}, warm, meas)
+	return r, c, eng
+}
+
+// txPerOp normalizes the window's initiator egress counters by the
+// window's completed requests (same denominator as CompletionMsgsPerOp).
+func txPerOp(br workload.BlockResult) (msgs, bytes float64) {
+	if br.Stats.Completed == 0 {
+		return 0, 0
+	}
+	return float64(br.Stats.TxMsgs) / float64(br.Stats.Completed),
+		float64(br.Stats.TxBytes) / float64(br.Stats.Completed)
+}
+
 // replViolations audits the per-replica ordering invariants after a
 // run: dense ServerIdx chains at every member's gates, sequencer group
 // order advanced, and completions below submissions never negative.
@@ -91,6 +133,9 @@ func ReplicationSweep(o Options) *Result {
 		if r == 3 {
 			res.Metric("replication.rio.completion_msgs_per_op.r3", br.Stats.CompletionMsgsPerOp())
 			res.Metric("replication.rio.p99_us.r3", float64(br.Lat.P99())/1000)
+			msgs, bytes := txPerOp(br)
+			res.Metric("replication.rio.tx_msgs_per_op.r3", msgs)
+			res.Metric("replication.rio.tx_bytes_per_op.r3", bytes)
 		}
 		eng.Shutdown()
 	}
@@ -114,10 +159,66 @@ func ReplicationSweep(o Options) *Result {
 	// forever, so the resync phase uses its own finite workload): cut a
 	// member mid-stream, finish the writes degraded, resync, and verify
 	// the rejoined member converged byte-identically with a peer.
-	tm, diverged := runResyncPhase(o)
+	tm, diverged := runResyncPhase(o, false, 1)
 	res.Metric("replication.rio.resync_blocks", float64(tm.Replayed))
 	res.Metric("replication.rio.resync_divergence", float64(diverged))
 	violations += diverged
+
+	// Relay fast path: the same 3-way fleet with the initiator pinned to
+	// relayInitCores, direct fan-out vs target-to-target relay. Direct
+	// posts R capsules per batch and reaps every member's completion
+	// stream; the relay posts ONE and reaps quorum-aggregated CQEs —
+	// at a saturated initiator that egress cut is throughput.
+	var rel metrics.Series
+	rel.Label = "constrained kiops"
+	brD, cD, engD := runRelayPoint(o, false, 0)
+	violations += replViolations(cD)
+	dMsgs, dBytes := txPerOp(brD)
+	engD.Shutdown()
+	brR, cR, engR := runRelayPoint(o, true, 0)
+	violations += replViolations(cR)
+	rMsgs, rBytes := txPerOp(brR)
+	relayed := cR.Target(cR.SetMembers(0)[0]).Stats().Relays
+	engR.Shutdown()
+	rel.Add(0, brD.KIOPS())
+	rel.Add(1, brR.KIOPS())
+	res.Metric("replication.rio.kiops.r3.direct", brD.KIOPS())
+	res.Metric("replication.rio.kiops.r3.relay", brR.KIOPS())
+	res.Metric("replication.rio.p99_us.r3.relay", float64(brR.Lat.P99())/1000)
+	res.Metric("replication.rio.completion_msgs_per_op.r3.direct", brD.Stats.CompletionMsgsPerOp())
+	res.Metric("replication.rio.completion_msgs_per_op.r3.relay", brR.Stats.CompletionMsgsPerOp())
+	res.Metric("replication.rio.tx_msgs_per_op.r3.direct", dMsgs)
+	res.Metric("replication.rio.tx_msgs_per_op.r3.relay", rMsgs)
+	res.Metric("replication.rio.tx_bytes_per_op.r3.direct", dBytes)
+	res.Metric("replication.rio.tx_bytes_per_op.r3.relay", rBytes)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"relay fast path (%d initiator cores): %.1f -> %.1f kiops (%.2fx), egress %.2f -> %.2f msgs/op, completions %.2f -> %.2f msgs/op, %d capsules relayed head->followers",
+		relayInitCores, brD.KIOPS(), brR.KIOPS(), brR.KIOPS()/brD.KIOPS(),
+		dMsgs, rMsgs, brD.Stats.CompletionMsgsPerOp(), brR.Stats.CompletionMsgsPerOp(), relayed))
+
+	// Relay failover: power-cut the HEAD mid-measurement. The repair path
+	// (exact-prefix re-post + survivor ack flush + degrade to direct
+	// fan-out) must keep every stream flowing; the blip is gated next to
+	// the direct-path member cut's.
+	brF, cF, engF := runRelayPoint(o, true, cutAt)
+	violations += replViolations(cF)
+	res.Metric("replication.rio.failover_kiops.relay", brF.KIOPS())
+	res.Metric("replication.rio.failover_blip_us.relay", brF.MaxLatUS())
+	engF.Shutdown()
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"relay head cut mid-measure: %.1f kiops flowing, worst blip %.1f µs",
+		brF.KIOPS(), brF.MaxLatUS()))
+
+	// Relay resync: head cut, bounded writes finish degraded via direct
+	// fan-out, then the head rejoins and must converge byte-identically.
+	tmR, divergedR := runResyncPhase(o, true, 0)
+	res.Metric("replication.rio.resync_blocks.relay", float64(tmR.Replayed))
+	res.Metric("replication.rio.resync_divergence.relay", float64(divergedR))
+	violations += divergedR
+
+	res.Tables = append(res.Tables, metrics.Table(
+		fmt.Sprintf("relay fast path at %d initiator cores (x=0 direct fan-out, x=1 relay)", relayInitCores),
+		"variant", rel))
 
 	res.Metric("replication.rio.order_violations", float64(violations))
 	res.Notes = append(res.Notes,
@@ -129,14 +230,16 @@ func ReplicationSweep(o Options) *Result {
 }
 
 // runResyncPhase drives a bounded degraded window and measures the
-// background resync: 4 streams write 150 groups each, member 1 dies a
-// third of the way in, the survivors finish at quorum, then the member
-// resyncs from a peer and the phase reports the replay volume plus any
-// post-resync divergence (which must be zero).
-func runResyncPhase(o Options) (stack.RecoveryTiming, int) {
+// background resync: 4 streams write 150 groups each, member `victim`
+// dies a third of the way in, the survivors finish at quorum, then the
+// member resyncs from a peer and the phase reports the replay volume
+// plus any post-resync divergence (which must be zero). With relay on,
+// victim 0 is the set head — the relay hub itself.
+func runResyncPhase(o Options, relay bool, victim int) (stack.RecoveryTiming, int) {
 	eng := sim.New(o.seed())
 	cfg := stack.DefaultConfig(stack.ModeRio, replTargets(3)...)
 	cfg.Replicas = 3
+	cfg.ReplRelay = relay
 	cfg.Streams = 4
 	cfg.QPs = 4
 	cfg.Fabric.NumQPs = 4
@@ -151,12 +254,12 @@ func runResyncPhase(o Options) (stack.RecoveryTiming, int) {
 			}
 		})
 	}
-	eng.At(100*sim.Microsecond, func() { c.PowerCutTarget(1) })
+	eng.At(100*sim.Microsecond, func() { c.PowerCutTarget(victim) })
 	eng.Run()
 	var tm stack.RecoveryTiming
-	eng.Go("resync/recover", func(p *sim.Proc) { _, tm = c.RecoverTarget(p, 1) })
+	eng.Go("resync/recover", func(p *sim.Proc) { _, tm = c.RecoverTarget(p, victim) })
 	eng.Run()
-	diverged := replDivergence(c, 1)
+	diverged := replDivergence(c, victim)
 	eng.Shutdown()
 	return tm, diverged
 }

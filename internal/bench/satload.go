@@ -86,11 +86,13 @@ var satVariants = []satVariant{
 
 // runSatPoint measures one (policy, offered load) point on a fresh
 // 2-initiator, 2-way-replicated, 4-target fleet with full backpressure
-// (bounded fabric TX queues, bounded submit-side inflight).
-func runSatPoint(o Options, v satVariant, offeredKIOPS float64, arrival workload.Arrival) (workload.SatResult, int) {
+// (bounded fabric TX queues, bounded submit-side inflight). With relay
+// on, writes fan out head-to-follower over target-to-target links.
+func runSatPoint(o Options, v satVariant, offeredKIOPS float64, arrival workload.Arrival, relay bool) (workload.SatResult, int) {
 	eng := sim.New(o.seed())
 	cfg := stack.DefaultConfig(stack.ModeRio, satTargets(4)...)
 	cfg.Replicas = 2
+	cfg.ReplRelay = relay
 	cfg.Initiators = 2
 	cfg.Streams = 4
 	cfg.QPs = 4
@@ -134,7 +136,7 @@ func SatLoadSweep(o Options) *Result {
 		tput := metrics.Series{Label: v.key + " kiops"}
 		p99 := metrics.Series{Label: v.key + " p99 us"}
 		for _, off := range offered {
-			r, viol := runSatPoint(o, v, off, workload.ArrivalPoisson)
+			r, viol := runSatPoint(o, v, off, workload.ArrivalPoisson, false)
 			violations += viol
 			pt := point{kiops: r.DeliveredKIOPS(), p99us: r.P99US()}
 			curves[v.key] = append(curves[v.key], pt)
@@ -179,10 +181,22 @@ func SatLoadSweep(o Options) *Result {
 	// absorb the bursts without ordering trouble; the latency tax of
 	// burstiness is the p99 delta against the Poisson point.
 	burstOff := offered[knee] / 2
-	br, viol := runSatPoint(o, satVariants[2], burstOff, workload.ArrivalBursty)
+	br, viol := runSatPoint(o, satVariants[2], burstOff, workload.ArrivalBursty, false)
 	violations += viol
 	res.Metric("satload.rio.bursty_kiops", br.DeliveredKIOPS())
 	res.Metric("satload.rio.bursty_p99_us", br.P99US())
+
+	// Relay fast path under open-loop load: the adaptive governor at the
+	// knee with replicated writes fanned out head-to-follower over
+	// target-to-target links instead of initiator-direct. The open-loop
+	// curve must not bend earlier with the relay on.
+	rl, viol2 := runSatPoint(o, satVariants[2], offered[knee], workload.ArrivalPoisson, true)
+	violations += viol2
+	res.Metric("satload.rio.relay_kiops_knee", rl.DeliveredKIOPS())
+	res.Metric("satload.rio.relay_p99_knee_us", rl.P99US())
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"relay fan-out at the %.0f-kiops knee: %.1f kiops delivered, p99 %.1f µs (direct adaptive: %.1f kiops, p99 %.1f µs)",
+		offered[knee], rl.DeliveredKIOPS(), rl.P99US(), ad[knee].kiops, ad[knee].p99us))
 
 	res.Metric("satload.rio.order_violations", float64(violations))
 	res.Notes = append(res.Notes,

@@ -108,6 +108,21 @@ type capsule struct {
 	sqes   []nvmeof.SQE  // replication: per-command member SQEs
 	attrs  [][]core.Attr // replication: per-command member attributes
 
+	// Relay extension (ReplRelay): the initiator posts ONE capsule to the
+	// set's head member carrying every follower's slice; the head peels
+	// one relayed capsule per follower off these fields and forwards it
+	// over the target-to-target conn. relayed marks a forwarded copy (the
+	// receiving follower acks the head instead of the initiator), and
+	// relaySeq is the per-(initiator, set, QP) sequence number head-cut
+	// recovery uses to compute each survivor's exact received prefix.
+	relayTo      []int           // follower target ids (head capsule only)
+	relaySQEs    [][]nvmeof.SQE  // per follower: per-command SQEs
+	relayAttrs   [][][]core.Attr // per follower: per-command attrs
+	relayRetires [][]retire      // per follower: piggybacked retire marks
+	relaySeq     uint64
+	relayed      bool
+	relayAcked   []aggResolved // head→follower piggyback: forwarded acks (pendingAck GC)
+
 	// Fabric transit stamps (stage tracing): filled by the fabric at
 	// delivery, read by the target's receive loop. Capsules are built per
 	// post, so the stamps never alias across sends.
@@ -139,6 +154,14 @@ type completionMsg struct {
 	// attribute the reverse path: coalesce hold, wire, reap.
 	respondAt           []sim.Time
 	sentAt, deliveredAt sim.Time
+
+	// Aggregation extension (ReplRelay): agg is parallel to cqes — a
+	// non-nil member list marks an aggregated CQE the set's head emitted
+	// at quorum, standing in for that many per-member acks; resolved
+	// carries piggybacked late-ack records so the initiator reaches full
+	// resolution without extra capsules.
+	agg      []aggCQE
+	resolved []aggResolved
 }
 
 // FabricDelivered implements fabric.TracedPayload.
@@ -164,6 +187,13 @@ type ClusterStats struct {
 	Holdbacks    int64 // target-side in-order submission stalls
 	ReadCmds     int64 // read commands issued over the fabric
 	ReadMsgs     int64 // read messages (cached path batches commands per target)
+
+	// TxMsgs/TxBytes count initiator egress on the write path: capsules
+	// posted toward targets and their wire bytes. Under direct replication
+	// every member copy counts; under ReplRelay only the single head
+	// capsule does — the R×→1× egress win the replication experiment gates.
+	TxMsgs  int64
+	TxBytes int64
 
 	// Pool tracks the dispatch hot path's object traffic: tickets, wire
 	// commands and wire tracking lists. Misses are heap allocations, so
@@ -211,6 +241,8 @@ func (s ClusterStats) Sub(old ClusterStats) ClusterStats {
 		Holdbacks:    s.Holdbacks - old.Holdbacks,
 		ReadCmds:     s.ReadCmds - old.ReadCmds,
 		ReadMsgs:     s.ReadMsgs - old.ReadMsgs,
+		TxMsgs:       s.TxMsgs - old.TxMsgs,
+		TxBytes:      s.TxBytes - old.TxBytes,
 		Pool:         s.Pool.Sub(old.Pool),
 		Batch:        s.Batch.Sub(old.Batch),
 		CplBatch:     s.CplBatch.Sub(old.CplBatch),
@@ -231,6 +263,8 @@ func (s ClusterStats) Add(o ClusterStats) ClusterStats {
 		Holdbacks:    s.Holdbacks + o.Holdbacks,
 		ReadCmds:     s.ReadCmds + o.ReadCmds,
 		ReadMsgs:     s.ReadMsgs + o.ReadMsgs,
+		TxMsgs:       s.TxMsgs + o.TxMsgs,
+		TxBytes:      s.TxBytes + o.TxBytes,
 		Pool:         s.Pool.Add(o.Pool),
 		Batch:        s.Batch.Add(o.Batch),
 		CplBatch:     s.CplBatch.Add(o.CplBatch),
@@ -336,6 +370,12 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 			}
 			rs.dirty = make([][]dirtyExtent, r)
 			c.replSets = append(c.replSets, rs)
+		}
+		if c.cfg.ReplRelay {
+			// Gated on the flag (not just Replicas > 1) so a relay-off
+			// cluster is structurally identical to the direct fan-out
+			// build: no extra conns, no extra wire procs, no extra state.
+			c.buildRelayConns()
 		}
 	}
 	c.vol = blockdev.NewVolume(devs, c.cfg.ChunkBlocks)

@@ -69,6 +69,10 @@ func (c *Cluster) PowerCutTarget(i int) {
 			t.cqePendT[init][qp] = nil
 			t.cqeArmed[init][qp] = false
 			t.cqeInflight[init][qp] = 0
+			if t.cqeAgg != nil {
+				t.cqeAgg[init][qp] = nil
+				t.resolvedPend[init][qp] = nil
+			}
 		}
 	}
 	// Replication: the set degrades instead of the streams stalling —
@@ -77,6 +81,13 @@ func (c *Cluster) PowerCutTarget(i int) {
 	// waiting for an ack this member can never send.
 	if c.cfg.Replicas > 1 {
 		c.degradeMember(i)
+		if c.cfg.ReplRelay {
+			// The relay machinery repairs itself around the dead member
+			// (after the degrade sweep, so cancelled member positions are
+			// already resolved): links drop, open aggregations flush, and a
+			// dead head's undelivered relays are re-posted direct.
+			c.relayCut(i)
+		}
 	}
 	// Read path: every initiator drops its cached blocks of the dead
 	// member's set (recovery may roll their content back) and reroutes
@@ -113,6 +124,7 @@ func (c *Cluster) PowerCutInitiator(i int) {
 			t.cqeArmed[i][qp] = false
 			t.cqeInflight[i][qp] = 0
 		}
+		clearRelayInitiator(t, i)
 	}
 	in.crashVolatile()
 }
@@ -195,6 +207,18 @@ func (c *Cluster) RecoverFull(p *sim.Proc) (*core.Report, RecoveryTiming) {
 		}
 		for _, conn := range t.conns {
 			conn.Reconnect()
+		}
+	}
+	if c.cfg.ReplRelay {
+		for _, rs := range c.replSets {
+			for _, conn := range rs.relay {
+				if conn != nil && !conn.Up() {
+					conn.Reconnect()
+				}
+			}
+		}
+		for _, t := range c.targets {
+			clearRelayMaps(t)
 		}
 	}
 	start := p.Now()

@@ -297,16 +297,31 @@ func TestCrashScheduleFuzzMemberCuts(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			fuzzMemberCut(t, seed)
+			fuzzMemberCut(t, seed, false)
 		})
 	}
 }
 
-func fuzzMemberCut(t *testing.T, seed int64) {
+// TestCrashScheduleFuzzRelayMemberCuts re-runs the member-cut schedules
+// with the target-to-target relay fast path on: the random victim may
+// be the relay head (exact-prefix re-post + survivor ack flush) or a
+// follower (degrade to direct fan-out) — both must uphold the same
+// no-stall, byte-identical contract.
+func TestCrashScheduleFuzzRelayMemberCuts(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fuzzMemberCut(t, seed, true)
+		})
+	}
+}
+
+func fuzzMemberCut(t *testing.T, seed int64, relay bool) {
 	rng := rand.New(rand.NewSource(seed))
 	eng := sim.New(seed)
 	cfg := smallConfig(ModeRio, OptaneTarget(), OptaneTarget(), OptaneTarget())
 	cfg.Replicas = 3
+	cfg.ReplRelay = relay
 	cfg.MergeEnabled = false
 	c := New(eng, cfg)
 	streams := cfg.Streams

@@ -690,6 +690,8 @@ func (in *Initiator) postByTarget(p *sim.Proc, wires []*wireState, stream int) {
 		}
 		in.targets[ti].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 		in.stats.WireMessages++
+		in.stats.TxMsgs++
+		in.stats.TxBytes += int64(size)
 		in.stats.Batch.Ring(len(cp.cmds))
 	}
 }
@@ -739,6 +741,20 @@ func (in *Initiator) reapLoop(p *sim.Proc, sh *shard) {
 				markCpl(ws, msg, respAt)
 			}
 			if ws.repl != nil {
+				if i < len(msg.agg) && msg.agg[i].members != nil {
+					// Aggregated CQE (relay fast path): the set head
+					// vouches for every listed member's ack. replAck may
+					// finalize and recycle ws mid-list — the outstanding
+					// check stops the walk the moment it does.
+					addWaitWire(ws, trace.WaitAgg, msg.agg[i].wait)
+					for _, m := range msg.agg[i].members {
+						in.replAck(p, ws, m)
+						if in.outstanding[id] != ws {
+							break
+						}
+					}
+					continue
+				}
 				// Replicated command: quorum accounting per member ack.
 				in.replAck(p, ws, msg.from)
 				continue
@@ -746,6 +762,15 @@ func (in *Initiator) reapLoop(p *sim.Proc, sh *shard) {
 			delete(in.outstanding, id)
 			ws.hwDone.Fire()
 			in.deliverCompletions(p, ws)
+		}
+		// Late-ack resolution records piggybacked by the relay head: each
+		// stands in for one member CQE that was absorbed target-side.
+		for _, res := range msg.resolved {
+			ws := in.outstanding[res.id]
+			if ws == nil || ws.epoch != in.epoch || ws.repl == nil {
+				continue
+			}
+			in.replAck(p, ws, res.member)
 		}
 	}
 }

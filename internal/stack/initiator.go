@@ -75,6 +75,10 @@ type Initiator struct {
 	inflightCond *sim.Cond
 	gov          *governor
 
+	// relaySeq mints the per-(set, QP) relay sequence numbers of the
+	// replication fast path (index set*QPs+qp; nil unless cfg.ReplRelay).
+	relaySeq []uint64
+
 	stats ClusterStats
 }
 
@@ -101,6 +105,9 @@ func newInitiator(c *Cluster, id int) *Initiator {
 		in.gov = newGovernor(c.cfg.Governor, c.Eng.Now())
 	}
 	in.fuseTails = make([]fuseTail, c.vol.Devices())
+	if c.cfg.ReplRelay {
+		in.relaySeq = make([]uint64, len(c.replSets)*c.cfg.QPs)
+	}
 	if c.cfg.CacheBlocks > 0 {
 		in.rcache = newRCache(c.cfg.CacheBlocks, c.cfg.Streams)
 		in.pendingReads = make(map[uint64]*pendingRead)
@@ -457,6 +464,9 @@ func (in *Initiator) crashVolatile() {
 	in.seq = core.NewSequencerFor(uint16(in.id), in.cfg.Streams)
 	in.outstanding = make(map[uint64]*wireState)
 	in.retireMark = make([]uint64, in.cfg.Streams*len(in.targets))
+	for k := range in.relaySeq {
+		in.relaySeq[k] = 0
+	}
 	for _, sh := range in.shards {
 		sh.crashReset()
 	}

@@ -1,0 +1,270 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// relayConfig is replConfig with the target-to-target relay fast path
+// enabled.
+func relayConfig(r int) Config {
+	cfg := replConfig(r)
+	cfg.ReplRelay = true
+	return cfg
+}
+
+// TestRelaySteadyState: with the fast path on, writes still land on
+// every member and complete, but the initiator posts one capsule per
+// batch (not R) and the head aggregates follower acks.
+func TestRelaySteadyState(t *testing.T) {
+	eng := sim.New(21)
+	c := New(eng, relayConfig(3))
+	const streams, groups = 4, 40
+	var lbas []uint64
+	for s := 0; s < streams; s++ {
+		s := s
+		eng.Go("app", func(p *sim.Proc) {
+			for g := 0; g < groups; g++ {
+				lba := uint64(s*100000 + g)
+				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				c.Wait(p, r)
+				lbas = append(lbas, lba)
+			}
+		})
+	}
+	eng.Run()
+	mediaIdentical(t, c, lbas)
+	for s := 0; s < streams; s++ {
+		if c.Sequencer().Stream(s).FullyDone() != uint64(groups) {
+			t.Fatalf("stream %d fully-done = %d, want %d", s, c.Sequencer().Stream(s).FullyDone(), groups)
+		}
+	}
+	for _, m := range c.SetMembers(0) {
+		if v := c.Target(m).GateAudit(); v != 0 {
+			t.Fatalf("member %d gate audit: %d violations", m, v)
+		}
+	}
+	head := c.Target(c.SetMembers(0)[0])
+	if head.Stats().Relays == 0 {
+		t.Fatal("head relayed no capsules with ReplRelay on")
+	}
+	if head.Stats().AggFires == 0 {
+		t.Fatal("head aggregated no quorum acks")
+	}
+	var followerAcks int64
+	for _, m := range c.SetMembers(0)[1:] {
+		followerAcks += c.Target(m).Stats().RelayAcks
+	}
+	if followerAcks == 0 {
+		t.Fatal("followers sent no relay acks")
+	}
+	eng.Shutdown()
+}
+
+// TestRelayCutsInitiatorEgress: the same workload posts strictly fewer
+// initiator wire messages with the relay on than with direct fan-out.
+func TestRelayCutsInitiatorEgress(t *testing.T) {
+	run := func(seed int64, relay bool) (msgs, bytes int64) {
+		eng := sim.New(seed)
+		cfg := replConfig(3)
+		cfg.ReplRelay = relay
+		c := New(eng, cfg)
+		eng.Go("app", func(p *sim.Proc) {
+			for g := 0; g < 60; g++ {
+				r := c.OrderedWrite(p, g%4, uint64(g*5), 1, 0, nil, true, false, false)
+				c.Wait(p, r)
+			}
+		})
+		eng.Run()
+		s := c.StatsAll()
+		eng.Shutdown()
+		return s.TxMsgs, s.TxBytes
+	}
+	dMsgs, _ := run(22, false)
+	rMsgs, _ := run(22, true)
+	if rMsgs == 0 || dMsgs == 0 {
+		t.Fatalf("egress counters not wired: direct=%d relay=%d", dMsgs, rMsgs)
+	}
+	if rMsgs >= dMsgs {
+		t.Fatalf("relay egress %d msgs not below direct %d", rMsgs, dMsgs)
+	}
+}
+
+// TestRelayFollowerCut: power-cutting a follower mid-stream stalls
+// nothing — the head keeps relaying to the survivor, acks keep
+// aggregating, and resync converges the rejoined member byte-identically.
+func TestRelayFollowerCut(t *testing.T) {
+	eng := sim.New(23)
+	c := New(eng, relayConfig(3))
+	const streams, groups = 4, 60
+	var reqs []*blockdev.Request
+	var lbas []uint64
+	for s := 0; s < streams; s++ {
+		s := s
+		eng.Go("app", func(p *sim.Proc) {
+			for g := 0; g < groups; g++ {
+				lba := uint64(s*100000 + g)
+				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				reqs = append(reqs, r)
+				lbas = append(lbas, lba)
+				p.Sleep(2 * sim.Microsecond)
+			}
+		})
+	}
+	eng.At(60*sim.Microsecond, func() { c.PowerCutTarget(2) })
+	eng.Run()
+
+	for i, r := range reqs {
+		if !r.Done.Fired() {
+			t.Fatalf("request %d stalled after follower cut", i)
+		}
+	}
+	for s := 0; s < streams; s++ {
+		if c.Sequencer().Stream(s).FullyDone() != uint64(groups) {
+			t.Fatalf("stream %d fully-done = %d, want %d", s, c.Sequencer().Stream(s).FullyDone(), groups)
+		}
+	}
+	for _, m := range []int{0, 1} {
+		if v := c.Target(m).GateAudit(); v != 0 {
+			t.Fatalf("survivor %d gate audit: %d violations", m, v)
+		}
+	}
+	eng.Go("resync", func(p *sim.Proc) { c.RecoverTarget(p, 2) })
+	eng.Run()
+	if !c.InSync(2) {
+		t.Fatal("follower did not rejoin after resync")
+	}
+	mediaIdentical(t, c, lbas)
+	eng.Shutdown()
+}
+
+// TestRelayHeadCutMidBatch is the satellite's crash core: power-cutting
+// the HEAD while relayed capsules and buffered acks are in flight loses
+// no completion and duplicates none. The initiator re-posts exactly the
+// un-received suffix direct to survivors (relaySeq vs relaySeen exact
+// prefix), survivors flush their unconfirmed acks direct, and the
+// degraded set keeps completing at quorum.
+func TestRelayHeadCutMidBatch(t *testing.T) {
+	eng := sim.New(24)
+	c := New(eng, relayConfig(3))
+	const streams, groups = 4, 60
+	var reqs []*blockdev.Request
+	var lbas []uint64
+	for s := 0; s < streams; s++ {
+		s := s
+		eng.Go("app", func(p *sim.Proc) {
+			for g := 0; g < groups; g++ {
+				lba := uint64(s*100000 + g)
+				r := c.OrderedWrite(p, s, lba, 1, 0, nil, true, false, false)
+				reqs = append(reqs, r)
+				lbas = append(lbas, lba)
+				p.Sleep(2 * sim.Microsecond)
+			}
+		})
+	}
+	eng.At(60*sim.Microsecond, func() { c.PowerCutTarget(0) }) // the head
+	eng.Run()
+
+	if c.InSync(0) {
+		t.Fatal("cut head still marked in sync")
+	}
+	undelivered := 0
+	for _, r := range reqs {
+		if !r.Done.Fired() {
+			undelivered++
+		}
+	}
+	if undelivered != 0 {
+		t.Fatalf("%d of %d requests stalled after the head cut", undelivered, len(reqs))
+	}
+	// Zero duplicates / zero losses: every stream's fully-done watermark
+	// is exactly the submitted group count.
+	for s := 0; s < streams; s++ {
+		if c.Sequencer().Stream(s).FullyDone() != uint64(groups) {
+			t.Fatalf("stream %d fully-done = %d, want %d", s, c.Sequencer().Stream(s).FullyDone(), groups)
+		}
+	}
+	for _, m := range []int{1, 2} {
+		if v := c.Target(m).GateAudit(); v != 0 {
+			t.Fatalf("survivor %d gate audit: %d violations", m, v)
+		}
+	}
+
+	// Resync converges the head byte-identically and the relay path
+	// resumes once full membership is back.
+	eng.Go("resync", func(p *sim.Proc) { c.RecoverTarget(p, 0) })
+	eng.Run()
+	if !c.InSync(0) {
+		t.Fatal("head did not rejoin after resync")
+	}
+	mediaIdentical(t, c, lbas)
+
+	relaysBefore := c.Target(0).Stats().Relays
+	var tail []uint64
+	eng.Go("app2", func(p *sim.Proc) {
+		for g := 0; g < 10; g++ {
+			lba := uint64(900000 + g)
+			r := c.OrderedWrite(p, 0, lba, 1, 0, nil, true, false, false)
+			c.Wait(p, r)
+			tail = append(tail, lba)
+		}
+	})
+	eng.Run()
+	mediaIdentical(t, c, tail)
+	if c.Target(0).Stats().Relays <= relaysBefore {
+		t.Fatal("relay path did not resume after the head rejoined")
+	}
+	eng.Shutdown()
+}
+
+// TestRelayFullCrashRecovery: whole-cluster power cut with the relay on
+// — the recovered prefix invariant must hold on every member, exactly
+// as with direct fan-out.
+func TestRelayFullCrashRecovery(t *testing.T) {
+	eng := sim.New(25)
+	c := New(eng, relayConfig(3))
+	var lbas []uint64
+	eng.Go("app", func(p *sim.Proc) {
+		for g := 0; g < 40; g++ {
+			if !c.Target(0).Alive() {
+				break
+			}
+			lba := uint64(g)
+			c.OrderedWrite(p, 0, lba, 1, 0, nil, true, false, false)
+			lbas = append(lbas, lba)
+			p.Sleep(2 * sim.Microsecond)
+		}
+	})
+	eng.At(40*sim.Microsecond, func() { c.PowerCutAll() })
+	eng.RunUntil(sim.Millisecond)
+	eng.Go("rec", func(p *sim.Proc) { c.RecoverFull(p) })
+	eng.Run()
+
+	okDone := false
+	eng.Go("app2", func(p *sim.Proc) {
+		r := c.OrderedWrite(p, 0, 7000, 1, 0, nil, true, true, false)
+		c.Wait(p, r)
+		okDone = true
+	})
+	eng.Run()
+	if !okDone {
+		t.Fatal("cluster unusable after full recovery with relay enabled")
+	}
+	mediaIdentical(t, c, []uint64{7000})
+	eng.Shutdown()
+}
+
+// TestRelayRequiresReplication: ReplRelay without replication is a
+// configuration error.
+func TestRelayRequiresReplication(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReplRelay with Replicas=1 did not panic")
+		}
+	}()
+	cfg := smallConfig(ModeRio, optane1()...)
+	cfg.ReplRelay = true
+	New(sim.New(26), cfg)
+}

@@ -37,6 +37,11 @@ type replicaSet struct {
 	inSync  []bool // parallel to members
 	epoch   int    // membership epoch: bumps on every degrade and rejoin
 
+	// relay holds the target-to-target conns of the replication fast path
+	// (head at members[0] = Initiator side, follower = Target side),
+	// parallel to members with [0] nil. Nil unless cfg.ReplRelay.
+	relay []*fabric.Conn
+
 	// dirty is, per member position, the background-resync backlog: the
 	// extents dispatched while that member was out of sync. Appends happen
 	// in the same no-yield region as the membership snapshot they were
@@ -118,6 +123,12 @@ type replState struct {
 	// firstAck is when the first member CQE arrived (stage tracing: the
 	// quorum-assembly wait is quorum-fire minus firstAck).
 	firstAck sim.Time
+
+	// relaySeq is the relay sequence number the command's head capsule
+	// carried (0 = posted direct). A head power cut compares it against
+	// each survivor's received prefix to re-post exactly the undelivered
+	// member slices.
+	relaySeq uint64
 }
 
 func (r *replState) reset() {
@@ -126,6 +137,7 @@ func (r *replState) reset() {
 	r.attrs = r.attrs[:0]
 	r.idx = r.idx[:0]
 	r.firstAck = 0
+	r.relaySeq = 0
 }
 
 func (r *replState) addMember(m int, sqe nvmeof.SQE, attrs []core.Attr, idx uint64) {
@@ -341,9 +353,31 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 		}
 		caps[ws.target] = append(caps[ws.target], ws)
 	}
-	for _, cmds := range caps {
+	for set, cmds := range caps {
 		if len(cmds) == 0 {
 			continue
+		}
+		// Relay fast path: writes that fanned to the full membership go out
+		// as ONE head capsule instead of R copies. Flushes always fan out
+		// direct (a durability barrier certifies members individually), as
+		// do batches assigned under a degraded snapshot.
+		if rs := in.c.replSets[set]; in.c.relayActive(rs) {
+			var direct []*wireState
+			relayable := cmds[:0:0]
+			for _, ws := range cmds {
+				if !ws.flushWire && len(ws.repl.q.Members) == len(rs.members) {
+					relayable = append(relayable, ws)
+				} else {
+					direct = append(direct, ws)
+				}
+			}
+			if len(relayable) > 0 {
+				in.postRelay(p, rs, relayable, stream)
+			}
+			if len(direct) == 0 {
+				continue
+			}
+			cmds = direct
 		}
 		qp := in.qpFor(stream)
 		// All commands of one dispatch batch snapshot the same membership
@@ -378,6 +412,8 @@ func (in *Initiator) postReplicated(p *sim.Proc, wires []*wireState, stream int)
 			}
 			in.targets[m].conns[in.id].Send(fabric.Initiator, fabric.Message{QP: qp, Size: size, Payload: cp})
 			in.stats.WireMessages++
+			in.stats.TxMsgs++
+			in.stats.TxBytes += int64(size)
 			in.stats.Batch.Ring(len(cmds))
 		}
 	}
@@ -539,6 +575,7 @@ func (c *Cluster) resyncTarget(p *sim.Proc, m int) (*core.Report, RecoveryTiming
 	for _, conn := range t.conns {
 		conn.Reconnect()
 	}
+	c.reconnectRelay(m)
 	// The member's own PMR partitions are stale pre-cut evidence; the
 	// survivors' logs own the ordering record for the degraded window.
 	for i := 0; i < c.cfg.Initiators; i++ {
@@ -737,6 +774,9 @@ func (c *Cluster) replicaRepair(p *sim.Proc, views []core.ServerView, report *co
 func validateReplication(cfg Config) {
 	r := cfg.Replicas
 	if r <= 1 {
+		if cfg.ReplRelay {
+			panic("stack: ReplRelay requires Replicas > 1")
+		}
 		return
 	}
 	if cfg.Mode != ModeRio {

@@ -37,6 +37,15 @@ type TargetStats struct {
 	// GovSwitches counts adaptive-governor operating-point transitions on
 	// this target (0 with the governor disabled).
 	GovSwitches int64
+
+	// Replication fast-path counters (all 0 unless cfg.ReplRelay):
+	// Relays counts relayed capsules this target forwarded to followers as
+	// a set head, RelayAcks counts completions this target routed to its
+	// head instead of the initiator, AggFires counts aggregated CQEs
+	// emitted at quorum (or flushed by a degrade).
+	Relays    int64
+	RelayAcks int64
+	AggFires  int64
 }
 
 // AllocsPerCmd returns target-side hot-path allocations per processed
@@ -67,6 +76,10 @@ func (s TargetStats) Sub(old TargetStats) TargetStats {
 		CQETimerFlushes: s.CQETimerFlushes - old.CQETimerFlushes,
 		CQERearms:       s.CQERearms - old.CQERearms,
 		GovSwitches:     s.GovSwitches - old.GovSwitches,
+
+		Relays:    s.Relays - old.Relays,
+		RelayAcks: s.RelayAcks - old.RelayAcks,
+		AggFires:  s.AggFires - old.AggFires,
 	}
 }
 
@@ -89,6 +102,10 @@ func (s TargetStats) Add(o TargetStats) TargetStats {
 		CQETimerFlushes: s.CQETimerFlushes + o.CQETimerFlushes,
 		CQERearms:       s.CQERearms + o.CQERearms,
 		GovSwitches:     s.GovSwitches + o.GovSwitches,
+
+		Relays:    s.Relays + o.Relays,
+		RelayAcks: s.RelayAcks + o.RelayAcks,
+		AggFires:  s.AggFires + o.AggFires,
 	}
 }
 
@@ -187,6 +204,25 @@ type Target struct {
 	// gov, when non-nil, adapts the CQE hold time and flush threshold to
 	// the completion arrival rate (one EWMA per target; see governor.go).
 	gov *governor
+
+	// Replication fast-path state (all nil unless cfg.ReplRelay; see
+	// relay.go). agg is the head-side aggregation table; relayPend routes
+	// a follower's completions to its head; ackBuf is the follower's
+	// sent-ack replay buffer (flushed direct on a head cut); relayGC is
+	// the per-follower forwarded-ack confirmation queue the next relayed
+	// capsule piggybacks; relaySeen is the per-(initiator, QP) received
+	// relay-sequence prefix; resolvedPend and cqeAgg are the per-
+	// (initiator, QP) resolution records and CQE annotations pending on
+	// the next completion capsule (cqeAgg stays parallel to cqePend at
+	// every mutation); relayAckQ feeds the head's relay-ack context.
+	agg          map[aggKey]*aggState
+	relayPend    map[aggKey]relayRoute
+	ackBuf       map[aggKey]relayRoute
+	relayGC      map[int][]aggResolved
+	relaySeen    [][]uint64
+	resolvedPend [][][]aggResolved
+	cqeAgg       [][][]aggCQE
+	relayAckQ    *sim.Queue[*relayAckMsg]
 
 	alive bool
 	epoch int
@@ -435,6 +471,15 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 		}
 		t.stats.Capsules++
 		t.cores.Use(p, t.c.costs.RecvMsg)
+		if cp.relayTo != nil {
+			// Replication fast path: this is a head capsule — fan the
+			// follower slices out over the relay conns before processing the
+			// head's own slice.
+			t.relayFanOut(p, cp, init, qp)
+			if !t.alive {
+				continue
+			}
+		}
 		if len(cp.ctrl) > 0 {
 			t.handleCtrl(p, cp, init, qp)
 		}
@@ -487,8 +532,20 @@ func (t *Target) rxLoop(p *sim.Proc, init, qp int) {
 			}
 			t.stats.Commands++
 			t.cores.Use(p, t.c.costs.CmdProcess)
-			markWire(ws, trace.MSent, cp.sentAt)
-			markWire(ws, trace.MRxDeliver, cp.deliveredAt)
+			if cp.relayed {
+				// The relay conn restamped sentAt at the head's forward, so
+				// it marks the relay hop, not the initiator send (which the
+				// head capsule's MSent records).
+				markWire(ws, trace.MRelayed, cp.sentAt)
+				markWire(ws, trace.MRxDeliver, cp.deliveredAt)
+				t.relayNote(ws, cp.epoch, qp)
+			} else {
+				markWire(ws, trace.MSent, cp.sentAt)
+				if cp.relayTo != nil {
+					markWire(ws, trace.MRelayed, cp.deliveredAt)
+				}
+				markWire(ws, trace.MRxDeliver, cp.deliveredAt)
+			}
 			if ws.flushWire {
 				t.submitFlushCmd(ws)
 				continue
@@ -901,6 +958,19 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 	if t.gov != nil && t.gov.observe(t.c.Eng.Now()) {
 		t.stats.GovSwitches++
 	}
+	if t.relayPend != nil {
+		// Replication fast path: a follower's completion routes to the
+		// head; the head's own completion of a relayed command feeds its
+		// aggregation instead of shipping a CQE of its own (the aggregated
+		// CQE carries the command id).
+		if t.relayRespond(p, ws) {
+			return
+		}
+		if as, ok := t.agg[aggKey{init, ws.id}]; ok && as.epoch == ws.epoch {
+			t.aggAck(p, as, init, ws.id, t.id)
+			return
+		}
+	}
 	cqe := nvmeof.NewCQE(ws.id)
 	if !t.c.cfg.CQECoalesce {
 		cqe.MarkCQEVector(0, 1)
@@ -922,6 +992,9 @@ func (t *Target) respond(p *sim.Proc, ws *wireState, tEpoch int) {
 		t.cqeFirst[init][qp] = t.c.Eng.Now()
 	}
 	t.cqePend[init][qp] = append(t.cqePend[init][qp], cqe)
+	if t.cqeAgg != nil {
+		t.cqeAgg[init][qp] = append(t.cqeAgg[init][qp], aggCQE{})
+	}
 	if t.c.tracer != nil {
 		t.cqePendT[init][qp] = append(t.cqePendT[init][qp], t.c.Eng.Now())
 	}
@@ -957,7 +1030,21 @@ func (t *Target) armCQETimer(init, qp int, d sim.Time) {
 		// clearing the flag while a younger chain is live only costs a
 		// redundant re-arm on the next completion.
 		t.cqeArmed[init][qp] = false
-		if epoch != t.epoch || !t.alive || len(t.cqePend[init][qp]) == 0 {
+		if epoch != t.epoch || !t.alive {
+			return
+		}
+		if len(t.cqePend[init][qp]) == 0 {
+			if t.resolvedPend == nil || len(t.resolvedPend[init][qp]) == 0 {
+				return
+			}
+			// Resolution records pending on an otherwise idle QP (relay
+			// path): ship them in a CQE-less capsule so the initiator
+			// reaches full resolution without waiting for unrelated
+			// completions.
+			t.stats.CQETimerFlushes++
+			fd := t.getDone()
+			fd.flushQP, fd.flushInit, fd.epoch = qp+1, init, t.initEpoch(init)
+			t.doneQ.Push(fd)
 			return
 		}
 		if wait := t.cqeFirst[init][qp] + t.cqeHoldTime() - t.c.Eng.Now(); wait > 0 {
@@ -983,7 +1070,13 @@ func (t *Target) armCQETimer(init, qp int, d sim.Time) {
 // 16-byte capsule, exactly like the uncoalesced path.
 func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	batch := t.cqePend[init][qp]
-	if len(batch) == 0 {
+	var agg []aggCQE
+	var resolved []aggResolved
+	if t.cqeAgg != nil {
+		agg = t.cqeAgg[init][qp]
+		resolved = t.resolvedPend[init][qp]
+	}
+	if len(batch) == 0 && len(resolved) == 0 {
 		return
 	}
 	// Detach before charging CPU: Use yields, and the other completion
@@ -992,11 +1085,21 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	batchT := t.cqePendT[init][qp]
 	t.cqePendT[init][qp] = nil
 	epoch := t.cqeEpoch[init][qp]
+	if t.cqeAgg != nil {
+		t.cqeAgg[init][qp] = nil
+		t.resolvedPend[init][qp] = nil
+	}
+	if len(batch) == 0 {
+		// Resolution-only capsule: no buffered CQE minted the epoch, so
+		// stamp the initiator's current one.
+		epoch = t.initEpoch(init)
+	}
 	nvmeof.EncodeCQEVector(batch)
 	size := nvmeof.ResponseSize
 	if len(batch) > 1 {
 		size = nvmeof.CQEVectorCapsuleSize(len(batch))
 	}
+	size += len(resolved) * nvmeof.ResponseSize
 	t.cores.Use(p, t.c.costs.PostMsg)
 	if !t.alive {
 		return // power cut while posting: the capsule dies with the NIC
@@ -1005,8 +1108,9 @@ func (t *Target) flushCQEs(p *sim.Proc, init, qp int) {
 	t.stats.CQEs += int64(len(batch))
 	t.conns[init].Send(fabric.Target, fabric.Message{
 		QP: qp, Size: size,
-		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch, from: t.id, respondAt: batchT},
+		Payload: &completionMsg{cqes: batch, qp: qp, epoch: epoch, from: t.id, respondAt: batchT, agg: agg, resolved: resolved},
 	})
+	t.noteForwarded(init, agg, batch, resolved)
 }
 
 // retireUpTo recycles PMR entries whose completions the owning initiator

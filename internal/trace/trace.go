@@ -39,6 +39,7 @@ const (
 	MStaged                      // plugged into the shard's dispatch queue
 	MDispatched                  // dispatch loop picked the request up
 	MSent                        // submission capsule posted to the fabric
+	MRelayed                     // relay hop done (head fan-out; direct capsules stamp delivery, zero-width stage)
 	MRxDeliver                   // capsule delivered at the target
 	MSSDSubmit                   // command submitted to the SSD
 	MSSDDone                     // device completion
@@ -50,8 +51,8 @@ const (
 )
 
 var milestoneNames = [NumMilestones]string{
-	"submit", "staged", "dispatched", "sent", "rxdeliver", "ssdsubmit",
-	"ssddone", "cplsent", "cpldeliver", "completed", "deliver",
+	"submit", "staged", "dispatched", "sent", "relayed", "rxdeliver",
+	"ssdsubmit", "ssddone", "cplsent", "cpldeliver", "completed", "deliver",
 }
 
 func (m Milestone) String() string {
@@ -70,7 +71,8 @@ var stageNames = [NumStages]string{
 	"submit",   // block-layer submission work + submit-gate wait
 	"plug",     // plug residency until the dispatch loop runs
 	"dispatch", // merge, encode, doorbell batching
-	"wire",     // fabric transit of the submission capsule
+	"wire",     // fabric transit of the submission capsule (to the head under relay)
+	"relay",    // head-to-follower relay hop (zero-width on the direct path)
 	"target",   // target rx queue, recv CPU, ordering gate, PMR persist
 	"ssd",      // device service incl. saturation inflation
 	"tcpl",     // target completion handling + CQE coalesce hold
@@ -95,11 +97,13 @@ const (
 	WaitSat                // SSD saturation inflation past the knee
 	WaitCQE                // CQE coalesce hold before the response capsule
 	WaitQuorum             // first member ack to quorum fire
+	WaitAgg                // head-side aggregation wait (first follower ack to quorum, relay path)
 	NumWaits
 )
 
 var waitNames = [NumWaits]string{
 	"gatewait", "txwait", "gatepark", "pmr", "satwait", "cqehold", "quorum",
+	"aggwait",
 }
 
 // WaitName returns the label of wait w.

@@ -88,6 +88,15 @@ type Options struct {
 	// WriteQuorum: 0 = majority of Replicas; Replicas = full-set
 	// durability (writes stall while the set is degraded).
 	WriteQuorum int
+	// Relay routes replicated writes over target-to-target links: the
+	// initiator posts ONE capsule to the set's head member, which relays
+	// follower copies and aggregates follower acks into a single quorum
+	// CQE — cutting initiator egress and reap work from R× to ~1× per
+	// write. Requires Replicas > 1. Off (false) keeps the direct fan-out
+	// path byte-identical to earlier releases; a head power cut degrades
+	// the set back to direct fan-out mid-flight with no lost or
+	// duplicated completions.
+	Relay bool
 
 	// Read configures the initiator-side read path (block cache,
 	// read-ahead, KV negative lookups). The zero value turns every read
@@ -177,6 +186,7 @@ func NewCluster(o Options) *Cluster {
 	cfg.Initiators = o.Initiators
 	cfg.Replicas = o.Replicas
 	cfg.WriteQuorum = o.WriteQuorum
+	cfg.ReplRelay = o.Relay
 	cfg.Streams = o.Streams
 	cfg.QPs = o.Streams
 	cfg.Fabric.NumQPs = o.Streams
